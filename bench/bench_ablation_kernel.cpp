@@ -1,0 +1,53 @@
+// Ablation B: the kernel-compiled map fast path ("scalars in registers", the
+// CPU analogue of the paper's claim that the redundant-execution tape keeps
+// scalars out of global memory). GMM objective and gradient with the kernel
+// compiler enabled vs the environment-walking interpreter.
+
+#include "common.hpp"
+
+#include <functional>
+
+#include "apps/gmm.hpp"
+#include "core/ad.hpp"
+#include "ir/typecheck.hpp"
+#include "runtime/interp.hpp"
+
+using namespace npad;
+
+int main(int argc, char** argv) {
+  const int64_t S = bench::scale_factor();
+  support::Rng rng(29);
+  auto g = apps::gmm_gen(rng, 512 * S, 16, 16);
+  ir::Prog obj_p = apps::gmm_ir_objective();
+  ir::typecheck(obj_p);
+  ir::Prog grad_p = ad::vjp(obj_p);
+  auto args = apps::gmm_ir_args(g);
+  auto gargs = args;
+  gargs.emplace_back(1.0);
+
+  rt::Interp fast({.parallel = true, .use_kernels = true, .grain = 2048});
+  rt::Interp slow({.parallel = true, .use_kernels = false, .grain = 2048});
+
+  auto reg = [&](const char* name, std::function<void()> fn) {
+    benchmark::RegisterBenchmark(name, [fn](benchmark::State& st) {
+      for (auto _ : st) fn();
+    })->Unit(benchmark::kMillisecond)->MinTime(0.1);
+  };
+  reg("obj/kernels", [&] { benchmark::DoNotOptimize(fast.run(obj_p, args)); });
+  reg("obj/interp", [&] { benchmark::DoNotOptimize(slow.run(obj_p, args)); });
+  reg("grad/kernels", [&] { benchmark::DoNotOptimize(fast.run(grad_p, gargs)); });
+  reg("grad/interp", [&] { benchmark::DoNotOptimize(slow.run(grad_p, gargs)); });
+
+  auto col = bench::run_benchmarks(argc, argv);
+
+  support::Table t({"Program", "Kernel fast path (ms)", "Interpreted (ms)", "Speedup"});
+  t.add_row({"GMM objective", support::Table::fmt(col.ms("obj/kernels")),
+             support::Table::fmt(col.ms("obj/interp")),
+             bench::ratio(col.ms("obj/interp"), col.ms("obj/kernels"))});
+  t.add_row({"GMM gradient (vjp)", support::Table::fmt(col.ms("grad/kernels")),
+             support::Table::fmt(col.ms("grad/interp")),
+             bench::ratio(col.ms("grad/interp"), col.ms("grad/kernels"))});
+  std::cout << "\nAblation B: kernel-compiled scalar maps vs interpreted maps\n";
+  t.print();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation C (Section 4.3 / Fig. 4): the strip-mining time-space trade-off.
+// A long scalar recurrence is differentiated with different strip-mine
+// factors f; checkpoint memory falls from n to ~(n/f + f) loop-variant
+// copies while the return sweep re-executes one extra nest level.
+
+#include "common.hpp"
+
+#include <functional>
+
+#include "core/ad.hpp"
+#include "ir/builder.hpp"
+#include "ir/typecheck.hpp"
+#include "opt/loopopt.hpp"
+#include "runtime/interp.hpp"
+
+using namespace npad;
+using namespace npad::ir;
+
+namespace {
+
+Prog make_loop_prog(int64_t n, int factor) {
+  ProgBuilder pb("recur");
+  Var x0 = pb.param("x0", f64());
+  Builder& b = pb.body();
+  auto outs = b.loop_for(
+      {Atom(x0)}, ci64(n),
+      [](Builder& c, Var, const std::vector<Var>& ps) {
+        Var t = c.mul(ps[0], cf64(0.9999));
+        return std::vector<Atom>{Atom(c.add(t, Atom(c.mul(c.sin(ps[0]), cf64(1e-4)))))};
+      },
+      factor);
+  return pb.finish({Atom(outs[0])});
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const int64_t S = bench::scale_factor();
+  const int64_t n = 100000 * S;
+  rt::Interp interp;
+
+  const int factors[] = {0, 10, 100, 1000};
+  std::vector<ir::Prog> grads;
+  for (int f : factors) {
+    Prog p = opt::apply_stripmining(make_loop_prog(n, f));
+    typecheck(p);
+    Prog g = ad::vjp(p);
+    typecheck(g);
+    grads.push_back(std::move(g));
+  }
+
+  for (size_t i = 0; i < grads.size(); ++i) {
+    benchmark::RegisterBenchmark(("grad/f" + std::to_string(factors[i])).c_str(),
+                                 [&, i](benchmark::State& st) {
+                                   for (auto _ : st) {
+                                     benchmark::DoNotOptimize(
+                                         interp.run(grads[i], {1.0, 1.0}));
+                                   }
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.1);
+  }
+
+  auto col = bench::run_benchmarks(argc, argv);
+
+  support::Table t({"Strip-mine factor", "Gradient (ms)", "Checkpoint copies (analytic)"});
+  for (size_t i = 0; i < grads.size(); ++i) {
+    const int f = factors[i];
+    const int64_t mem = f <= 1 ? n : n / f + f;
+    t.add_row({f == 0 ? "none" : std::to_string(f),
+               support::Table::fmt(col.ms("grad/f" + std::to_string(f))), std::to_string(mem)});
+  }
+  std::cout << "\nAblation C: strip-mining time-space trade-off (Fig. 4)\n";
+  t.print();
+  return 0;
+}

@@ -1,0 +1,67 @@
+#pragma once
+
+// Shared harness for the paper-table benchmark binaries. Each binary
+// registers its measurements as google-benchmark benchmarks, runs them under
+// a collecting reporter, and then prints the corresponding paper table with
+// the paper's published value next to the measured one.
+//
+// NPAD_SCALE (environment, default 1) multiplies the workload sizes; all
+// shipped defaults are laptop-scale (the runtime substrate is an interpreter
+// standing in for the paper's GPU backend — see DESIGN.md §1).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "support/table.hpp"
+
+namespace npad::bench {
+
+class Collector : public benchmark::BenchmarkReporter {
+public:
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const auto& run : report) {
+      if (run.error_occurred) continue;
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      // Strip decoration suffixes like "/min_time:0.050".
+      std::string name = run.benchmark_name();
+      if (auto pos = name.find("/min_time"); pos != std::string::npos) name.resize(pos);
+      ms_[name] = 1e3 * run.real_accumulated_time / iters;
+    }
+  }
+
+  double ms(const std::string& name) const {
+    auto it = ms_.find(name);
+    return it == ms_.end() ? 0.0 : it->second;
+  }
+
+private:
+  std::map<std::string, double> ms_;
+};
+
+inline int64_t scale_factor() {
+  if (const char* e = std::getenv("NPAD_SCALE")) {
+    const int64_t v = std::atoll(e);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+// Runs all registered benchmarks and returns the collected timings.
+inline Collector run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  Collector c;
+  benchmark::RunSpecifiedBenchmarks(&c);
+  return c;
+}
+
+inline std::string ratio(double num, double den, int prec = 2) {
+  if (den <= 0) return "-";
+  return support::Table::fmt(num / den, prec) + "x";
+}
+
+} // namespace npad::bench

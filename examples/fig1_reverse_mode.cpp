@@ -1,0 +1,31 @@
+// Reproduces Figure 1 of the paper: the program
+//   P(x0, x1) = (x1 * sin x0, x0 * x1)
+// printed before and after the forward-mode and reverse-mode AD transforms.
+
+#include <iostream>
+
+#include "core/ad.hpp"
+#include "ir/builder.hpp"
+#include "ir/print.hpp"
+
+using namespace npad;
+using namespace npad::ir;
+
+int main() {
+  ProgBuilder pb("P");
+  Var x0 = pb.param("x0", f64());
+  Var x1 = pb.param("x1", f64());
+  Builder& b = pb.body();
+  Var t0 = b.sin(x0);
+  Var t1 = b.mul(x1, t0);
+  Var t2 = b.mul(x0, x1);
+  Prog p = pb.finish({Atom(t1), Atom(t2)});
+
+  std::cout << "===== Figure 1(a): the program P =====\n";
+  print_prog(std::cout, p);
+  std::cout << "\n===== Figure 1(b): forward mode (jvp) =====\n";
+  print_prog(std::cout, ad::jvp(p));
+  std::cout << "\n===== Figure 1(c): reverse mode (vjp) =====\n";
+  print_prog(std::cout, ad::vjp(p));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Figure 2 of the paper: the reverse-AD code of a perfectly
+// nested map contains redundant forward-sweep re-executions whose results
+// are dead; dead-code elimination removes them, so perfect nests suffer no
+// re-execution overhead.
+
+#include <iostream>
+
+#include "core/ad.hpp"
+#include "ir/builder.hpp"
+#include "ir/print.hpp"
+#include "opt/simplify.hpp"
+
+using namespace npad;
+using namespace npad::ir;
+
+int main() {
+  // map (\c as -> if c then copy as else map (\a -> a*a) as) cs ass
+  ProgBuilder pb("fig2");
+  Var cs = pb.param("cs", arr(ScalarType::Bool, 1));
+  Var ass = pb.param("ass", arr_f64(2));
+  Builder& b = pb.body();
+  Var xss = b.map(b.lam({boolean(), arr_f64(1)},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          auto r = c.if_(
+                              Atom(p[0]),
+                              [&](Builder& tb) {
+                                return std::vector<Atom>{Atom(tb.copy(p[1]))};
+                              },
+                              [&](Builder& fb) {
+                                Var sq = fb.map1(
+                                    fb.lam({f64()},
+                                           [](Builder& cc, const std::vector<Var>& q) {
+                                             return std::vector<Atom>{Atom(cc.mul(q[0], q[0]))};
+                                           }),
+                                    {p[1]});
+                                return std::vector<Atom>{Atom(sq)};
+                              });
+                          return std::vector<Atom>{Atom(r[0])};
+                        }),
+                  {cs, ass})[0];
+  Prog p = pb.finish({Atom(xss)});
+
+  Prog g = ad::vjp(p);
+  std::cout << "===== reverse AD, before optimization ("
+            << count_stms(g.fn.body) << " statements) =====\n";
+  print_prog(std::cout, g);
+
+  // Drop the primal output (the caller only wants the gradient), then DCE.
+  g.fn.body.result.erase(g.fn.body.result.begin());
+  g.fn.rets.erase(g.fn.rets.begin());
+  Prog opt = opt::simplify(g);
+  std::cout << "\n===== after dead-code elimination ("
+            << count_stms(opt.fn.body) << " statements) =====\n";
+  print_prog(std::cout, opt);
+  std::cout << "\nThe re-executed forward sweeps of the perfect nest are dead "
+               "code and have been removed (Section 4.1).\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Trains a small LSTM (Section 7.7 architecture) by gradient descent on the
+// IR objective differentiated with vjp, and cross-checks the first gradient
+// against the fused manual implementation (the cuDNN stand-in).
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/lstm.hpp"
+#include "core/ad.hpp"
+#include "ir/typecheck.hpp"
+#include "runtime/interp.hpp"
+
+using namespace npad;
+
+int main() {
+  support::Rng rng(55);
+  auto L = apps::lstm_gen(rng, 4, 6, 8, 6);
+  ir::Prog obj = apps::lstm_ir_objective();
+  ir::Prog grad = ad::vjp(obj);
+  ir::typecheck(grad);
+  rt::Interp interp;
+
+  // Cross-check AD vs the hand-derived backward on the initial weights.
+  auto manual = apps::lstm_manual(L);
+  {
+    auto args = apps::lstm_ir_args(L);
+    args.emplace_back(1.0);
+    auto out = interp.run(grad, args);
+    auto dwx = rt::to_f64_vec(rt::as_array(out[1]));
+    double max_err = 0;
+    for (size_t i = 0; i < dwx.size(); ++i) {
+      max_err = std::max(max_err, std::fabs(dwx[i] - manual.d_wx[i]));
+    }
+    std::printf("AD vs manual backward: max |d_wx| error = %.3e\n", max_err);
+  }
+
+  const double lr = 1e-4;  // descend on sum ||h_t||^2 (drives activity down)
+  for (int it = 0; it < 10; ++it) {
+    auto args = apps::lstm_ir_args(L);
+    args.emplace_back(1.0);
+    auto out = interp.run(grad, args);
+    if (it % 3 == 0) std::printf("iter %2d: objective = %.6f\n", it, rt::as_f64(out[0]));
+    auto dwx = rt::to_f64_vec(rt::as_array(out[1]));
+    auto dwh = rt::to_f64_vec(rt::as_array(out[2]));
+    auto db = rt::to_f64_vec(rt::as_array(out[3]));
+    for (size_t i = 0; i < L.wx.size(); ++i) L.wx[i] -= lr * dwx[i];
+    for (size_t i = 0; i < L.wh.size(); ++i) L.wh[i] -= lr * dwh[i];
+    for (size_t i = 0; i < L.b.size(); ++i) L.b[i] -= lr * db[i];
+  }
+  std::printf("done\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "apps/ba.hpp"
+
+#include <cmath>
+
+#include "ir/builder.hpp"
+
+namespace npad::apps {
+
+using namespace ir;
+
+BaData ba_gen(support::Rng& rng, int64_t n_cams, int64_t n_pts, int64_t n_obs) {
+  BaData d;
+  d.n_cams = n_cams;
+  d.n_pts = n_pts;
+  d.n_obs = n_obs;
+  d.cams.resize(static_cast<size_t>(n_cams * 11));
+  for (int64_t c = 0; c < n_cams; ++c) {
+    double* cam = d.cams.data() + c * 11;
+    for (int j = 0; j < 3; ++j) cam[j] = 0.2 * rng.normal();   // rotation
+    for (int j = 3; j < 6; ++j) cam[j] = rng.normal();          // center
+    cam[6] = 500.0 + 10.0 * rng.normal();                       // focal
+    cam[7] = rng.normal();
+    cam[8] = rng.normal();
+    cam[9] = 1e-3 * rng.normal();
+    cam[10] = 1e-4 * rng.normal();
+  }
+  d.pts.resize(static_cast<size_t>(n_pts * 3));
+  for (auto& v : d.pts) v = rng.normal() + 5.0;  // keep in front of cameras
+  d.weights = rng.uniform_vec(static_cast<size_t>(n_obs), 0.5, 1.5);
+  d.cam_idx = rng.index_vec(static_cast<size_t>(n_obs), n_cams);
+  d.pt_idx = rng.index_vec(static_cast<size_t>(n_obs), n_pts);
+  d.feats = rng.normal_vec(static_cast<size_t>(n_obs * 2), 0.0, 100.0);
+  return d;
+}
+
+ir::Prog ba_ir_residuals() {
+  ProgBuilder pb("ba_residuals");
+  Var cams = pb.param("cams", arr_f64(2));
+  Var pts = pb.param("pts", arr_f64(2));
+  Var w = pb.param("w", arr_f64(1));
+  Var camIdx = pb.param("camIdx", arr(ScalarType::I64, 1));
+  Var ptIdx = pb.param("ptIdx", arr(ScalarType::I64, 1));
+  Var feats = pb.param("feats", arr_f64(2));
+  Builder& b = pb.body();
+  Var p = b.length(w);
+  Var io = b.iota(Atom(p));
+  auto outs = b.map(
+      b.lam({i64()},
+            [&](Builder& c, const std::vector<Var>& oi) {
+              Var ci = c.index(camIdx, {Atom(oi[0])});
+              Var pi = c.index(ptIdx, {Atom(oi[0])});
+              auto cam = [&](int j) { return c.index(cams, {Atom(ci), ci64(j)}); };
+              auto X = [&](int j) { return c.index(pts, {Atom(pi), ci64(j)}); };
+              // Rodrigues rotation of (X - C), matching ba_project<Real>.
+              Var d0 = c.sub(X(0), cam(3)), d1 = c.sub(X(1), cam(4)), d2 = c.sub(X(2), cam(5));
+              Var r0 = cam(0), r1 = cam(1), r2 = cam(2);
+              Var th2 = c.add(Atom(c.add(Atom(c.mul(r0, r0)), Atom(c.mul(r1, r1)))),
+                              Atom(c.add(Atom(c.mul(r2, r2)), cf64(1e-12))));
+              Var th = c.sqrt(th2);
+              Var cth = c.cos(th), sth = c.sin(th);
+              Var it = c.div(cf64(1.0), th);
+              Var w0 = c.mul(r0, it), w1 = c.mul(r1, it), w2 = c.mul(r2, it);
+              Var wd = c.add(Atom(c.add(Atom(c.mul(w0, d0)), Atom(c.mul(w1, d1)))),
+                             Atom(c.mul(w2, d2)));
+              Var cx0 = c.sub(Atom(c.mul(w1, d2)), Atom(c.mul(w2, d1)));
+              Var cx1 = c.sub(Atom(c.mul(w2, d0)), Atom(c.mul(w0, d2)));
+              Var cx2 = c.sub(Atom(c.mul(w0, d1)), Atom(c.mul(w1, d0)));
+              Var omc = c.sub(cf64(1.0), cth);
+              auto rot = [&](Var dd, Var cx, Var ww) {
+                return c.add(Atom(c.add(Atom(c.mul(dd, cth)), Atom(c.mul(cx, sth)))),
+                             Atom(c.mul(ww, c.mul(wd, omc))));
+              };
+              Var p0 = rot(d0, cx0, w0), p1 = rot(d1, cx1, w1), p2 = rot(d2, cx2, w2);
+              Var ix = c.div(p0, p2), iy = c.div(p1, p2);
+              Var rr = c.add(Atom(c.mul(ix, ix)), Atom(c.mul(iy, iy)));
+              Var distort = c.add(cf64(1.0), Atom(c.add(Atom(c.mul(cam(9), rr)),
+                                                        Atom(c.mul(cam(10), c.mul(rr, rr))))));
+              Var u = c.add(Atom(c.mul(cam(6), c.mul(distort, ix))), Atom(cam(7)));
+              Var v = c.add(Atom(c.mul(cam(6), c.mul(distort, iy))), Atom(cam(8)));
+              Var wi = c.index(w, {Atom(oi[0])});
+              Var e0 = c.mul(wi, c.sub(Atom(u), Atom(c.index(feats, {Atom(oi[0]), ci64(0)}))));
+              Var e1 = c.mul(wi, c.sub(Atom(v), Atom(c.index(feats, {Atom(oi[0]), ci64(1)}))));
+              Var werr = c.sub(cf64(1.0), Atom(c.mul(wi, wi)));
+              return std::vector<Atom>{Atom(e0), Atom(e1), Atom(werr)};
+            }),
+      {io}, "res");
+  // Pack reprojection errors as a [p][2]-shaped pair of arrays is awkward;
+  // return them as separate rank-1 results (e0, e1, werr).
+  return pb.finish({Atom(outs[0]), Atom(outs[1]), Atom(outs[2])});
+}
+
+std::vector<rt::Value> ba_ir_args(const BaData& d) {
+  return {rt::make_f64_array(d.cams, {d.n_cams, 11}), rt::make_f64_array(d.pts, {d.n_pts, 3}),
+          rt::make_f64_array(d.weights, {d.n_obs}),   rt::make_i64_array(d.cam_idx, {d.n_obs}),
+          rt::make_i64_array(d.pt_idx, {d.n_obs}),    rt::make_f64_array(d.feats, {d.n_obs, 2})};
+}
+
+double ba_primal_sum(const BaData& d) {
+  double s = 0;
+  for (int64_t o = 0; o < d.n_obs; ++o) {
+    double out[2];
+    ba_project(d.cams.data() + d.cam_idx[static_cast<size_t>(o)] * 11,
+               d.pts.data() + d.pt_idx[static_cast<size_t>(o)] * 3, out);
+    const double w = d.weights[static_cast<size_t>(o)];
+    s += w * (out[0] - d.feats[static_cast<size_t>(o * 2)]) +
+         w * (out[1] - d.feats[static_cast<size_t>(o * 2 + 1)]) + (1.0 - w * w);
+  }
+  return s;
+}
+
+size_t ba_tape_jacobian(const BaData& d, std::vector<double>* out_rows) {
+  using tape::Adouble;
+  size_t nnz = 0;
+  if (out_rows) out_rows->clear();
+  for (int64_t o = 0; o < d.n_obs; ++o) {
+    for (int comp = 0; comp < 2; ++comp) {
+      // Re-tape the full residual for every Jacobian row (the classic
+      // tape-based approach whose cost Table 1 compares against).
+      tape::Tape::active().clear();
+      std::vector<Adouble> cam, X;
+      for (int j = 0; j < 11; ++j) {
+        cam.emplace_back(d.cams[static_cast<size_t>(d.cam_idx[static_cast<size_t>(o)] * 11 + j)]);
+      }
+      for (int j = 0; j < 3; ++j) {
+        X.emplace_back(d.pts[static_cast<size_t>(d.pt_idx[static_cast<size_t>(o)] * 3 + j)]);
+      }
+      Adouble wv(d.weights[static_cast<size_t>(o)]);
+      Adouble out[2];
+      ba_project(cam.data(), X.data(), out);
+      Adouble res = wv * (out[comp] - d.feats[static_cast<size_t>(o * 2 + comp)]);
+      res.seed(1.0);
+      tape::Tape::active().reverse();
+      for (int j = 0; j < 11; ++j) {
+        if (out_rows) out_rows->push_back(cam[static_cast<size_t>(j)].adjoint());
+        ++nnz;
+      }
+      for (int j = 0; j < 3; ++j) {
+        if (out_rows) out_rows->push_back(X[static_cast<size_t>(j)].adjoint());
+        ++nnz;
+      }
+      if (out_rows) out_rows->push_back(wv.adjoint());
+      ++nnz;
+    }
+  }
+  return nnz;
+}
+
+} // namespace npad::apps

@@ -1,0 +1,76 @@
+#pragma once
+
+// Bundle Adjustment (ADBench BA, Section 7.1). Residuals per observation:
+// reprojection error (2 components) of point X through camera cam[11]
+// (Rodrigues rotation r[3], center C[3], focal f, principal point x0[2],
+// radial distortion k1 k2), plus a weight-regularization residual 1 - w^2.
+//
+// The Jacobian is block-sparse: each row depends on one camera (11), one
+// point (3) and one weight (1). Like the paper, the harness exploits this
+// with seed vectors: 15 jvp passes recover the whole Jacobian (all blocks
+// in parallel), versus the tape baseline which re-tapes per row.
+
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "runtime/value.hpp"
+#include "support/rng.hpp"
+#include "tape/tape.hpp"
+
+namespace npad::apps {
+
+struct BaData {
+  int64_t n_cams = 0, n_pts = 0, n_obs = 0;
+  std::vector<double> cams;     // n_cams * 11
+  std::vector<double> pts;      // n_pts * 3
+  std::vector<double> weights;  // n_obs
+  std::vector<int64_t> cam_idx, pt_idx;  // n_obs
+  std::vector<double> feats;    // n_obs * 2 (measurements)
+};
+
+BaData ba_gen(support::Rng& rng, int64_t n_cams, int64_t n_pts, int64_t n_obs);
+
+// IR program computing all residuals:
+// params (cams:[nc][11], pts:[np][3], w:[p], camIdx:[p]i64, ptIdx:[p]i64,
+//         feats:[p][2]) -> (reproj:[p][2], werr:[p]).
+ir::Prog ba_ir_residuals();
+
+std::vector<rt::Value> ba_ir_args(const BaData& data);
+
+// Templated scalar kernel shared by the plain-double primal and the tape
+// baseline (the Tapenade stand-in differentiates exactly this code).
+template <class Real>
+void ba_project(const Real cam[11], const Real X[3], Real out[2]) {
+  using std::cos;
+  using std::sin;
+  using std::sqrt;
+  // Rodrigues rotation of (X - C) ... ADBench rotates X then translates; we
+  // follow ADBench: Xcam = R(r) * (X - C).
+  Real d0 = X[0] - cam[3], d1 = X[1] - cam[4], d2 = X[2] - cam[5];
+  const Real &r0 = cam[0], &r1 = cam[1], &r2 = cam[2];
+  Real theta2 = r0 * r0 + r1 * r1 + r2 * r2 + Real(1e-12);
+  Real theta = sqrt(theta2);
+  Real c = cos(theta), s = sin(theta);
+  Real it = 1.0 / theta;
+  Real w0 = r0 * it, w1 = r1 * it, w2 = r2 * it;
+  Real wd = w0 * d0 + w1 * d1 + w2 * d2;
+  Real cx0 = w1 * d2 - w2 * d1, cx1 = w2 * d0 - w0 * d2, cx2 = w0 * d1 - w1 * d0;
+  Real p0 = d0 * c + cx0 * s + w0 * wd * (1.0 - c);
+  Real p1 = d1 * c + cx1 * s + w1 * wd * (1.0 - c);
+  Real p2 = d2 * c + cx2 * s + w2 * wd * (1.0 - c);
+  // Perspective divide + radial distortion + focal/principal point.
+  Real ix = p0 / p2, iy = p1 / p2;
+  Real rr = ix * ix + iy * iy;
+  Real distort = 1.0 + cam[9] * rr + cam[10] * rr * rr;
+  out[0] = cam[6] * distort * ix + cam[7];
+  out[1] = cam[6] * distort * iy + cam[8];
+}
+
+// Full Jacobian via the tape baseline: one tape reversal per residual row.
+// Returns the number of nonzero entries written (for sanity checking).
+size_t ba_tape_jacobian(const BaData& data, std::vector<double>* out_rows);
+
+// Objective-only evaluation with plain doubles (for ratio baselines).
+double ba_primal_sum(const BaData& data);
+
+} // namespace npad::apps

@@ -1,0 +1,224 @@
+#include "apps/gmm.hpp"
+
+#include <cmath>
+
+#include "eager/autograd.hpp"
+#include "ir/builder.hpp"
+
+namespace npad::apps {
+
+using namespace ir;
+
+GmmData gmm_gen(support::Rng& rng, int64_t n, int64_t d, int64_t k) {
+  GmmData g;
+  g.n = n;
+  g.d = d;
+  g.k = k;
+  g.x = rng.normal_vec(static_cast<size_t>(n * d));
+  g.alphas = rng.normal_vec(static_cast<size_t>(k), 0.0, 0.5);
+  g.means = rng.normal_vec(static_cast<size_t>(k * d), 0.0, 0.5);
+  g.qs = rng.normal_vec(static_cast<size_t>(k * d), 0.0, 0.2);
+  return g;
+}
+
+namespace {
+
+// logsumexp of a rank-1 array, numerically stabilized.
+Var build_lse(Builder& b, Var xs) {
+  Var mx = b.reduce1(b.max_op(), cf64(-1e300), {xs}, "mx");
+  Var ex = b.map1(b.lam({f64()},
+                        [&](Builder& c, const std::vector<Var>& p) {
+                          return std::vector<Atom>{Atom(c.exp(c.sub(p[0], mx)))};
+                        }),
+                  {xs}, "ex");
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {ex}, "s");
+  return b.add(mx, b.log(s));
+}
+
+} // namespace
+
+ir::Prog gmm_ir_objective() {
+  ProgBuilder pb("gmm_objective");
+  Var alphas = pb.param("alphas", arr_f64(1));
+  Var means = pb.param("means", arr_f64(2));
+  Var qs = pb.param("qs", arr_f64(2));
+  Var x = pb.param("x", arr_f64(2));
+  Builder& b = pb.body();
+  Var k = b.length(alphas);
+
+  // Per-component sum of qs (log-determinant of the inverse sigma).
+  Var qsum = b.map1(b.lam({arr_f64(1)},
+                          [&](Builder& c, const std::vector<Var>& row) {
+                            return std::vector<Atom>{
+                                Atom(c.reduce1(c.add_op(), cf64(0.0), {row[0]}))};
+                          }),
+                    {qs}, "qsum");
+
+  // Main term: per point, logsumexp over components.
+  Var per_point = b.map1(
+      b.lam({arr_f64(1)},
+            [&](Builder& c1, const std::vector<Var>& xi) {
+              Var ik = c1.iota(Atom(k));
+              Var inner = c1.map1(
+                  c1.lam({i64()},
+                         [&](Builder& c2, const std::vector<Var>& kk) {
+                           Var murow = c2.index(means, {Atom(kk[0])});
+                           Var qrow = c2.index(qs, {Atom(kk[0])});
+                           Var terms = c2.map(
+                               c2.lam({f64(), f64(), f64()},
+                                      [](Builder& c3, const std::vector<Var>& p) {
+                                        // ((x - mu) * e^q)^2
+                                        Var diff = c3.sub(p[0], p[1]);
+                                        Var w = c3.mul(diff, c3.exp(p[2]));
+                                        return std::vector<Atom>{Atom(c3.mul(w, w))};
+                                      }),
+                               {xi[0], murow, qrow})[0];
+                           Var sq = c2.reduce1(c2.add_op(), cf64(0.0), {terms});
+                           Var av = c2.index(alphas, {Atom(kk[0])});
+                           Var qv = c2.index(qsum, {Atom(kk[0])});
+                           Var t = c2.add(Atom(c2.add(av, Atom(qv))),
+                                          Atom(c2.mul(cf64(-0.5), Atom(sq))));
+                           return std::vector<Atom>{Atom(t)};
+                         }),
+                  {ik});
+              return std::vector<Atom>{Atom(build_lse(c1, inner))};
+            }),
+      {x}, "pp");
+  Var main_term = b.reduce1(b.add_op(), cf64(0.0), {per_point});
+
+  // - n * lse(alphas)
+  Var n = b.length(x);
+  Var lse_a = build_lse(b, alphas);
+  Var norm = b.mul(b.to_f64(Atom(n)), lse_a);
+
+  // Wishart-style prior on qs: sum(0.5 g^2 e^{2q} - m q).
+  Var prior_rows = b.map1(
+      b.lam({arr_f64(1)},
+            [&](Builder& c, const std::vector<Var>& row) {
+              Var terms = c.map1(c.lam({f64()},
+                                       [](Builder& cc, const std::vector<Var>& p) {
+                                         Var e2 = cc.exp(cc.mul(cf64(2.0), p[0]));
+                                         Var t = cc.sub(Atom(cc.mul(cf64(0.5), Atom(e2))), p[0]);
+                                         return std::vector<Atom>{Atom(t)};
+                                       }),
+                                 {row[0]});
+              return std::vector<Atom>{Atom(c.reduce1(c.add_op(), cf64(0.0), {terms}))};
+            }),
+      {qs}, "prior");
+  Var prior = b.reduce1(b.add_op(), cf64(0.0), {prior_rows});
+
+  Var obj = b.add(b.sub(main_term, norm), prior);
+  return pb.finish({Atom(obj)});
+}
+
+std::vector<rt::Value> gmm_ir_args(const GmmData& g) {
+  return {rt::make_f64_array(g.alphas, {g.k}), rt::make_f64_array(g.means, {g.k, g.d}),
+          rt::make_f64_array(g.qs, {g.k, g.d}), rt::make_f64_array(g.x, {g.n, g.d})};
+}
+
+GmmManualResult gmm_manual(const GmmData& g) {
+  const int64_t n = g.n, d = g.d, k = g.k;
+  GmmManualResult r;
+  r.d_alphas.assign(static_cast<size_t>(k), 0.0);
+  r.d_means.assign(static_cast<size_t>(k * d), 0.0);
+  r.d_qs.assign(static_cast<size_t>(k * d), 0.0);
+  std::vector<double> inner(static_cast<size_t>(k));
+  std::vector<double> eq(static_cast<size_t>(k * d));
+  std::vector<double> qsum(static_cast<size_t>(k), 0.0);
+  for (int64_t c = 0; c < k; ++c) {
+    for (int64_t j = 0; j < d; ++j) {
+      eq[static_cast<size_t>(c * d + j)] = std::exp(g.qs[static_cast<size_t>(c * d + j)]);
+      qsum[static_cast<size_t>(c)] += g.qs[static_cast<size_t>(c * d + j)];
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const double* xi = g.x.data() + i * d;
+    double mx = -1e300;
+    for (int64_t c = 0; c < k; ++c) {
+      double sq = 0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double w = (xi[j] - g.means[static_cast<size_t>(c * d + j)]) *
+                         eq[static_cast<size_t>(c * d + j)];
+        sq += w * w;
+      }
+      inner[static_cast<size_t>(c)] = g.alphas[static_cast<size_t>(c)] +
+                                      qsum[static_cast<size_t>(c)] - 0.5 * sq;
+      mx = std::max(mx, inner[static_cast<size_t>(c)]);
+    }
+    double den = 0;
+    for (int64_t c = 0; c < k; ++c) den += std::exp(inner[static_cast<size_t>(c)] - mx);
+    r.objective += mx + std::log(den);
+    // Responsibilities drive all gradients.
+    for (int64_t c = 0; c < k; ++c) {
+      const double resp = std::exp(inner[static_cast<size_t>(c)] - mx) / den;
+      r.d_alphas[static_cast<size_t>(c)] += resp;
+      for (int64_t j = 0; j < d; ++j) {
+        const size_t ix = static_cast<size_t>(c * d + j);
+        const double diff = xi[j] - g.means[ix];
+        const double w = diff * eq[ix];
+        r.d_means[ix] += resp * w * eq[ix];
+        r.d_qs[ix] += resp * (1.0 - w * w);
+      }
+    }
+  }
+  // Normalization: - n * lse(alphas).
+  double amx = -1e300;
+  for (int64_t c = 0; c < k; ++c) amx = std::max(amx, g.alphas[static_cast<size_t>(c)]);
+  double aden = 0;
+  for (int64_t c = 0; c < k; ++c) aden += std::exp(g.alphas[static_cast<size_t>(c)] - amx);
+  r.objective -= static_cast<double>(n) * (amx + std::log(aden));
+  for (int64_t c = 0; c < k; ++c) {
+    r.d_alphas[static_cast<size_t>(c)] -=
+        static_cast<double>(n) * std::exp(g.alphas[static_cast<size_t>(c)] - amx) / aden;
+  }
+  // Prior.
+  for (int64_t c = 0; c < k; ++c) {
+    for (int64_t j = 0; j < d; ++j) {
+      const size_t ix = static_cast<size_t>(c * d + j);
+      const double e2 = std::exp(2.0 * g.qs[ix]);
+      r.objective += 0.5 * e2 - g.qs[ix];
+      r.d_qs[ix] += e2 - 1.0;
+    }
+  }
+  return r;
+}
+
+GmmManualResult gmm_eager(const GmmData& g, bool with_grad) {
+  using namespace eager;
+  const int64_t n = g.n, d = g.d, k = g.k;
+  eager::Var alphas(Tensor::from(g.alphas, {1, k}), true);
+  eager::Var means(Tensor::from(g.means, {k, d}), true);
+  eager::Var qs(Tensor::from(g.qs, {k, d}), true);
+  eager::Var x(Tensor::from(g.x, {n, d}), false);
+  // Weighted pairwise distances via expanded quadratics:
+  //   sum_j ((x_ij - mu_kj) e^{q_kj})^2
+  //     = sum_j x^2 e^{2q} - 2 sum_j x (mu e^{2q}) + sum_j mu^2 e^{2q}
+  eager::Var e2q = exp(scale(qs, 2.0));                 // [k,d]
+  eager::Var x2 = square(x);                            // [n,d]
+  eager::Var termA = matmul(x2, transpose(e2q));        // [n,k]
+  eager::Var termB = scale(matmul(x, transpose(mul(means, e2q))), -2.0);  // [n,k]
+  eager::Var mu2e = sum_rows(mul(square(means), e2q));  // [k]
+  eager::Var sq = add_rowvec(add(termA, termB), mu2e);  // [n,k]
+  eager::Var qsum = sum_rows(qs);                       // [k]
+  eager::Var base = add_rowvec(scale(sq, -0.5), qsum);  // [n,k]
+  // + alpha_k broadcast over rows.
+  eager::Var arow = alphas;  // [1,k]
+  eager::Var inner = add_rowvec(base, sum_cols(arow));  // sum_cols of [1,k] = [k]
+  eager::Var pp = logsumexp_rows(inner);                // [n]
+  eager::Var main_term = sum(pp);
+  eager::Var lse_a = logsumexp_rows(arow);              // [1]
+  eager::Var norm = scale(lse_a, static_cast<double>(n));
+  eager::Var prior = sum(sub(scale(exp(scale(qs, 2.0)), 0.5), qs));
+  eager::Var obj = add(sub(main_term, norm), prior);
+  GmmManualResult r;
+  r.objective = obj.value().item();
+  if (with_grad) {
+    backward(obj);
+    r.d_alphas = alphas.grad().data();
+    r.d_means = means.grad().data();
+    r.d_qs = qs.grad().data();
+  }
+  return r;
+}
+
+} // namespace npad::apps

@@ -1,0 +1,180 @@
+#include "apps/hand.hpp"
+
+#include <cmath>
+
+#include "ir/builder.hpp"
+
+namespace npad::apps {
+
+using namespace ir;
+
+HandData hand_gen(support::Rng& rng, int64_t nbones, int64_t nverts) {
+  HandData d;
+  d.nbones = nbones;
+  d.nverts = nverts;
+  d.theta = rng.normal_vec(static_cast<size_t>(3 * nbones), 0.0, 0.3);
+  d.us = rng.normal_vec(static_cast<size_t>(2 * nverts), 0.0, 0.1);
+  d.base = rng.normal_vec(static_cast<size_t>(nverts * 3));
+  d.dirs = rng.normal_vec(static_cast<size_t>(nverts * 6), 0.0, 0.5);
+  d.bone_of = rng.index_vec(static_cast<size_t>(nverts), nbones);
+  d.targets = rng.normal_vec(static_cast<size_t>(nverts * 3));
+  return d;
+}
+
+ir::Prog hand_ir_residuals(bool complicated) {
+  ProgBuilder pb(complicated ? "hand_complicated" : "hand_simple");
+  Var theta = pb.param("theta", arr_f64(1));     // [3*nb]
+  Var us = complicated ? pb.param("us", arr_f64(1)) : Var{};
+  Var base = pb.param("base", arr_f64(2));       // [nv][3]
+  Var dirs = pb.param("dirs", arr_f64(2));       // [nv][6]
+  Var boneOf = pb.param("boneOf", arr(ScalarType::I64, 1));
+  Var targets = pb.param("targets", arr_f64(2));  // [nv][3]
+  Builder& b = pb.body();
+  Var nb3 = b.length(theta);
+  Var nb = b.div(Atom(nb3), ci64(3));
+  // Identity 3x3 flattened, as the initial cumulative rotation.
+  Var i9 = b.iota(ci64(9));
+  Var ident = b.map1(b.lam({i64()},
+                           [](Builder& c, const std::vector<Var>& p) {
+                             Var r = c.div(p[0], ci64(3));
+                             Var cc = c.mod(p[0], ci64(3));
+                             Var one = c.eq(r, cc);
+                             return std::vector<Atom>{
+                                 Atom(c.select(one, cf64(1.0), cf64(0.0)))};
+                           }),
+                     {i9}, "ident");
+  // Sequential composition of bone rotations; Rs[b] = cumulative rotation.
+  Var rs0 = b.scratch(Atom(nb), ident);
+  auto chain = b.loop_for(
+      {Atom(ident), Atom(rs0)}, Atom(nb),
+      [&](Builder& lb, Var bi, const std::vector<Var>& st) {
+        Var prev = st[0], rs = st[1];
+        Var b3 = lb.mul(Atom(bi), ci64(3));
+        Var ax = lb.index(theta, {Atom(b3)});
+        Var ay = lb.index(theta, {Atom(lb.add(Atom(b3), ci64(1)))});
+        Var az = lb.index(theta, {Atom(lb.add(Atom(b3), ci64(2)))});
+        Var cx = lb.cos(ax), sx = lb.sin(ax);
+        Var cy = lb.cos(ay), sy = lb.sin(ay);
+        Var cz = lb.cos(az), sz = lb.sin(az);
+        // rot = Rz*Ry*Rx flattened.
+        std::vector<Var> rot(9);
+        rot[0] = lb.mul(cz, cy);
+        rot[1] = lb.sub(Atom(lb.mul(cz, lb.mul(sy, sx))), Atom(lb.mul(sz, cx)));
+        rot[2] = lb.add(Atom(lb.mul(cz, lb.mul(sy, cx))), Atom(lb.mul(sz, sx)));
+        rot[3] = lb.mul(sz, cy);
+        rot[4] = lb.add(Atom(lb.mul(sz, lb.mul(sy, sx))), Atom(lb.mul(cz, cx)));
+        rot[5] = lb.sub(Atom(lb.mul(sz, lb.mul(sy, cx))), Atom(lb.mul(cz, sx)));
+        rot[6] = lb.neg(sy);
+        rot[7] = lb.mul(cy, sx);
+        rot[8] = lb.mul(cy, cx);
+        // cur = prev * rot, elementwise over the 9 outputs.
+        Var cur = ident;  // placeholder var for typing; rebuilt below
+        {
+          Var i9b = lb.iota(ci64(9));
+          cur = lb.map1(
+              lb.lam({i64()},
+                     [&](Builder& c2, const std::vector<Var>& q) {
+                       Var i = c2.div(q[0], ci64(3));
+                       Var j = c2.mod(q[0], ci64(3));
+                       Var s = c2.rebind(cf64(0.0), "acc");
+                       for (int kk = 0; kk < 3; ++kk) {
+                         Var pik = c2.index(prev, {Atom(c2.add(Atom(c2.mul(i, ci64(3))),
+                                                               ci64(kk)))});
+                         // rot[k*3+j]: select from the 9 scalars via nested selects
+                         Var k3j = c2.add(Atom(c2.mul(ci64(kk), ci64(3))), Atom(j));
+                         // Build rot lookup: rot is 9 scalars; select chain.
+                         Var rv = c2.rebind(cf64(0.0), "rv");
+                         for (int e = 0; e < 9; ++e) {
+                           Var hit = c2.eq(k3j, ci64(e));
+                           rv = c2.select(hit, rot[static_cast<size_t>(e)], rv);
+                         }
+                         s = c2.add(s, Atom(c2.mul(pik, rv)));
+                       }
+                       return std::vector<Atom>{Atom(s)};
+                     }),
+              {i9b}, "cur");
+        }
+        Var rs2 = lb.update(rs, {Atom(bi)}, Atom(cur));
+        return std::vector<Atom>{Atom(cur), Atom(rs2)};
+      });
+  Var Rs = chain[1];  // [nb][9]
+  // Per-vertex residuals.
+  Var nv = b.length(base);
+  Var iv = b.iota(Atom(nv));
+  auto res = b.map(
+      b.lam({i64()},
+            [&](Builder& c, const std::vector<Var>& vi) {
+              Var bi = c.index(boneOf, {Atom(vi[0])});
+              std::vector<Var> pos(3);
+              for (int i = 0; i < 3; ++i) {
+                pos[static_cast<size_t>(i)] = c.index(base, {Atom(vi[0]), ci64(i)});
+              }
+              if (complicated) {
+                Var u0 = c.index(us, {Atom(c.mul(Atom(vi[0]), ci64(2)))});
+                Var u1 = c.index(
+                    us, {Atom(c.add(Atom(c.mul(Atom(vi[0]), ci64(2))), ci64(1)))});
+                for (int i = 0; i < 3; ++i) {
+                  Var d1 = c.index(dirs, {Atom(vi[0]), ci64(i)});
+                  Var d2 = c.index(dirs, {Atom(vi[0]), ci64(3 + i)});
+                  pos[static_cast<size_t>(i)] =
+                      c.add(Atom(pos[static_cast<size_t>(i)]),
+                            Atom(c.add(Atom(c.mul(u0, d1)), Atom(c.mul(u1, d2)))));
+                }
+              }
+              std::vector<Atom> out;
+              for (int i = 0; i < 3; ++i) {
+                Var s = c.rebind(cf64(0.0), "acc");
+                for (int j = 0; j < 3; ++j) {
+                  Var rij = c.index(Rs, {Atom(bi), ci64(i * 3 + j)});
+                  s = c.add(s, Atom(c.mul(rij, pos[static_cast<size_t>(j)])));
+                }
+                Var t = c.index(targets, {Atom(vi[0]), ci64(i)});
+                out.emplace_back(c.sub(Atom(s), Atom(t)));
+              }
+              return out;
+            }),
+      {iv}, "res");
+  return pb.finish({Atom(res[0]), Atom(res[1]), Atom(res[2])});
+}
+
+std::vector<rt::Value> hand_ir_args(const HandData& d, bool complicated) {
+  std::vector<rt::Value> args;
+  args.push_back(rt::make_f64_array(d.theta, {3 * d.nbones}));
+  if (complicated) args.push_back(rt::make_f64_array(d.us, {2 * d.nverts}));
+  args.push_back(rt::make_f64_array(d.base, {d.nverts, 3}));
+  args.push_back(rt::make_f64_array(d.dirs, {d.nverts, 6}));
+  args.push_back(rt::make_i64_array(d.bone_of, {d.nverts}));
+  args.push_back(rt::make_f64_array(d.targets, {d.nverts, 3}));
+  return args;
+}
+
+size_t hand_tape_jacobian(const HandData& d, bool complicated) {
+  using tape::Adouble;
+  const int64_t rows = d.nverts * 3;
+  size_t nnz = 0;
+  std::vector<double> out_row;
+  for (int64_t row = 0; row < rows; ++row) {
+    tape::Tape::active().clear();
+    std::vector<Adouble> th;
+    for (double t : d.theta) th.emplace_back(t);
+    std::vector<Adouble> uvars;
+    if (complicated) {
+      for (double u : d.us) uvars.emplace_back(u);
+    }
+    std::vector<Adouble> out(static_cast<size_t>(rows), Adouble(0.0));
+    hand_residuals<Adouble>(d, th.data(), complicated ? uvars.data() : nullptr, out.data());
+    out[static_cast<size_t>(row)].seed(1.0);
+    tape::Tape::active().reverse();
+    for (const auto& t : th) {
+      (void)t.adjoint();
+      ++nnz;
+    }
+    for (const auto& u : uvars) {
+      (void)u.adjoint();
+      ++nnz;
+    }
+  }
+  return nnz;
+}
+
+} // namespace npad::apps

@@ -1,0 +1,271 @@
+#include "apps/kmeans.hpp"
+
+#include <cmath>
+
+#include "eager/autograd.hpp"
+#include "ir/builder.hpp"
+
+namespace npad::apps {
+
+using namespace ir;
+
+KmeansData kmeans_gen(support::Rng& rng, int64_t n, int64_t d, int64_t k) {
+  KmeansData data;
+  data.n = n;
+  data.d = d;
+  data.k = k;
+  data.points = rng.normal_vec(static_cast<size_t>(n * d));
+  // Centroids: perturbed copies of random points.
+  data.centroids.resize(static_cast<size_t>(k * d));
+  for (int64_t c = 0; c < k; ++c) {
+    const int64_t src = rng.uniform_int(n);
+    for (int64_t j = 0; j < d; ++j) {
+      data.centroids[static_cast<size_t>(c * d + j)] =
+          data.points[static_cast<size_t>(src * d + j)] + 0.1 * rng.normal();
+    }
+  }
+  return data;
+}
+
+ir::Prog kmeans_ir_cost() {
+  ProgBuilder pb("kmeans_cost");
+  Var C = pb.param("C", arr_f64(2));
+  Var P = pb.param("P", arr_f64(2));
+  Builder& b = pb.body();
+  Var k = b.length(C);
+  Var dists = b.map1(
+      b.lam({arr_f64(1)},
+            [&](Builder& c1, const std::vector<Var>& p) {
+              // For one point: min over centroids of squared distance.
+              Var ik = c1.iota(Atom(k));
+              Var per = c1.map1(
+                  c1.lam({i64()},
+                         [&](Builder& c2, const std::vector<Var>& kk) {
+                           Var crow = c2.index(C, {Atom(kk[0])});
+                           Var diffs = c2.map(
+                               c2.lam({f64(), f64()},
+                                      [](Builder& c3, const std::vector<Var>& q) {
+                                        Var dd = c3.sub(q[0], q[1]);
+                                        return std::vector<Atom>{Atom(c3.mul(dd, dd))};
+                                      }),
+                               {p[0], crow})[0];
+                           return std::vector<Atom>{
+                               Atom(c2.reduce1(c2.add_op(), cf64(0.0), {diffs}))};
+                         }),
+                  {ik});
+              return std::vector<Atom>{Atom(c1.reduce1(c1.min_op(), cf64(1e300), {per}))};
+            }),
+      {P});
+  Var cost = b.reduce1(b.add_op(), cf64(0.0), {dists});
+  return pb.finish({Atom(cost)});
+}
+
+KmeansManualResult kmeans_manual(const KmeansData& data) {
+  const int64_t n = data.n, d = data.d, k = data.k;
+  KmeansManualResult r;
+  r.grad.assign(static_cast<size_t>(k * d), 0.0);
+  r.hess_diag.assign(static_cast<size_t>(k * d), 0.0);
+  std::vector<double> counts(static_cast<size_t>(k), 0.0);
+  std::vector<double> sums(static_cast<size_t>(k * d), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const double* p = data.points.data() + i * d;
+    double best = 1e300;
+    int64_t bi = 0;
+    for (int64_t c = 0; c < k; ++c) {
+      const double* cc = data.centroids.data() + c * d;
+      double s = 0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double t = p[j] - cc[j];
+        s += t * t;
+      }
+      if (s < best) {
+        best = s;
+        bi = c;
+      }
+    }
+    r.cost += best;
+    counts[static_cast<size_t>(bi)] += 1.0;  // histogram of assignments
+    for (int64_t j = 0; j < d; ++j) sums[static_cast<size_t>(bi * d + j)] += p[j];
+  }
+  for (int64_t c = 0; c < k; ++c) {
+    for (int64_t j = 0; j < d; ++j) {
+      const size_t ix = static_cast<size_t>(c * d + j);
+      r.grad[ix] = 2.0 * (counts[static_cast<size_t>(c)] * data.centroids[ix] - sums[ix]);
+      r.hess_diag[ix] = 2.0 * counts[static_cast<size_t>(c)];
+    }
+  }
+  return r;
+}
+
+KmeansEagerResult kmeans_eager(const KmeansData& data, bool with_grad) {
+  using namespace eager;
+  const int64_t n = data.n, d = data.d, k = data.k;
+  eager::Var P(Tensor::from(data.points, {n, d}), false);
+  eager::Var C(Tensor::from(data.centroids, {k, d}), true);
+  // dist[i,c] = |p_i|^2 + |c|^2 - 2 p_i . c  (expanded quadratics as the
+  // paper's PyTorch implementation does to avoid broadcast blowup).
+  eager::Var p2 = sum_rows(square(P));                       // [n]
+  eager::Var c2 = sum_rows(square(C));                       // [k]
+  eager::Var cross = scale(matmul(P, transpose(C)), -2.0);   // [n,k]
+  eager::Var dist = add_rowvec(add_colvec(cross, p2), c2);   // [n,k]
+  eager::Var mins = min_rows(dist);                          // [n]
+  eager::Var cost = sum(mins);
+  KmeansEagerResult r;
+  r.cost = cost.value().item();
+  if (with_grad) {
+    backward(cost);
+    r.grad = C.grad().data();
+  }
+  return r;
+}
+
+// ------------------------------------------------------------- sparse ------
+
+KmeansSparseData kmeans_sparse_gen(support::Rng& rng, int64_t n, int64_t d, int64_t k,
+                                   int64_t nnz_per_row) {
+  KmeansSparseData data;
+  data.points = eager::random_csr(rng, n, d, nnz_per_row);
+  data.k = k;
+  data.centroids = rng.normal_vec(static_cast<size_t>(k * d), 0.0, 0.3);
+  return data;
+}
+
+ir::Prog kmeans_sparse_ir_cost() {
+  ProgBuilder pb("kmeans_sparse_cost");
+  Var C = pb.param("C", arr_f64(2));
+  Var vals = pb.param("vals", arr_f64(1));
+  Var cols = pb.param("cols", arr(ScalarType::I64, 1));
+  Var rowptr = pb.param("rowptr", arr(ScalarType::I64, 1));
+  Var psq = pb.param("psq", arr_f64(1));
+  Builder& b = pb.body();
+  Var k = b.length(C);
+  // Per-centroid squared norms.
+  Var c2 = b.map1(b.lam({arr_f64(1)},
+                        [&](Builder& c1, const std::vector<Var>& row) {
+                          Var sq = c1.map1(c1.lam({f64()},
+                                                  [](Builder& c2b, const std::vector<Var>& q) {
+                                                    return std::vector<Atom>{
+                                                        Atom(c2b.mul(q[0], q[0]))};
+                                                  }),
+                                           {row[0]});
+                          return std::vector<Atom>{
+                              Atom(c1.reduce1(c1.add_op(), cf64(0.0), {sq}))};
+                        }),
+                  {C});
+  Var n = b.length(psq);
+  Var in = b.iota(Atom(n));
+  Var dists = b.map1(
+      b.lam({i64()},
+            [&](Builder& c1, const std::vector<Var>& pi) {
+              Var lo = c1.index(rowptr, {Atom(pi[0])});
+              Var hi = c1.index(rowptr, {Atom(c1.add(pi[0], ci64(1)))});
+              Var nnz = c1.sub(Atom(hi), Atom(lo));
+              Var p2 = c1.index(psq, {Atom(pi[0])});
+              Var ik = c1.iota(Atom(k));
+              Var per = c1.map1(
+                  c1.lam({i64()},
+                         [&](Builder& cb, const std::vector<Var>& kk) {
+                           // dot(p_i, c_k) over the CSR row segment.
+                           auto dot = cb.loop_for(
+                               {cf64(0.0)}, Atom(nnz),
+                               [&](Builder& c3, Var e, const std::vector<Var>& acc) {
+                                 Var ofs = c3.add(Atom(lo), Atom(e));
+                                 Var col = c3.index(cols, {Atom(ofs)});
+                                 Var v = c3.index(vals, {Atom(ofs)});
+                                 Var cv = c3.index(C, {Atom(kk[0]), Atom(col)});
+                                 return std::vector<Atom>{
+                                     Atom(c3.add(acc[0], Atom(c3.mul(v, cv))))};
+                               });
+                           Var ck2 = cb.index(c2, {Atom(kk[0])});
+                           Var t = cb.sub(Atom(cb.add(p2, Atom(ck2))),
+                                          Atom(cb.mul(cf64(2.0), Atom(dot[0]))));
+                           return std::vector<Atom>{Atom(t)};
+                         }),
+                  {ik});
+              return std::vector<Atom>{Atom(c1.reduce1(c1.min_op(), cf64(1e300), {per}))};
+            }),
+      {in});
+  Var cost = b.reduce1(b.add_op(), cf64(0.0), {dists});
+  return pb.finish({Atom(cost)});
+}
+
+std::vector<rt::Value> kmeans_sparse_ir_args(const KmeansSparseData& data) {
+  const auto& A = data.points;
+  return {rt::make_f64_array(data.centroids, {data.k, A.cols}),
+          rt::make_f64_array(A.values, {A.nnz()}),
+          rt::make_i64_array(A.col_idx, {A.nnz()}),
+          rt::make_i64_array(A.row_ptr, {A.rows + 1}),
+          rt::make_f64_array(eager::csr_row_sqnorms(A), {A.rows})};
+}
+
+KmeansManualResult kmeans_sparse_manual(const KmeansSparseData& data) {
+  const auto& A = data.points;
+  const int64_t n = A.rows, d = A.cols, k = data.k;
+  std::vector<double> c2(static_cast<size_t>(k), 0.0);
+  for (int64_t c = 0; c < k; ++c) {
+    for (int64_t j = 0; j < d; ++j) {
+      const double v = data.centroids[static_cast<size_t>(c * d + j)];
+      c2[static_cast<size_t>(c)] += v * v;
+    }
+  }
+  std::vector<double> p2 = eager::csr_row_sqnorms(A);
+  KmeansManualResult r;
+  r.grad.assign(static_cast<size_t>(k * d), 0.0);
+  r.hess_diag.assign(static_cast<size_t>(k * d), 0.0);
+  std::vector<double> counts(static_cast<size_t>(k), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double best = 1e300;
+    int64_t bi = 0;
+    for (int64_t c = 0; c < k; ++c) {
+      double dot = 0;
+      for (int64_t e = A.row_ptr[static_cast<size_t>(i)]; e < A.row_ptr[static_cast<size_t>(i) + 1];
+           ++e) {
+        dot += A.values[static_cast<size_t>(e)] *
+               data.centroids[static_cast<size_t>(c * d + A.col_idx[static_cast<size_t>(e)])];
+      }
+      const double dist = p2[static_cast<size_t>(i)] + c2[static_cast<size_t>(c)] - 2 * dot;
+      if (dist < best) {
+        best = dist;
+        bi = c;
+      }
+    }
+    r.cost += best;
+    counts[static_cast<size_t>(bi)] += 1.0;
+    // grad contribution (sparse point): accumulated below via counts & sums.
+    for (int64_t e = A.row_ptr[static_cast<size_t>(i)]; e < A.row_ptr[static_cast<size_t>(i) + 1];
+         ++e) {
+      r.grad[static_cast<size_t>(bi * d + A.col_idx[static_cast<size_t>(e)])] -=
+          2.0 * A.values[static_cast<size_t>(e)];
+    }
+  }
+  for (int64_t c = 0; c < k; ++c) {
+    for (int64_t j = 0; j < d; ++j) {
+      const size_t ix = static_cast<size_t>(c * d + j);
+      r.grad[ix] += 2.0 * counts[static_cast<size_t>(c)] * data.centroids[ix];
+      r.hess_diag[ix] = 2.0 * counts[static_cast<size_t>(c)];
+    }
+  }
+  return r;
+}
+
+KmeansEagerResult kmeans_sparse_eager(const KmeansSparseData& data, bool with_grad) {
+  using namespace eager;
+  const auto& A = data.points;
+  const int64_t n = A.rows, d = A.cols, k = data.k;
+  Coo coo = to_coo(A);
+  eager::Var C(Tensor::from(data.centroids, {k, d}), true);
+  eager::Var p2(Tensor::from(csr_row_sqnorms(A), {n}), false);
+  eager::Var c2 = sum_rows(square(C));
+  eager::Var cross = scale(coo_matmul(coo, transpose(C)), -2.0);  // [n,k]
+  eager::Var dist = add_rowvec(add_colvec(cross, p2), c2);
+  eager::Var cost = sum(min_rows(dist));
+  KmeansEagerResult r;
+  r.cost = cost.value().item();
+  if (with_grad) {
+    backward(cost);
+    r.grad = C.grad().data();
+  }
+  return r;
+}
+
+} // namespace npad::apps

@@ -1,0 +1,69 @@
+#pragma once
+
+// K-means clustering cost function (case studies 1 and 2, Sections 7.4/7.5):
+//   f(C) = sum_i min_k ||p_i - c_k||^2
+// in four implementations: npad IR (differentiated with vjp, Hessian diagonal
+// with jvp-of-vjp), manual (histogram-based, the paper's [17] formulation),
+// eager autograd (PyTorch stand-in, expanded-quadratic distances), and a
+// sparse (CSR/COO) variant of each.
+
+#include <vector>
+
+#include "eager/sparse.hpp"
+#include "ir/ast.hpp"
+#include "runtime/value.hpp"
+#include "support/rng.hpp"
+
+namespace npad::apps {
+
+struct KmeansData {
+  int64_t n = 0, d = 0, k = 0;
+  std::vector<double> points;     // n*d
+  std::vector<double> centroids;  // k*d
+};
+
+KmeansData kmeans_gen(support::Rng& rng, int64_t n, int64_t d, int64_t k);
+
+// IR cost program: params (C : [k][d]f64, P : [n][d]f64) -> f64.
+ir::Prog kmeans_ir_cost();
+
+// Manual implementation: cost, gradient and Hessian diagonal in one pass
+// (assign each point to its nearest centroid; grad = 2*(count_k*c_k - sum_k);
+// Hessian diagonal = 2*count_k), the histogram formulation of [17].
+struct KmeansManualResult {
+  double cost = 0;
+  std::vector<double> grad;      // k*d
+  std::vector<double> hess_diag; // k*d
+};
+KmeansManualResult kmeans_manual(const KmeansData& data);
+
+// Eager (PyTorch-style) cost + gradient via autograd, expanded quadratics.
+struct KmeansEagerResult {
+  double cost = 0;
+  std::vector<double> grad;  // k*d
+};
+KmeansEagerResult kmeans_eager(const KmeansData& data, bool with_grad = true);
+
+// --------------------------------------------------------------- sparse ----
+
+struct KmeansSparseData {
+  eager::Csr points;              // n x d sparse
+  int64_t k = 0;
+  std::vector<double> centroids;  // k*d dense
+};
+
+KmeansSparseData kmeans_sparse_gen(support::Rng& rng, int64_t n, int64_t d, int64_t k,
+                                   int64_t nnz_per_row);
+
+// IR sparse cost program:
+// params (C:[k][d], vals:[nnz], cols:[nnz]i64, rowptr:[n+1]i64, psq:[n]) -> f64
+// using ||p-c||^2 = ||p||^2 + ||c||^2 - 2 p.c with a sequential loop over the
+// CSR row segment (dynamic trip count).
+ir::Prog kmeans_sparse_ir_cost();
+
+std::vector<rt::Value> kmeans_sparse_ir_args(const KmeansSparseData& data);
+
+KmeansManualResult kmeans_sparse_manual(const KmeansSparseData& data);
+KmeansEagerResult kmeans_sparse_eager(const KmeansSparseData& data, bool with_grad = true);
+
+} // namespace npad::apps

@@ -1,0 +1,204 @@
+#include "apps/mc_transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/builder.hpp"
+
+namespace npad::apps {
+
+using namespace ir;
+
+XsData xs_gen(support::Rng& rng, int64_t n_nuclides, int64_t n_grid, int64_t n_lookups) {
+  XsData d;
+  d.n_nuclides = n_nuclides;
+  d.n_grid = n_grid;
+  d.n_lookups = n_lookups;
+  d.egrid = rng.uniform_vec(static_cast<size_t>(n_grid), 0.0, 1.0);
+  std::sort(d.egrid.begin(), d.egrid.end());
+  d.egrid.front() = 0.0;
+  d.egrid.back() = 1.0;
+  d.xs = rng.uniform_vec(static_cast<size_t>(n_nuclides * n_grid * 5), 0.1, 1.0);
+  d.conc = rng.uniform_vec(static_cast<size_t>(n_nuclides), 0.1, 1.0);
+  d.queries = rng.uniform_vec(static_cast<size_t>(n_lookups), 0.01, 0.99);
+  return d;
+}
+
+ir::Prog xs_ir_objective() {
+  ProgBuilder pb("xsbench");
+  Var egrid = pb.param("egrid", arr_f64(1));
+  Var xs = pb.param("xs", arr_f64(3));  // [N][G][5]
+  Var conc = pb.param("conc", arr_f64(1));
+  Var queries = pb.param("queries", arr_f64(1));
+  Builder& b = pb.body();
+  Var G = b.length(egrid);
+  Var N = b.length(conc);
+  // Number of binary-search steps: ceil(log2 G) computed by a counting loop.
+  auto nsteps = b.loop_while(
+      {ci64(1), ci64(0)},
+      [&](Builder& c, const std::vector<Var>& ps) {
+        return std::vector<Atom>{Atom(c.lt(ps[0], G))};
+      },
+      [](Builder& c, Var, const std::vector<Var>& ps) {
+        return std::vector<Atom>{Atom(c.mul(ps[0], ci64(2))),
+                                 Atom(c.add(ps[1], ci64(1)))};
+      });
+  Var steps = nsteps[1];
+  Var per = b.map1(
+      b.lam({f64()},
+            [&](Builder& c, const std::vector<Var>& qq) {
+              // Binary search (bounded loop over `steps` iterations).
+              auto lohi = c.loop_for(
+                  {ci64(0), Atom(c.sub(G, ci64(1)))}, Atom(steps),
+                  [&](Builder& c2, Var, const std::vector<Var>& ps) {
+                    Var gap = c2.sub(ps[1], ps[0]);
+                    Var mid = c2.div(Atom(c2.add(ps[0], ps[1])), ci64(2));
+                    Var ev = c2.index(egrid, {Atom(mid)});
+                    Var go_up = c2.le(ev, qq[0]);
+                    Var done = c2.le(Atom(gap), ci64(1));
+                    Var nlo = c2.select(done, ps[0], Atom(c2.select(go_up, mid, ps[0])));
+                    Var nhi = c2.select(done, ps[1], Atom(c2.select(go_up, ps[1], mid)));
+                    return std::vector<Atom>{Atom(nlo), Atom(nhi)};
+                  });
+              Var lo = lohi[0], hi = lohi[1];
+              Var e0 = c.index(egrid, {Atom(lo)});
+              Var e1 = c.index(egrid, {Atom(hi)});
+              Var f = c.div(c.sub(qq[0], e0), c.add(c.sub(e1, Atom(e0)), cf64(1e-30)));
+              Var in = c.iota(Atom(N));
+              Var per_nuc = c.map1(
+                  c.lam({i64()},
+                        [&](Builder& c2, const std::vector<Var>& nn) {
+                          Var cv = c2.index(conc, {Atom(nn[0])});
+                          Var i5 = c2.iota(ci64(5));
+                          Var chans = c2.map1(
+                              c2.lam({i64()},
+                                     [&](Builder& c3, const std::vector<Var>& ch) {
+                                       Var x0 = c3.index(xs, {Atom(nn[0]), Atom(lo), Atom(ch[0])});
+                                       Var x1 = c3.index(xs, {Atom(nn[0]), Atom(hi), Atom(ch[0])});
+                                       Var interp = c3.add(
+                                           Atom(x0), Atom(c3.mul(c3.sub(Atom(x1), Atom(x0)), f)));
+                                       return std::vector<Atom>{Atom(interp)};
+                                     }),
+                              {i5});
+                          Var s = c2.reduce1(c2.add_op(), cf64(0.0), {chans});
+                          return std::vector<Atom>{Atom(c2.mul(cv, s))};
+                        }),
+                  {in});
+              return std::vector<Atom>{Atom(c.reduce1(c.add_op(), cf64(0.0), {per_nuc}))};
+            }),
+      {queries}, "macro");
+  Var total = b.reduce1(b.add_op(), cf64(0.0), {per});
+  return pb.finish({Atom(total)});
+}
+
+std::vector<rt::Value> xs_ir_args(const XsData& d) {
+  return {rt::make_f64_array(d.egrid, {d.n_grid}),
+          rt::make_f64_array(d.xs, {d.n_nuclides, d.n_grid, 5}),
+          rt::make_f64_array(d.conc, {d.n_nuclides}),
+          rt::make_f64_array(d.queries, {d.n_lookups})};
+}
+
+double xs_primal(const XsData& d) { return xs_objective<double>(d, d.xs.data(), d.conc.data()); }
+
+double xs_tape_gradient(const XsData& d, std::vector<double>* grad_xs) {
+  using tape::Adouble;
+  tape::Tape::active().clear();
+  std::vector<Adouble> xsv, concv;
+  xsv.reserve(d.xs.size());
+  for (double v : d.xs) xsv.emplace_back(v);
+  for (double v : d.conc) concv.emplace_back(v);
+  Adouble total = xs_objective<Adouble>(d, xsv.data(), concv.data());
+  total.seed(1.0);
+  tape::Tape::active().reverse();
+  if (grad_xs) {
+    grad_xs->resize(d.xs.size());
+    for (size_t i = 0; i < d.xs.size(); ++i) (*grad_xs)[i] = xsv[i].adjoint();
+  }
+  return total.value();
+}
+
+// ------------------------------------------------------------- RSBench -----
+
+RsData rs_gen(support::Rng& rng, int64_t n_nuclides, int64_t n_poles, int64_t n_lookups) {
+  RsData d;
+  d.n_nuclides = n_nuclides;
+  d.n_poles = n_poles;
+  d.n_lookups = n_lookups;
+  d.pole_e = rng.uniform_vec(static_cast<size_t>(n_nuclides * n_poles), 0.0, 1.0);
+  d.pole_w = rng.uniform_vec(static_cast<size_t>(n_nuclides * n_poles), 0.01, 0.1);
+  d.pole_a = rng.uniform_vec(static_cast<size_t>(n_nuclides * n_poles), 0.1, 1.0);
+  d.conc = rng.uniform_vec(static_cast<size_t>(n_nuclides), 0.1, 1.0);
+  d.queries = rng.uniform_vec(static_cast<size_t>(n_lookups), 0.05, 0.95);
+  return d;
+}
+
+ir::Prog rs_ir_objective() {
+  ProgBuilder pb("rsbench");
+  Var pe = pb.param("pole_e", arr_f64(2));  // [N][P]
+  Var pw = pb.param("pole_w", arr_f64(2));
+  Var pa = pb.param("pole_a", arr_f64(2));
+  Var conc = pb.param("conc", arr_f64(1));
+  Var queries = pb.param("queries", arr_f64(1));
+  Builder& b = pb.body();
+  Var N = b.length(conc);
+  Var per = b.map1(
+      b.lam({f64()},
+            [&](Builder& c, const std::vector<Var>& qq) {
+              Var in = c.iota(Atom(N));
+              Var per_nuc = c.map1(
+                  c.lam({i64()},
+                        [&](Builder& c2, const std::vector<Var>& nn) {
+                          Var perow = c2.index(pe, {Atom(nn[0])});
+                          Var pwrow = c2.index(pw, {Atom(nn[0])});
+                          Var parow = c2.index(pa, {Atom(nn[0])});
+                          Var terms = c2.map(
+                              c2.lam({f64(), f64(), f64()},
+                                     [&](Builder& c3, const std::vector<Var>& pp) {
+                                       Var de = c3.sub(pp[0], qq[0]);
+                                       Var denom = c3.add(Atom(c3.mul(de, de)),
+                                                          Atom(c3.mul(pp[1], pp[1])));
+                                       Var t = c3.div(c3.mul(pp[2], pp[1]), denom);
+                                       return std::vector<Atom>{Atom(t)};
+                                     }),
+                              {perow, pwrow, parow})[0];
+                          Var sig = c2.reduce1(c2.add_op(), cf64(0.0), {terms});
+                          Var cv = c2.index(conc, {Atom(nn[0])});
+                          Var scaled = c2.div(c2.mul(cv, sig), c2.sqrt(qq[0]));
+                          return std::vector<Atom>{Atom(scaled)};
+                        }),
+                  {in});
+              return std::vector<Atom>{Atom(c.reduce1(c.add_op(), cf64(0.0), {per_nuc}))};
+            }),
+      {queries}, "sig");
+  Var total = b.reduce1(b.add_op(), cf64(0.0), {per});
+  return pb.finish({Atom(total)});
+}
+
+std::vector<rt::Value> rs_ir_args(const RsData& d) {
+  return {rt::make_f64_array(d.pole_e, {d.n_nuclides, d.n_poles}),
+          rt::make_f64_array(d.pole_w, {d.n_nuclides, d.n_poles}),
+          rt::make_f64_array(d.pole_a, {d.n_nuclides, d.n_poles}),
+          rt::make_f64_array(d.conc, {d.n_nuclides}),
+          rt::make_f64_array(d.queries, {d.n_lookups})};
+}
+
+double rs_primal(const RsData& d) {
+  return rs_objective<double>(d, d.pole_e.data(), d.pole_w.data(), d.pole_a.data(),
+                              d.conc.data());
+}
+
+double rs_tape_gradient(const RsData& d) {
+  using tape::Adouble;
+  tape::Tape::active().clear();
+  std::vector<Adouble> pev, pwv, pav, concv;
+  for (double v : d.pole_e) pev.emplace_back(v);
+  for (double v : d.pole_w) pwv.emplace_back(v);
+  for (double v : d.pole_a) pav.emplace_back(v);
+  for (double v : d.conc) concv.emplace_back(v);
+  Adouble total = rs_objective<Adouble>(d, pev.data(), pwv.data(), pav.data(), concv.data());
+  total.seed(1.0);
+  tape::Tape::active().reverse();
+  return total.value();
+}
+
+} // namespace npad::apps

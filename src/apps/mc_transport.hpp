@@ -1,0 +1,117 @@
+#pragma once
+
+// Monte Carlo neutron-transport cross-section lookup kernels: ports of the
+// computational cores of XSBench (unionized energy grid lookup + linear
+// interpolation over 5 reaction channels) and RSBench (multipole resonance
+// evaluation), the two Enzyme comparison applications of Section 7.3. Both
+// are one large map over lookups with inner loops, control flow and indirect
+// indexing — exactly the structure the paper highlights.
+//
+// Synthetic data stands in for the benchmarks' generated inputs (the
+// originals also generate synthetic cross sections). The differentiated
+// quantity is the total macroscopic cross section summed over all lookups,
+// with gradients flowing to the nuclide data (XSBench) / pole parameters
+// (RSBench).
+
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "runtime/value.hpp"
+#include "support/rng.hpp"
+#include "tape/tape.hpp"
+
+namespace npad::apps {
+
+// ----------------------------------------------------------- XSBench-like --
+
+struct XsData {
+  int64_t n_nuclides = 0, n_grid = 0, n_lookups = 0;
+  std::vector<double> egrid;    // n_grid, sorted in (0,1)
+  std::vector<double> xs;       // n_nuclides * n_grid * 5
+  std::vector<double> conc;     // n_nuclides
+  std::vector<double> queries;  // n_lookups in (0,1)
+};
+
+XsData xs_gen(support::Rng& rng, int64_t n_nuclides, int64_t n_grid, int64_t n_lookups);
+
+// IR program: params (egrid:[G], xs:[N][G][5]... flattened as [N*G*5],
+// conc:[N], queries:[L]) -> f64 (sum of macro xs over lookups and channels).
+ir::Prog xs_ir_objective();
+std::vector<rt::Value> xs_ir_args(const XsData& data);
+
+// Templated kernel for the primal / tape baselines.
+template <class Real>
+Real xs_objective(const XsData& d, const Real* xsdata, const Real* conc) {
+  Real total(0.0);
+  const int64_t G = d.n_grid, N = d.n_nuclides;
+  for (int64_t q = 0; q < d.n_lookups; ++q) {
+    const double e = d.queries[static_cast<size_t>(q)];
+    // Binary search on the (constant) energy grid.
+    int64_t lo = 0, hi = G - 1;
+    while (hi - lo > 1) {
+      const int64_t mid = (lo + hi) / 2;
+      if (d.egrid[static_cast<size_t>(mid)] <= e) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const double e0 = d.egrid[static_cast<size_t>(lo)], e1 = d.egrid[static_cast<size_t>(hi)];
+    const double f = (e - e0) / (e1 - e0 + 1e-30);
+    for (int64_t n = 0; n < N; ++n) {
+      for (int ch = 0; ch < 5; ++ch) {
+        const Real& x0 = xsdata[(n * G + lo) * 5 + ch];
+        const Real& x1 = xsdata[(n * G + hi) * 5 + ch];
+        total = total + conc[n] * (x0 + (x1 - x0) * f);
+      }
+    }
+  }
+  return total;
+}
+
+double xs_primal(const XsData& d);
+double xs_tape_gradient(const XsData& d, std::vector<double>* grad_xs);
+
+// ----------------------------------------------------------- RSBench-like --
+
+struct RsData {
+  int64_t n_nuclides = 0, n_poles = 0, n_lookups = 0;
+  std::vector<double> pole_e;   // N*P resonance energies
+  std::vector<double> pole_w;   // N*P widths
+  std::vector<double> pole_a;   // N*P amplitudes
+  std::vector<double> conc;     // N
+  std::vector<double> queries;  // L
+};
+
+RsData rs_gen(support::Rng& rng, int64_t n_nuclides, int64_t n_poles, int64_t n_lookups);
+
+ir::Prog rs_ir_objective();
+std::vector<rt::Value> rs_ir_args(const RsData& data);
+
+template <class Real>
+Real rs_objective(const RsData& d, const Real* pe, const Real* pw, const Real* pa,
+                  const Real* conc) {
+  using std::sqrt;
+  Real total(0.0);
+  const int64_t P = d.n_poles, N = d.n_nuclides;
+  for (int64_t q = 0; q < d.n_lookups; ++q) {
+    const double e = d.queries[static_cast<size_t>(q)];
+    for (int64_t n = 0; n < N; ++n) {
+      Real sig(0.0);
+      for (int64_t p = 0; p < P; ++p) {
+        const int64_t ix = n * P + p;
+        // Lorentzian resonance with a 1/sqrt(E) potential-scattering term.
+        Real de = pe[ix] - e;
+        Real denom = de * de + pw[ix] * pw[ix];
+        sig = sig + pa[ix] * pw[ix] / denom;
+      }
+      total = total + conc[n] * sig / sqrt(Real(e));
+    }
+  }
+  return total;
+}
+
+double rs_primal(const RsData& d);
+double rs_tape_gradient(const RsData& d);
+
+} // namespace npad::apps

@@ -1,0 +1,44 @@
+#pragma once
+
+// The paper's primary contribution, exposed as two program-to-program
+// transformations (Section 2):
+//
+//   jvp : (P : R^n -> R^m)  ->  (P_jvp : R^n -> R^n -> R^m)
+//     Forward mode. The transformed program takes the original arguments
+//     followed by a tangent for every differentiable (f64) argument, and
+//     returns the original results followed by the tangent of every
+//     differentiable result.
+//
+//   vjp : (P : R^n -> R^m)  ->  (P_vjp : R^n -> R^m -> R^n)
+//     Reverse mode via redundant execution (Section 4): no tape — every
+//     scope's forward sweep is re-emitted when the return sweep enters it;
+//     sequential loops checkpoint loop-variant variables; parallel
+//     combinators are differentiated by the rewrite rules of Section 5
+//     (map via accumulators, reduce/scan/reduce_by_index with specialized
+//     rules for +, *, min/max, scatter via gather/zero-out).
+//     The transformed program takes the original arguments followed by an
+//     adjoint seed for every differentiable result, and returns the original
+//     results followed by the adjoint of every differentiable argument.
+//
+// Both passes produce plain IR, so they compose: Hessian-vector products are
+// jvp(vjp(P)) (used by the k-means Newton case study, Section 7.4).
+//
+// Preconditions: `while` loops must have been eliminated first
+// (opt::bound_whiles) and strip-mining annotations expanded
+// (opt::apply_stripmining); see opt/loopopt.hpp's prepare_for_ad.
+
+#include "ir/ast.hpp"
+
+namespace npad::ad {
+
+struct ADError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// True for types that carry derivatives (f64 scalars/arrays/accumulators).
+inline bool differentiable(const ir::Type& t) { return t.elem == ir::ScalarType::F64; }
+
+ir::Prog jvp(const ir::Prog& p);
+ir::Prog vjp(const ir::Prog& p);
+
+} // namespace npad::ad

@@ -1,0 +1,165 @@
+#include "core/gradcheck.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/ad.hpp"
+
+namespace npad::ad {
+
+namespace {
+
+using rt::ArrayVal;
+using rt::Value;
+
+bool diff_param(const ir::Param& p) { return differentiable(p.type); }
+
+size_t flat_size(const Value& v) {
+  if (rt::is_array(v)) return static_cast<size_t>(rt::as_array(v).elems());
+  return 1;
+}
+
+double read_flat(const Value& v, size_t i) {
+  if (rt::is_array(v)) return rt::as_array(v).get_f64(static_cast<int64_t>(i));
+  return rt::as_f64(v);
+}
+
+Value perturbed(const Value& v, size_t i, double delta) {
+  if (rt::is_array(v)) {
+    ArrayVal c = rt::compact_copy(rt::as_array(v));
+    c.set_f64(static_cast<int64_t>(i), c.get_f64(static_cast<int64_t>(i)) + delta);
+    return c;
+  }
+  return rt::as_f64(v) + delta;
+}
+
+Value zero_like(const Value& v) {
+  if (rt::is_array(v)) {
+    const ArrayVal& a = rt::as_array(v);
+    return ArrayVal::alloc(a.elem, a.shape);
+  }
+  return 0.0;
+}
+
+} // namespace
+
+std::vector<std::vector<double>> numeric_gradients(const ir::Prog& p,
+                                                   const std::vector<rt::Value>& args,
+                                                   double eps, rt::InterpOptions opts) {
+  rt::Interp in(opts);
+  std::vector<std::vector<double>> grads;
+  for (size_t pi = 0; pi < p.fn.params.size(); ++pi) {
+    if (!diff_param(p.fn.params[pi])) continue;
+    const size_t n = flat_size(args[pi]);
+    std::vector<double> g(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<Value> a1 = args, a2 = args;
+      a1[pi] = perturbed(args[pi], i, eps);
+      a2[pi] = perturbed(args[pi], i, -eps);
+      const double f1 = rt::as_f64(in.run(p, a1)[0]);
+      const double f2 = rt::as_f64(in.run(p, a2)[0]);
+      g[i] = (f1 - f2) / (2 * eps);
+    }
+    grads.push_back(std::move(g));
+  }
+  return grads;
+}
+
+std::vector<std::vector<double>> reverse_gradients(const ir::Prog& p,
+                                                   const std::vector<rt::Value>& args,
+                                                   rt::InterpOptions opts) {
+  rt::Interp in(opts);
+  // Run the primal once to learn result shapes for zero seeds.
+  std::vector<Value> primal = in.run(p, args);
+  ir::Prog g = vjp(p);
+  std::vector<Value> gargs = args;
+  bool seeded = false;
+  for (size_t ri = 0; ri < p.fn.rets.size(); ++ri) {
+    if (!differentiable(p.fn.rets[ri])) continue;
+    if (!seeded && p.fn.rets[ri].rank == 0) {
+      gargs.emplace_back(1.0);
+      seeded = true;
+    } else {
+      gargs.push_back(zero_like(primal[ri]));
+    }
+  }
+  if (!seeded) throw std::runtime_error("reverse_gradients: no scalar f64 result to seed");
+  std::vector<Value> out = in.run(g, gargs);
+  std::vector<std::vector<double>> grads;
+  size_t pos = p.fn.rets.size();
+  for (size_t pi = 0; pi < p.fn.params.size(); ++pi) {
+    if (!diff_param(p.fn.params[pi])) continue;
+    const Value& gv = out[pos++];
+    const size_t n = flat_size(args[pi]);
+    std::vector<double> gvec(n);
+    for (size_t i = 0; i < n; ++i) gvec[i] = read_flat(gv, i);
+    grads.push_back(std::move(gvec));
+  }
+  return grads;
+}
+
+std::vector<std::vector<double>> forward_gradients(const ir::Prog& p,
+                                                   const std::vector<rt::Value>& args,
+                                                   rt::InterpOptions opts) {
+  rt::Interp in(opts);
+  ir::Prog j = jvp(p);
+  // Locate the tangent of result 0 in the jvp outputs: original results come
+  // first, then tangents of differentiable results in order.
+  if (!differentiable(p.fn.rets[0]) || p.fn.rets[0].rank != 0) {
+    throw std::runtime_error("forward_gradients: result[0] must be scalar f64");
+  }
+  const size_t tan_ix = p.fn.rets.size();
+  std::vector<std::vector<double>> grads;
+  for (size_t pi = 0; pi < p.fn.params.size(); ++pi) {
+    if (!diff_param(p.fn.params[pi])) continue;
+    grads.emplace_back(flat_size(args[pi]), 0.0);
+  }
+  // One jvp evaluation per basis direction.
+  size_t gi = 0;
+  for (size_t pi = 0; pi < p.fn.params.size(); ++pi) {
+    if (!diff_param(p.fn.params[pi])) continue;
+    const size_t n = flat_size(args[pi]);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<Value> jargs = args;
+      for (size_t qi = 0; qi < p.fn.params.size(); ++qi) {
+        if (!diff_param(p.fn.params[qi])) continue;
+        Value t = zero_like(args[qi]);
+        if (qi == pi) t = perturbed(t, i, 1.0);
+        jargs.push_back(std::move(t));
+      }
+      std::vector<Value> out = in.run(j, jargs);
+      grads[gi][i] = rt::as_f64(out[tan_ix]);
+    }
+    ++gi;
+  }
+  return grads;
+}
+
+GradCheck compare_gradients(const std::vector<std::vector<double>>& a,
+                            const std::vector<std::vector<double>>& b, double tol) {
+  GradCheck r;
+  r.ok = a.size() == b.size();
+  for (size_t i = 0; r.ok && i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) {
+      r.ok = false;
+      break;
+    }
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      const double abs_err = std::fabs(a[i][j] - b[i][j]);
+      const double rel = abs_err / std::max(1.0, std::max(std::fabs(a[i][j]), std::fabs(b[i][j])));
+      r.max_abs_err = std::max(r.max_abs_err, abs_err);
+      r.max_rel_err = std::max(r.max_rel_err, rel);
+    }
+  }
+  if (r.ok) r.ok = r.max_rel_err <= tol;
+  return r;
+}
+
+GradCheck check_gradients(const ir::Prog& p, const std::vector<rt::Value>& args, double eps,
+                          double tol, rt::InterpOptions opts) {
+  auto num = numeric_gradients(p, args, eps, opts);
+  auto rev = reverse_gradients(p, args, opts);
+  return compare_gradients(num, rev, tol);
+}
+
+} // namespace npad::ad

@@ -1,0 +1,47 @@
+#pragma once
+
+// Gradient verification utilities: central finite differences, full forward-
+// mode Jacobian rows via jvp over the standard basis, and reverse-mode
+// gradients via vjp. Used by the test suite (property tests on random
+// programs) and by the ADBench-style benchmark harness.
+
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "runtime/interp.hpp"
+
+namespace npad::ad {
+
+// Gradient of result[0] (must be a scalar f64) with respect to every f64
+// input, one flattened vector per differentiable parameter (in param order).
+std::vector<std::vector<double>> numeric_gradients(const ir::Prog& p,
+                                                   const std::vector<rt::Value>& args,
+                                                   double eps = 1e-6,
+                                                   rt::InterpOptions opts = {});
+
+// Same gradient computed by the reverse-mode transformation (single pass).
+std::vector<std::vector<double>> reverse_gradients(const ir::Prog& p,
+                                                   const std::vector<rt::Value>& args,
+                                                   rt::InterpOptions opts = {});
+
+// Same gradient computed by forward mode (one jvp run per input component).
+std::vector<std::vector<double>> forward_gradients(const ir::Prog& p,
+                                                   const std::vector<rt::Value>& args,
+                                                   rt::InterpOptions opts = {});
+
+struct GradCheck {
+  bool ok = false;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+};
+
+// Compares reverse-mode gradients against central differences.
+GradCheck check_gradients(const ir::Prog& p, const std::vector<rt::Value>& args,
+                          double eps = 1e-6, double tol = 1e-4,
+                          rt::InterpOptions opts = {});
+
+// Compares two gradient sets (helper for fwd-vs-rev agreement tests).
+GradCheck compare_gradients(const std::vector<std::vector<double>>& a,
+                            const std::vector<std::vector<double>>& b, double tol = 1e-9);
+
+} // namespace npad::ad

@@ -1,0 +1,226 @@
+#include "eager/autograd.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace npad::eager {
+
+void Node::accumulate(const Tensor& g) {
+  if (!grad.defined()) {
+    grad = Tensor::zeros(value.shape());
+  }
+  double* pg = grad.ptr();
+  const double* ps = g.ptr();
+  for (int64_t i = 0; i < grad.numel(); ++i) pg[i] += ps[i];
+}
+
+void backward(const Var& root) {
+  // Topological order by iterative DFS.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> seen;
+  std::vector<std::pair<Node*, size_t>> stack{{root.node().get(), 0}};
+  seen.insert(root.node().get());
+  while (!stack.empty()) {
+    auto& [n, i] = stack.back();
+    if (i < n->parents.size()) {
+      Node* p = n->parents[i++].get();
+      if (!seen.count(p)) {
+        seen.insert(p);
+        stack.emplace_back(p, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  root.node()->accumulate(Tensor::full(root.value().shape(), 1.0));
+  for (size_t i = order.size(); i-- > 0;) {
+    Node* n = order[i];
+    if (n->backward_fn && n->grad.defined()) n->backward_fn(*n);
+  }
+}
+
+namespace {
+
+Var make(Tensor value, std::vector<Var> parents, std::function<void(Node&)> bw) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  for (const auto& p : parents) {
+    n->requires_grad = n->requires_grad || p.requires_grad();
+    n->parents.push_back(p.node());
+  }
+  if (n->requires_grad) n->backward_fn = std::move(bw);
+  return Var::from_node(std::move(n));
+}
+
+} // namespace
+
+Var add(const Var& a, const Var& b) {
+  return make(t_add(a.value(), b.value()), {a, b}, [](Node& n) {
+    n.parents[0]->accumulate(n.grad);
+    n.parents[1]->accumulate(n.grad);
+  });
+}
+
+Var sub(const Var& a, const Var& b) {
+  return make(t_sub(a.value(), b.value()), {a, b}, [](Node& n) {
+    n.parents[0]->accumulate(n.grad);
+    n.parents[1]->accumulate(t_neg(n.grad));
+  });
+}
+
+Var mul(const Var& a, const Var& b) {
+  return make(t_mul(a.value(), b.value()), {a, b}, [](Node& n) {
+    n.parents[0]->accumulate(t_mul(n.grad, n.parents[1]->value));
+    n.parents[1]->accumulate(t_mul(n.grad, n.parents[0]->value));
+  });
+}
+
+Var scale(const Var& a, double s) {
+  return make(t_scale(a.value(), s), {a},
+              [s](Node& n) { n.parents[0]->accumulate(t_scale(n.grad, s)); });
+}
+
+Var add_scalar(const Var& a, double s) {
+  return make(t_add_scalar(a.value(), s), {a},
+              [](Node& n) { n.parents[0]->accumulate(n.grad); });
+}
+
+Var neg(const Var& a) {
+  return make(t_neg(a.value()), {a},
+              [](Node& n) { n.parents[0]->accumulate(t_neg(n.grad)); });
+}
+
+Var exp(const Var& a) {
+  return make(t_exp(a.value()), {a},
+              [](Node& n) { n.parents[0]->accumulate(t_mul(n.grad, n.value)); });
+}
+
+Var log(const Var& a) {
+  return make(t_log(a.value()), {a}, [](Node& n) {
+    Tensor inv = n.parents[0]->value;
+    Tensor g(n.grad.shape());
+    for (int64_t i = 0; i < g.numel(); ++i) g.ptr()[i] = n.grad.ptr()[i] / inv.ptr()[i];
+    n.parents[0]->accumulate(g);
+  });
+}
+
+Var tanh(const Var& a) {
+  return make(t_tanh(a.value()), {a}, [](Node& n) {
+    Tensor g(n.grad.shape());
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      const double t = n.value.ptr()[i];
+      g.ptr()[i] = n.grad.ptr()[i] * (1.0 - t * t);
+    }
+    n.parents[0]->accumulate(g);
+  });
+}
+
+Var sigmoid(const Var& a) {
+  return make(t_sigmoid(a.value()), {a}, [](Node& n) {
+    Tensor g(n.grad.shape());
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      const double s = n.value.ptr()[i];
+      g.ptr()[i] = n.grad.ptr()[i] * s * (1.0 - s);
+    }
+    n.parents[0]->accumulate(g);
+  });
+}
+
+Var square(const Var& a) {
+  return make(t_square(a.value()), {a}, [](Node& n) {
+    Tensor g(n.grad.shape());
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      g.ptr()[i] = 2.0 * n.grad.ptr()[i] * n.parents[0]->value.ptr()[i];
+    }
+    n.parents[0]->accumulate(g);
+  });
+}
+
+Var matmul(const Var& a, const Var& b) {
+  return make(t_matmul(a.value(), b.value()), {a, b}, [](Node& n) {
+    // dA = G B^T ; dB = A^T G
+    n.parents[0]->accumulate(t_matmul(n.grad, t_transpose(n.parents[1]->value)));
+    n.parents[1]->accumulate(t_matmul(t_transpose(n.parents[0]->value), n.grad));
+  });
+}
+
+Var transpose(const Var& a) {
+  return make(t_transpose(a.value()), {a},
+              [](Node& n) { n.parents[0]->accumulate(t_transpose(n.grad)); });
+}
+
+Var add_rowvec(const Var& a, const Var& v) {
+  return make(t_add_rowvec(a.value(), v.value()), {a, v}, [](Node& n) {
+    n.parents[0]->accumulate(n.grad);
+    n.parents[1]->accumulate(t_sum_cols(n.grad));
+  });
+}
+
+Var add_colvec(const Var& a, const Var& v) {
+  return make(t_add_colvec(a.value(), v.value()), {a, v}, [](Node& n) {
+    n.parents[0]->accumulate(n.grad);
+    n.parents[1]->accumulate(t_sum_rows(n.grad));
+  });
+}
+
+Var sum(const Var& a) {
+  Tensor s({1});
+  s.ptr()[0] = t_sum(a.value());
+  return make(std::move(s), {a}, [](Node& n) {
+    n.parents[0]->accumulate(Tensor::full(n.parents[0]->value.shape(), n.grad.ptr()[0]));
+  });
+}
+
+Var sum_rows(const Var& a) {
+  return make(t_sum_rows(a.value()), {a}, [](Node& n) {
+    const int64_t m = n.parents[0]->value.dim(0), c = n.parents[0]->value.dim(1);
+    Tensor g({m, c});
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < c; ++j) g.ptr()[i * c + j] = n.grad.ptr()[i];
+    }
+    n.parents[0]->accumulate(g);
+  });
+}
+
+Var sum_cols(const Var& a) {
+  return make(t_sum_cols(a.value()), {a}, [](Node& n) {
+    const int64_t m = n.parents[0]->value.dim(0), c = n.parents[0]->value.dim(1);
+    Tensor g({m, c});
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < c; ++j) g.ptr()[i * c + j] = n.grad.ptr()[j];
+    }
+    n.parents[0]->accumulate(g);
+  });
+}
+
+Var min_rows(const Var& a) {
+  auto [mins, arg] = t_min_rows(a.value());
+  Tensor argk = arg;
+  return make(std::move(mins), {a}, [argk](Node& n) {
+    const int64_t m = n.parents[0]->value.dim(0), c = n.parents[0]->value.dim(1);
+    Tensor g({m, c});
+    for (int64_t i = 0; i < m; ++i) {
+      g.ptr()[i * c + static_cast<int64_t>(argk.ptr()[i])] = n.grad.ptr()[i];
+    }
+    n.parents[0]->accumulate(g);
+  });
+}
+
+Var logsumexp_rows(const Var& a) {
+  Tensor lse = t_logsumexp_rows(a.value());
+  Tensor keep = lse;
+  return make(std::move(lse), {a}, [keep](Node& n) {
+    const int64_t m = n.parents[0]->value.dim(0), c = n.parents[0]->value.dim(1);
+    const double* pa = n.parents[0]->value.ptr();
+    Tensor g({m, c});
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < c; ++j) {
+        g.ptr()[i * c + j] = n.grad.ptr()[i] * std::exp(pa[i * c + j] - keep.ptr()[i]);
+      }
+    }
+    n.parents[0]->accumulate(g);
+  });
+}
+
+} // namespace npad::eager

@@ -1,0 +1,75 @@
+#pragma once
+
+// Dynamic-graph (define-by-run) autograd over eager tensors — the structural
+// analogue of PyTorch's AutoGrad used as the Tables 3-6 baseline. Every op
+// materializes its output and records an op-granularity backward closure;
+// `backward` topologically sorts the graph and accumulates gradients.
+
+#include <functional>
+#include <memory>
+
+#include "eager/tensor.hpp"
+
+namespace npad::eager {
+
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated on first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward_fn;  // pushes grad into parents
+
+  void accumulate(const Tensor& g);
+};
+
+class Var {
+public:
+  Var() = default;
+  explicit Var(Tensor v, bool requires_grad = false)
+      : n_(std::make_shared<Node>()) {
+    n_->value = std::move(v);
+    n_->requires_grad = requires_grad;
+  }
+
+  bool defined() const { return n_ != nullptr; }
+  const Tensor& value() const { return n_->value; }
+  const Tensor& grad() const { return n_->grad; }
+  bool requires_grad() const { return n_ && n_->requires_grad; }
+  std::shared_ptr<Node> node() const { return n_; }
+
+  static Var from_node(std::shared_ptr<Node> n) {
+    Var v;
+    v.n_ = std::move(n);
+    return v;
+  }
+
+private:
+  std::shared_ptr<Node> n_;
+};
+
+// Runs reverse accumulation from a scalar (1-element) root with seed 1.
+void backward(const Var& root);
+
+// ------------------------------------------------------------- operators ---
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+Var mul(const Var& a, const Var& b);
+Var scale(const Var& a, double s);
+Var add_scalar(const Var& a, double s);
+Var neg(const Var& a);
+Var exp(const Var& a);
+Var log(const Var& a);
+Var tanh(const Var& a);
+Var sigmoid(const Var& a);
+Var square(const Var& a);
+Var matmul(const Var& a, const Var& b);
+Var transpose(const Var& a);
+Var add_rowvec(const Var& a, const Var& v);
+Var add_colvec(const Var& a, const Var& v);
+Var sum(const Var& a);           // -> [1]
+Var sum_rows(const Var& a);      // [m,n] -> [m]
+Var sum_cols(const Var& a);      // [m,n] -> [n]
+Var min_rows(const Var& a);      // [m,n] -> [m] (subgradient at argmin)
+Var logsumexp_rows(const Var& a);
+
+} // namespace npad::eager

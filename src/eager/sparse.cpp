@@ -1,0 +1,85 @@
+#include "eager/sparse.hpp"
+
+namespace npad::eager {
+
+Coo to_coo(const Csr& a) {
+  Coo c;
+  c.rows = a.rows;
+  c.cols = a.cols;
+  c.values = a.values;
+  c.col_idx = a.col_idx;
+  c.row_idx.reserve(a.values.size());
+  for (int64_t i = 0; i < a.rows; ++i) {
+    for (int64_t k = a.row_ptr[static_cast<size_t>(i)]; k < a.row_ptr[static_cast<size_t>(i) + 1];
+         ++k) {
+      c.row_idx.push_back(i);
+    }
+  }
+  return c;
+}
+
+Csr random_csr(support::Rng& rng, int64_t rows, int64_t cols, int64_t nnz_per_row) {
+  Csr a;
+  a.rows = rows;
+  a.cols = cols;
+  a.row_ptr.push_back(0);
+  for (int64_t i = 0; i < rows; ++i) {
+    // Random strictly-increasing column subset.
+    std::vector<int64_t> cs;
+    for (int64_t k = 0; k < nnz_per_row; ++k) cs.push_back(rng.uniform_int(cols));
+    std::sort(cs.begin(), cs.end());
+    cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+    for (int64_t c : cs) {
+      a.col_idx.push_back(c);
+      a.values.push_back(rng.uniform(0.1, 1.0));
+    }
+    a.row_ptr.push_back(static_cast<int64_t>(a.col_idx.size()));
+  }
+  return a;
+}
+
+Var coo_matmul(const Coo& a, const Var& b) {
+  const int64_t m = a.rows, n = b.value().dim(1);
+  Tensor out({m, n});
+  const double* pb = b.value().ptr();
+  double* po = out.ptr();
+  for (int64_t e = 0; e < a.nnz(); ++e) {
+    const int64_t i = a.row_idx[static_cast<size_t>(e)];
+    const int64_t k = a.col_idx[static_cast<size_t>(e)];
+    const double v = a.values[static_cast<size_t>(e)];
+    for (int64_t j = 0; j < n; ++j) po[i * n + j] += v * pb[k * n + j];
+  }
+  auto node = std::make_shared<Node>();
+  node->value = std::move(out);
+  node->requires_grad = b.requires_grad();
+  node->parents.push_back(b.node());
+  if (node->requires_grad) {
+    Coo ac = a;
+    node->backward_fn = [ac, n](Node& nd) {
+      // dB[k, j] += v * G[i, j]
+      Tensor g(nd.parents[0]->value.shape());
+      const double* pg = nd.grad.ptr();
+      for (int64_t e = 0; e < ac.nnz(); ++e) {
+        const int64_t i = ac.row_idx[static_cast<size_t>(e)];
+        const int64_t k = ac.col_idx[static_cast<size_t>(e)];
+        const double v = ac.values[static_cast<size_t>(e)];
+        for (int64_t j = 0; j < n; ++j) g.ptr()[k * n + j] += v * pg[i * n + j];
+      }
+      nd.parents[0]->accumulate(g);
+    };
+  }
+  return Var::from_node(std::move(node));
+}
+
+std::vector<double> csr_row_sqnorms(const Csr& a) {
+  std::vector<double> out(static_cast<size_t>(a.rows), 0.0);
+  for (int64_t i = 0; i < a.rows; ++i) {
+    for (int64_t k = a.row_ptr[static_cast<size_t>(i)]; k < a.row_ptr[static_cast<size_t>(i) + 1];
+         ++k) {
+      out[static_cast<size_t>(i)] += a.values[static_cast<size_t>(k)] * a.values[static_cast<size_t>(k)];
+    }
+  }
+  return out;
+}
+
+} // namespace npad::eager

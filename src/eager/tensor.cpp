@@ -1,0 +1,193 @@
+#include "eager/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/thread_pool.hpp"
+
+namespace npad::eager {
+
+namespace {
+
+template <class F>
+Tensor elementwise(const Tensor& a, F&& f) {
+  Tensor out(a.shape());
+  const double* pa = a.ptr();
+  double* po = out.ptr();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+template <class F>
+Tensor elementwise2(const Tensor& a, const Tensor& b, F&& f) {
+  assert(a.shape() == b.shape());
+  Tensor out(a.shape());
+  const double* pa = a.ptr();
+  const double* pb = b.ptr();
+  double* po = out.ptr();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+} // namespace
+
+Tensor t_add(const Tensor& a, const Tensor& b) {
+  return elementwise2(a, b, [](double x, double y) { return x + y; });
+}
+Tensor t_sub(const Tensor& a, const Tensor& b) {
+  return elementwise2(a, b, [](double x, double y) { return x - y; });
+}
+Tensor t_mul(const Tensor& a, const Tensor& b) {
+  return elementwise2(a, b, [](double x, double y) { return x * y; });
+}
+Tensor t_scale(const Tensor& a, double s) {
+  return elementwise(a, [s](double x) { return x * s; });
+}
+Tensor t_add_scalar(const Tensor& a, double s) {
+  return elementwise(a, [s](double x) { return x + s; });
+}
+Tensor t_neg(const Tensor& a) {
+  return elementwise(a, [](double x) { return -x; });
+}
+Tensor t_exp(const Tensor& a) {
+  return elementwise(a, [](double x) { return std::exp(x); });
+}
+Tensor t_log(const Tensor& a) {
+  return elementwise(a, [](double x) { return std::log(x); });
+}
+Tensor t_tanh(const Tensor& a) {
+  return elementwise(a, [](double x) { return std::tanh(x); });
+}
+Tensor t_sigmoid(const Tensor& a) {
+  return elementwise(a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+Tensor t_square(const Tensor& a) {
+  return elementwise(a, [](double x) { return x * x; });
+}
+
+Tensor t_matmul(const Tensor& a, const Tensor& b) {
+  assert(a.shape().size() == 2 && b.shape().size() == 2 && a.dim(1) == b.dim(0));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const double* pa = a.ptr();
+  const double* pb = b.ptr();
+  double* po = out.ptr();
+  // i-k-j loop order: streaming access on b and out rows.
+  support::parallel_for(m, 16, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      double* orow = po + i * n;
+      std::fill(orow, orow + n, 0.0);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const double av = pa[i * k + kk];
+        const double* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor t_transpose(const Tensor& a) {
+  assert(a.shape().size() == 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  const double* pa = a.ptr();
+  double* po = out.ptr();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  return out;
+}
+
+Tensor t_add_rowvec(const Tensor& a, const Tensor& v) {
+  assert(a.shape().size() == 2 && v.numel() == a.dim(1));
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out(a.shape());
+  const double* pa = a.ptr();
+  const double* pv = v.ptr();
+  double* po = out.ptr();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pv[j];
+  }
+  return out;
+}
+
+Tensor t_add_colvec(const Tensor& a, const Tensor& v) {
+  assert(a.shape().size() == 2 && v.numel() == a.dim(0));
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out(a.shape());
+  const double* pa = a.ptr();
+  const double* pv = v.ptr();
+  double* po = out.ptr();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pv[i];
+  }
+  return out;
+}
+
+double t_sum(const Tensor& a) {
+  const double* pa = a.ptr();
+  double s = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) s += pa[i];
+  return s;
+}
+
+Tensor t_sum_rows(const Tensor& a) {
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({m});
+  const double* pa = a.ptr();
+  for (int64_t i = 0; i < m; ++i) {
+    double s = 0;
+    for (int64_t j = 0; j < n; ++j) s += pa[i * n + j];
+    out.ptr()[i] = s;
+  }
+  return out;
+}
+
+Tensor t_sum_cols(const Tensor& a) {
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  const double* pa = a.ptr();
+  double* po = out.ptr();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j] += pa[i * n + j];
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> t_min_rows(const Tensor& a) {
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor mins({m}), arg({m});
+  const double* pa = a.ptr();
+  for (int64_t i = 0; i < m; ++i) {
+    double best = pa[i * n];
+    int64_t bi = 0;
+    for (int64_t j = 1; j < n; ++j) {
+      if (pa[i * n + j] < best) {
+        best = pa[i * n + j];
+        bi = j;
+      }
+    }
+    mins.ptr()[i] = best;
+    arg.ptr()[i] = static_cast<double>(bi);
+  }
+  return {mins, arg};
+}
+
+Tensor t_logsumexp_rows(const Tensor& a) {
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({m});
+  const double* pa = a.ptr();
+  for (int64_t i = 0; i < m; ++i) {
+    double mx = pa[i * n];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, pa[i * n + j]);
+    double s = 0;
+    for (int64_t j = 0; j < n; ++j) s += std::exp(pa[i * n + j] - mx);
+    out.ptr()[i] = mx + std::log(s);
+  }
+  return out;
+}
+
+} // namespace npad::eager

@@ -1,0 +1,91 @@
+#pragma once
+
+// Dense f64 tensors with eager, materializing kernels — the building block
+// of the PyTorch-style baseline (npad::eager). Every op allocates its
+// result (no fusion), exactly like eager frameworks; matmul is blocked and
+// parallel.
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace npad::eager {
+
+class Tensor {
+public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape)
+      : shape_(std::move(shape)),
+        data_(std::make_shared<std::vector<double>>(static_cast<size_t>(numel_of(shape_)))) {}
+
+  static Tensor zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int64_t> shape, double v) {
+    Tensor t(std::move(shape));
+    std::fill(t.data().begin(), t.data().end(), v);
+    return t;
+  }
+  static Tensor from(std::vector<double> vals, std::vector<int64_t> shape) {
+    Tensor t;
+    t.shape_ = std::move(shape);
+    assert(static_cast<int64_t>(vals.size()) == numel_of(t.shape_));
+    t.data_ = std::make_shared<std::vector<double>>(std::move(vals));
+    return t;
+  }
+  static Tensor randn(support::Rng& rng, std::vector<int64_t> shape, double stddev = 1.0) {
+    Tensor t(std::move(shape));
+    for (auto& x : t.data()) x = stddev * rng.normal();
+    return t;
+  }
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t numel() const { return numel_of(shape_); }
+  int64_t dim(size_t i) const { return shape_[i]; }
+  bool defined() const { return data_ != nullptr; }
+
+  std::vector<double>& data() { return *data_; }
+  const std::vector<double>& data() const { return *data_; }
+  double* ptr() { return data_->data(); }
+  const double* ptr() const { return data_->data(); }
+  double item() const { return (*data_)[0]; }
+
+  static int64_t numel_of(const std::vector<int64_t>& s) {
+    return std::accumulate(s.begin(), s.end(), int64_t{1}, std::multiplies<>());
+  }
+
+private:
+  std::vector<int64_t> shape_;
+  std::shared_ptr<std::vector<double>> data_;
+};
+
+// ------------------------------- raw kernels (shared with autograd) --------
+
+Tensor t_add(const Tensor& a, const Tensor& b);
+Tensor t_sub(const Tensor& a, const Tensor& b);
+Tensor t_mul(const Tensor& a, const Tensor& b);
+Tensor t_scale(const Tensor& a, double s);
+Tensor t_add_scalar(const Tensor& a, double s);
+Tensor t_neg(const Tensor& a);
+Tensor t_exp(const Tensor& a);
+Tensor t_log(const Tensor& a);
+Tensor t_tanh(const Tensor& a);
+Tensor t_sigmoid(const Tensor& a);
+Tensor t_square(const Tensor& a);
+// Matrix product a[m,k] x b[k,n] (blocked, parallel).
+Tensor t_matmul(const Tensor& a, const Tensor& b);
+Tensor t_transpose(const Tensor& a);  // [m,n] -> [n,m]
+// Broadcast a row vector v[n] over the rows of a[m,n].
+Tensor t_add_rowvec(const Tensor& a, const Tensor& v);
+// Broadcast a column vector v[m] over the columns of a[m,n].
+Tensor t_add_colvec(const Tensor& a, const Tensor& v);
+double t_sum(const Tensor& a);
+Tensor t_sum_rows(const Tensor& a);  // [m,n] -> [m]
+Tensor t_sum_cols(const Tensor& a);  // [m,n] -> [n]
+// Row-wise min and argmin: [m,n] -> ([m], [m] as double indices).
+std::pair<Tensor, Tensor> t_min_rows(const Tensor& a);
+Tensor t_logsumexp_rows(const Tensor& a);  // [m,n] -> [m]
+
+} // namespace npad::eager

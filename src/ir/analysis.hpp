@@ -1,0 +1,157 @@
+#pragma once
+
+// Program analyses shared by passes: free variables of bodies/lambdas and a
+// program-wide variable-type table.
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "ir/visit.hpp"
+
+namespace npad::ir {
+
+namespace detail {
+
+inline void fv_body(const Body& b, std::unordered_set<uint32_t>& bound,
+                    std::vector<Var>& out, std::unordered_set<uint32_t>& seen);
+
+inline void fv_use(Var v, const std::unordered_set<uint32_t>& bound, std::vector<Var>& out,
+                   std::unordered_set<uint32_t>& seen) {
+  if (!v.valid() || bound.count(v.id)) return;
+  if (seen.insert(v.id).second) out.push_back(v);
+}
+
+inline void fv_exp(const Exp& e, std::unordered_set<uint32_t>& bound, std::vector<Var>& out,
+                   std::unordered_set<uint32_t>& seen) {
+  for_each_atom(e, [&](const Atom& a) {
+    if (a.is_var()) fv_use(a.var(), bound, out, seen);
+  });
+  for_each_nested(e, [&](const NestedScope& s) {
+    std::unordered_set<uint32_t> inner = bound;
+    for (Var v : s.bound) inner.insert(v.id);
+    fv_body(*s.body, inner, out, seen);
+  });
+}
+
+inline void fv_body(const Body& b, std::unordered_set<uint32_t>& bound, std::vector<Var>& out,
+                    std::unordered_set<uint32_t>& seen) {
+  std::unordered_set<uint32_t> local = bound;
+  for (const auto& st : b.stms) {
+    fv_exp(st.e, local, out, seen);
+    for (Var v : st.vars) local.insert(v.id);
+  }
+  for (const auto& a : b.result) {
+    if (a.is_var()) fv_use(a.var(), local, out, seen);
+  }
+}
+
+} // namespace detail
+
+// Free variables of a body, in first-use order (deterministic).
+inline std::vector<Var> free_vars(const Body& b,
+                                  const std::vector<Var>& extra_bound = {}) {
+  std::vector<Var> out;
+  std::unordered_set<uint32_t> bound, seen;
+  for (Var v : extra_bound) bound.insert(v.id);
+  detail::fv_body(b, bound, out, seen);
+  return out;
+}
+
+inline std::vector<Var> free_vars(const Lambda& l) {
+  std::vector<Var> bound;
+  for (const auto& p : l.params) bound.push_back(p.var);
+  return free_vars(l.body, bound);
+}
+
+// -------------------------------------------------------------- type map ---
+
+// Types of all variables in a program. Shadowed re-bindings must agree in
+// type with the original binding (the AD passes only re-bind identical ids
+// when re-emitting a forward sweep, so this invariant holds by construction).
+class TypeMap {
+public:
+  void bind(Var v, Type t) {
+    if (v.id >= types_.size()) {
+      types_.resize(v.id + 1);
+      known_.resize(v.id + 1, false);
+    }
+    types_[v.id] = t;
+    known_[v.id] = true;
+  }
+
+  bool known(Var v) const { return v.valid() && v.id < known_.size() && known_[v.id]; }
+
+  Type at(Var v) const {
+    assert(known(v) && "type queried for unbound variable");
+    return types_[v.id];
+  }
+
+  Type at(const Atom& a) const {
+    if (a.is_const()) return Type{a.cval().t, 0, false};
+    return at(a.var());
+  }
+
+private:
+  std::vector<Type> types_;
+  std::vector<bool> known_;
+};
+
+namespace detail {
+
+inline void collect_body(const Body& b, TypeMap& tm);
+
+inline void collect_exp(const Exp& e, TypeMap& tm) {
+  for_each_nested(e, [&](const NestedScope& s) { collect_body(*s.body, tm); });
+  std::visit(Overload{
+                 [&](const OpLoop& o) {
+                   for (const auto& p : o.params) tm.bind(p.var, p.type);
+                   if (o.idx.valid()) tm.bind(o.idx, i64());
+                   if (o.while_cond)
+                     for (const auto& p : o.while_cond->params) tm.bind(p.var, p.type);
+                 },
+                 [&](const OpMap& o) {
+                   if (o.f)
+                     for (const auto& p : o.f->params) tm.bind(p.var, p.type);
+                 },
+                 [&](const OpReduce& o) {
+                   if (o.op)
+                     for (const auto& p : o.op->params) tm.bind(p.var, p.type);
+                 },
+                 [&](const OpScan& o) {
+                   if (o.op)
+                     for (const auto& p : o.op->params) tm.bind(p.var, p.type);
+                 },
+                 [&](const OpHist& o) {
+                   if (o.op)
+                     for (const auto& p : o.op->params) tm.bind(p.var, p.type);
+                 },
+                 [&](const OpWithAcc& o) {
+                   if (o.f)
+                     for (const auto& p : o.f->params) tm.bind(p.var, p.type);
+                 },
+                 [&](const auto&) {},
+             },
+             e);
+}
+
+inline void collect_body(const Body& b, TypeMap& tm) {
+  for (const auto& st : b.stms) {
+    for (size_t i = 0; i < st.vars.size(); ++i) tm.bind(st.vars[i], st.types[i]);
+    collect_exp(st.e, tm);
+  }
+}
+
+} // namespace detail
+
+inline TypeMap collect_types(const Function& f) {
+  TypeMap tm;
+  for (const auto& p : f.params) tm.bind(p.var, p.type);
+  detail::collect_body(f.body, tm);
+  return tm;
+}
+
+inline void collect_types_into(const Body& b, TypeMap& tm) { detail::collect_body(b, tm); }
+
+} // namespace npad::ir

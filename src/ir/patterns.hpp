@@ -1,0 +1,56 @@
+#pragma once
+
+// Syntactic pattern recognizers used by the runtime fast paths and by the
+// specialized vjp rules of Section 5.1 (plus, multiplication, min/max) and
+// the vectorized-operator scan rule of Section 5.2.
+
+#include <optional>
+
+#include "ir/ast.hpp"
+
+namespace npad::ir {
+
+// Recognizes \a b -> a `op` b over scalars.
+inline std::optional<BinOp> recognize_binop(const Lambda& l) {
+  if (l.params.size() != 2 || l.body.stms.size() != 1 || l.body.result.size() != 1) {
+    return std::nullopt;
+  }
+  const auto* bin = std::get_if<OpBin>(&l.body.stms[0].e);
+  if (bin == nullptr) return std::nullopt;
+  const auto& res = l.body.result[0];
+  if (!res.is_var() || !(res.var() == l.body.stms[0].vars[0])) return std::nullopt;
+  if (!bin->a.is_var() || !bin->b.is_var()) return std::nullopt;
+  if (!(bin->a.var() == l.params[0].var) || !(bin->b.var() == l.params[1].var)) {
+    return std::nullopt;
+  }
+  return bin->op;
+}
+
+// Recognizes \xs ys -> map (\a b -> a `op` b) xs ys over rank-1 operands
+// (the "vectorized operator" of §5.2).
+inline std::optional<BinOp> recognize_vectorized_binop(const Lambda& l) {
+  if (l.params.size() != 2 || l.body.stms.size() != 1 || l.body.result.size() != 1) {
+    return std::nullopt;
+  }
+  if (l.params[0].type.rank != 1) return std::nullopt;
+  const auto* mp = std::get_if<OpMap>(&l.body.stms[0].e);
+  if (mp == nullptr || mp->args.size() != 2) return std::nullopt;
+  if (!(mp->args[0] == l.params[0].var) || !(mp->args[1] == l.params[1].var)) {
+    return std::nullopt;
+  }
+  const auto& res = l.body.result[0];
+  if (!res.is_var() || !(res.var() == l.body.stms[0].vars[0])) return std::nullopt;
+  return recognize_binop(*mp->f);
+}
+
+inline bool is_commutative(BinOp op) {
+  switch (op) {
+    case BinOp::Add: case BinOp::Mul: case BinOp::Min: case BinOp::Max:
+    case BinOp::And: case BinOp::Or: case BinOp::Eq: case BinOp::Ne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+} // namespace npad::ir

@@ -1,0 +1,23 @@
+#pragma once
+
+// Human-readable pretty printer for the IR; used by examples (the paper's
+// Figures 1/2 reproduced as printed transforms), debugging and golden tests.
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/ast.hpp"
+
+namespace npad::ir {
+
+std::string to_string(const Type& t);
+std::string to_string(const Module& m, const Atom& a);
+void print_body(std::ostream& os, const Module& m, const Body& b, int indent);
+void print_prog(std::ostream& os, const Prog& p);
+std::string to_string(const Prog& p);
+
+// Counts statements recursively (including nested bodies); used by the
+// redundant-execution property tests (Fig. 2: DCE leaves no re-execution).
+size_t count_stms(const Body& b);
+
+} // namespace npad::ir

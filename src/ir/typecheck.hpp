@@ -1,0 +1,20 @@
+#pragma once
+
+// IR well-formedness checker: scoping, dtypes, ranks, accumulator linearity
+// (accumulators may only be consumed by upd_acc / map threading / scope
+// results). Throws ir::TypeError on the first violation.
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/ast.hpp"
+
+namespace npad::ir {
+
+struct TypeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void typecheck(const Prog& p);
+
+} // namespace npad::ir

@@ -1,0 +1,244 @@
+#pragma once
+
+// Generic traversal and cloning utilities over the IR. Every pass is built on
+// these three primitives:
+//   for_each_atom    — visit the atoms an Exp uses directly (no nested bodies)
+//   for_each_nested  — visit nested bodies / lambdas of an Exp
+//   clone            — deep-copy with variable substitution and optional
+//                      alpha-renaming of bindings (used to inline lambdas)
+
+#include <functional>
+#include <unordered_map>
+
+#include "ir/ast.hpp"
+
+namespace npad::ir {
+
+// ------------------------------------------------------------- traversal ---
+
+template <class FnAtom>
+void for_each_atom(const Exp& e, FnAtom&& fn) {
+  auto at = [&](const Atom& a) { fn(a); };
+  auto av = [&](Var v) { fn(Atom(v)); };
+  std::visit(
+      Overload{
+          [&](const OpAtom& o) { at(o.a); },
+          [&](const OpBin& o) { at(o.a); at(o.b); },
+          [&](const OpUn& o) { at(o.a); },
+          [&](const OpSelect& o) { at(o.c); at(o.t); at(o.f); },
+          [&](const OpIndex& o) { av(o.arr); for (auto& i : o.idx) at(i); },
+          [&](const OpUpdate& o) { av(o.arr); for (auto& i : o.idx) at(i); at(o.v); },
+          [&](const OpUpdAcc& o) { av(o.acc); for (auto& i : o.idx) at(i); at(o.v); },
+          [&](const OpIota& o) { at(o.n); },
+          [&](const OpReplicate& o) { at(o.n); at(o.v); },
+          [&](const OpZerosLike& o) { av(o.v); },
+          [&](const OpScratch& o) { at(o.n); av(o.like); },
+          [&](const OpLength& o) { av(o.arr); },
+          [&](const OpReverse& o) { av(o.arr); },
+          [&](const OpTranspose& o) { av(o.arr); },
+          [&](const OpCopy& o) { av(o.v); },
+          [&](const OpIf& o) { at(o.c); },
+          [&](const OpLoop& o) {
+            for (auto& i : o.init) at(i);
+            if (!o.while_cond) at(o.count);
+            if (o.while_bound) at(*o.while_bound);
+          },
+          [&](const OpMap& o) { for (auto v : o.args) av(v); },
+          [&](const OpReduce& o) { for (auto& n : o.neutral) at(n); for (auto v : o.args) av(v); },
+          [&](const OpScan& o) { for (auto& n : o.neutral) at(n); for (auto v : o.args) av(v); },
+          [&](const OpHist& o) { at(o.neutral); av(o.dest); av(o.inds); av(o.vals); },
+          [&](const OpScatter& o) { av(o.dest); av(o.inds); av(o.vals); },
+          [&](const OpWithAcc& o) { for (auto v : o.arrs) av(v); },
+      },
+      e);
+}
+
+// Visits nested scopes: fn_body(body, params_bound_in_that_body).
+// The bound-variable list lets free-variable analysis subtract bindings.
+struct NestedScope {
+  const Body* body;
+  std::vector<Var> bound;  // params (and loop index) in scope for this body
+};
+
+template <class Fn>
+void for_each_nested(const Exp& e, Fn&& fn) {
+  auto lam = [&](const LambdaPtr& l) {
+    if (!l) return;
+    NestedScope s{&l->body, {}};
+    for (auto& p : l->params) s.bound.push_back(p.var);
+    fn(s);
+  };
+  std::visit(
+      Overload{
+          [&](const OpIf& o) {
+            fn(NestedScope{o.tb.get(), {}});
+            fn(NestedScope{o.fb.get(), {}});
+          },
+          [&](const OpLoop& o) {
+            NestedScope s{o.body.get(), {}};
+            for (auto& p : o.params) s.bound.push_back(p.var);
+            if (o.idx.valid()) s.bound.push_back(o.idx);
+            fn(s);
+            if (o.while_cond) lam(o.while_cond);
+          },
+          [&](const OpMap& o) { lam(o.f); },
+          [&](const OpReduce& o) { lam(o.op); },
+          [&](const OpScan& o) { lam(o.op); },
+          [&](const OpHist& o) { lam(o.op); },
+          [&](const OpWithAcc& o) { lam(o.f); },
+          [&](const auto&) {},
+      },
+      e);
+}
+
+// ---------------------------------------------------------------- clone ----
+
+// Variable substitution map. Array-position uses (e.g. OpIndex::arr) must be
+// substituted by variables; scalar atom positions may receive constants.
+using Subst = std::unordered_map<uint32_t, Atom>;
+
+class Cloner {
+public:
+  // If `refresh` is true every binding introduced inside the cloned tree gets
+  // a fresh variable (alpha-renaming); required when inlining a lambda body
+  // into a scope where its bindings may collide.
+  Cloner(Module& m, bool refresh) : mod_(m), refresh_(refresh) {}
+
+  Atom atom(const Atom& a, const Subst& s) const {
+    if (a.is_var()) {
+      auto it = s.find(a.var().id);
+      if (it != s.end()) return it->second;
+    }
+    return a;
+  }
+
+  Var var(Var v, const Subst& s) const {
+    auto it = s.find(v.id);
+    if (it == s.end()) return v;
+    assert(it->second.is_var() && "array/binding position substituted by constant");
+    return it->second.var();
+  }
+
+  Var bind(Var v, Subst& s) {
+    if (!refresh_) {
+      s.erase(v.id);  // shadowing kills any pending substitution
+      return v;
+    }
+    Var nv = mod_.fresh(mod_.name(v));
+    s[v.id] = Atom(nv);
+    return nv;
+  }
+
+  Body body(const Body& b, Subst s) {
+    Body out;
+    out.stms.reserve(b.stms.size());
+    for (const auto& st : b.stms) {
+      Exp ce = exp(st.e, s);  // uses see bindings made so far
+      Stm ns;
+      ns.types = st.types;
+      ns.e = std::move(ce);
+      ns.vars.reserve(st.vars.size());
+      for (Var v : st.vars) ns.vars.push_back(bind(v, s));
+      out.stms.push_back(std::move(ns));
+    }
+    out.result.reserve(b.result.size());
+    for (const auto& a : b.result) out.result.push_back(atom(a, s));
+    return out;
+  }
+
+  Lambda lambda(const Lambda& l, Subst s) {
+    Lambda out;
+    out.rets = l.rets;
+    out.params.reserve(l.params.size());
+    for (const auto& p : l.params) out.params.push_back(Param{bind(p.var, s), p.type});
+    out.body = body(l.body, std::move(s));
+    return out;
+  }
+
+  Exp exp(const Exp& e, Subst& s) {
+    auto A = [&](const Atom& a) { return atom(a, s); };
+    auto V = [&](Var v) { return var(v, s); };
+    auto AS = [&](const std::vector<Atom>& as) {
+      std::vector<Atom> r;
+      r.reserve(as.size());
+      for (auto& a : as) r.push_back(A(a));
+      return r;
+    };
+    auto VS = [&](const std::vector<Var>& vs) {
+      std::vector<Var> r;
+      r.reserve(vs.size());
+      for (auto v : vs) r.push_back(V(v));
+      return r;
+    };
+    auto L = [&](const LambdaPtr& l) -> LambdaPtr {
+      return l ? make_lambda(lambda(*l, s)) : nullptr;
+    };
+    auto B = [&](const BodyPtr& b) -> BodyPtr { return make_body(body(*b, s)); };
+    return std::visit(
+        Overload{
+            [&](const OpAtom& o) -> Exp { return OpAtom{A(o.a)}; },
+            [&](const OpBin& o) -> Exp { return OpBin{o.op, A(o.a), A(o.b)}; },
+            [&](const OpUn& o) -> Exp { return OpUn{o.op, A(o.a)}; },
+            [&](const OpSelect& o) -> Exp { return OpSelect{A(o.c), A(o.t), A(o.f)}; },
+            [&](const OpIndex& o) -> Exp { return OpIndex{V(o.arr), AS(o.idx)}; },
+            [&](const OpUpdate& o) -> Exp { return OpUpdate{V(o.arr), AS(o.idx), A(o.v)}; },
+            [&](const OpUpdAcc& o) -> Exp { return OpUpdAcc{V(o.acc), AS(o.idx), A(o.v)}; },
+            [&](const OpIota& o) -> Exp { return OpIota{A(o.n)}; },
+            [&](const OpReplicate& o) -> Exp { return OpReplicate{A(o.n), A(o.v)}; },
+            [&](const OpZerosLike& o) -> Exp { return OpZerosLike{V(o.v)}; },
+            [&](const OpScratch& o) -> Exp { return OpScratch{A(o.n), V(o.like)}; },
+            [&](const OpLength& o) -> Exp { return OpLength{V(o.arr)}; },
+            [&](const OpReverse& o) -> Exp { return OpReverse{V(o.arr)}; },
+            [&](const OpTranspose& o) -> Exp { return OpTranspose{V(o.arr)}; },
+            [&](const OpCopy& o) -> Exp { return OpCopy{V(o.v)}; },
+            [&](const OpIf& o) -> Exp { return OpIf{A(o.c), B(o.tb), B(o.fb)}; },
+            [&](const OpLoop& o) -> Exp {
+              OpLoop n;
+              n.init = AS(o.init);
+              if (!o.while_cond) n.count = A(o.count);
+              n.while_cond = L(o.while_cond);
+              n.stripmine = o.stripmine;
+              n.checkpoint_entry = o.checkpoint_entry;
+              if (o.while_bound) n.while_bound = A(*o.while_bound);
+              Subst inner = s;
+              Cloner c2(mod_, refresh_);
+              n.params.reserve(o.params.size());
+              for (const auto& p : o.params)
+                n.params.push_back(Param{c2.bind_in(p.var, inner), p.type});
+              if (o.idx.valid()) n.idx = c2.bind_in(o.idx, inner);
+              n.body = make_body(c2.body(*o.body, inner));
+              return n;
+            },
+            [&](const OpMap& o) -> Exp { return OpMap{L(o.f), VS(o.args)}; },
+            [&](const OpReduce& o) -> Exp { return OpReduce{L(o.op), AS(o.neutral), VS(o.args)}; },
+            [&](const OpScan& o) -> Exp { return OpScan{L(o.op), AS(o.neutral), VS(o.args)}; },
+            [&](const OpHist& o) -> Exp {
+              return OpHist{L(o.op), A(o.neutral), V(o.dest), V(o.inds), V(o.vals)};
+            },
+            [&](const OpScatter& o) -> Exp { return OpScatter{V(o.dest), V(o.inds), V(o.vals)}; },
+            [&](const OpWithAcc& o) -> Exp { return OpWithAcc{VS(o.arrs), L(o.f)}; },
+        },
+        e);
+  }
+
+  Var bind_in(Var v, Subst& s) { return bind(v, s); }
+
+private:
+  Module& mod_;
+  bool refresh_;
+};
+
+// Inlines a lambda application: alpha-renames the body's bindings and
+// substitutes parameters by the argument atoms. Returns the statements to
+// splice plus the (substituted) result atoms.
+inline std::pair<std::vector<Stm>, std::vector<Atom>> inline_lambda(
+    Module& m, const Lambda& l, const std::vector<Atom>& args) {
+  assert(l.params.size() == args.size());
+  Subst s;
+  for (size_t i = 0; i < args.size(); ++i) s[l.params[i].var.id] = args[i];
+  Cloner c(m, /*refresh=*/true);
+  Body b = c.body(l.body, std::move(s));
+  return {std::move(b.stms), std::move(b.result)};
+}
+
+} // namespace npad::ir

@@ -1,0 +1,26 @@
+#pragma once
+
+// Loop transformations applied before reverse AD (Sections 4.3 and 6.2):
+//
+//  - bound_whiles: while loops cannot be checkpointed directly because the
+//    trip count is unknown. With a user `while_bound` annotation the loop
+//    becomes a bounded for-loop whose body is guarded by the condition;
+//    without one, an inspector (a cloned counting loop) computes the exact
+//    trip count first and the loop becomes an unguarded for-loop.
+//
+//  - apply_stripmining: a loop annotated `stripmine = f` of count n is split
+//    into an outer loop of ceil(n/f) and a guarded inner loop of f, reducing
+//    checkpoint memory from O(n) to O(n/f + f) at the cost of one extra
+//    re-execution level (the paper's time-space trade-off, Fig. 4).
+
+#include "ir/ast.hpp"
+
+namespace npad::opt {
+
+ir::Prog bound_whiles(const ir::Prog& p);
+ir::Prog apply_stripmining(const ir::Prog& p);
+
+// Both passes; run this before ad::vjp.
+ir::Prog prepare_for_ad(const ir::Prog& p);
+
+} // namespace npad::opt

@@ -1,0 +1,298 @@
+#include "opt/simplify.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/analysis.hpp"
+#include "ir/print.hpp"
+#include "ir/visit.hpp"
+
+namespace npad::opt {
+
+namespace {
+
+using namespace ir;
+
+// ------------------------------------------------------------------ DCE ----
+
+class Dce {
+public:
+  Body body(const Body& in, std::unordered_set<uint32_t> live) {
+    for (const auto& a : in.result) {
+      if (a.is_var()) live.insert(a.var().id);
+    }
+    std::vector<Stm> kept;
+    for (size_t i = in.stms.size(); i-- > 0;) {
+      const Stm& st = in.stms[i];
+      bool needed = false;
+      for (Var v : st.vars) needed = needed || live.count(v.id) > 0;
+      if (!needed) continue;
+      Stm ns = st;
+      ns.e = prune_exp(st.e);
+      // Bindings kill liveness; uses (incl. free vars of nests) generate it.
+      for (Var v : ns.vars) live.erase(v.id);
+      for_each_atom(ns.e, [&](const Atom& a) {
+        if (a.is_var()) live.insert(a.var().id);
+      });
+      for_each_nested(ns.e, [&](const NestedScope& s) {
+        for (Var v : free_vars(*s.body, s.bound)) live.insert(v.id);
+      });
+      kept.push_back(std::move(ns));
+    }
+    Body out;
+    out.result = in.result;
+    out.stms.assign(kept.rbegin(), kept.rend());
+    return out;
+  }
+
+private:
+  // Prunes nested scopes with their own result liveness.
+  Exp prune_exp(const Exp& e) {
+    auto prune_lambda = [&](const LambdaPtr& l) -> LambdaPtr {
+      if (!l) return nullptr;
+      Lambda nl = *l;
+      nl.body = body(l->body, {});
+      return make_lambda(std::move(nl));
+    };
+    return std::visit(
+        Overload{
+            [&](const OpIf& o) -> Exp {
+              return OpIf{o.c, make_body(body(*o.tb, {})), make_body(body(*o.fb, {}))};
+            },
+            [&](const OpLoop& o) -> Exp {
+              OpLoop n = o;
+              n.body = make_body(body(*o.body, {}));
+              n.while_cond = prune_lambda(o.while_cond);
+              return n;
+            },
+            [&](const OpMap& o) -> Exp { return OpMap{prune_lambda(o.f), o.args}; },
+            [&](const OpReduce& o) -> Exp {
+              return OpReduce{prune_lambda(o.op), o.neutral, o.args};
+            },
+            [&](const OpScan& o) -> Exp { return OpScan{prune_lambda(o.op), o.neutral, o.args}; },
+            [&](const OpHist& o) -> Exp {
+              return OpHist{prune_lambda(o.op), o.neutral, o.dest, o.inds, o.vals};
+            },
+            [&](const OpWithAcc& o) -> Exp { return OpWithAcc{o.arrs, prune_lambda(o.f)}; },
+            [&](const auto& o) -> Exp { return o; },
+        },
+        e);
+  }
+};
+
+// ------------------------------------------------- copy-prop + cfold -------
+
+class Folder {
+public:
+  struct Env {
+    std::unordered_map<uint32_t, Atom> alias;  // var -> var or const
+  };
+
+  Body body(const Body& in, Env env) {
+    Body out;
+    for (const auto& st : in.stms) {
+      Stm ns = st;
+      ns.e = rewrite(st.e, env);
+      // Shadowing: a re-binding invalidates previous aliases of that id.
+      for (Var v : ns.vars) env.alias.erase(v.id);
+      // Record folding opportunities for single-binding statements.
+      if (ns.vars.size() == 1) {
+        if (auto folded = fold(ns.e)) {
+          ns.e = OpAtom{*folded};
+          env.alias[ns.vars[0].id] = *folded;
+        } else if (const auto* oa = std::get_if<OpAtom>(&ns.e)) {
+          env.alias[ns.vars[0].id] = oa->a;
+        }
+      }
+      out.stms.push_back(std::move(ns));
+    }
+    out.result.reserve(in.result.size());
+    for (const auto& a : in.result) out.result.push_back(subst(a, env));
+    return out;
+  }
+
+private:
+  static Atom subst(const Atom& a, const Env& env) {
+    if (!a.is_var()) return a;
+    auto it = env.alias.find(a.var().id);
+    if (it == env.alias.end()) return a;
+    return it->second;
+  }
+
+  static Var subst_var(Var v, const Env& env) {
+    auto it = env.alias.find(v.id);
+    if (it != env.alias.end() && it->second.is_var()) return it->second.var();
+    return v;
+  }
+
+  Exp rewrite(const Exp& e, const Env& env) {
+    // Substitute aliases in atom positions; var positions only accept vars.
+    Module dummy;  // Cloner needs a module only when refreshing bindings
+    Subst s;
+    for (const auto& [id, a] : env.alias) s[id] = a;
+    Cloner c(dummy, /*refresh=*/false);
+    Subst s2 = s;
+    Exp ne = c.exp(e, s2);
+    // Recurse into nested scopes with a copy of the environment.
+    return std::visit(
+        Overload{
+            [&](const OpIf& o) -> Exp {
+              return OpIf{o.c, make_body(body(*o.tb, env)), make_body(body(*o.fb, env))};
+            },
+            [&](const OpLoop& o) -> Exp {
+              OpLoop n = o;
+              Env inner = env;
+              for (const auto& p : o.params) inner.alias.erase(p.var.id);
+              if (o.idx.valid()) inner.alias.erase(o.idx.id);
+              n.body = make_body(body(*o.body, inner));
+              if (o.while_cond) {
+                Lambda wl = *o.while_cond;
+                Env wenv = env;
+                for (const auto& p : wl.params) wenv.alias.erase(p.var.id);
+                wl.body = body(wl.body, wenv);
+                n.while_cond = make_lambda(std::move(wl));
+              }
+              return n;
+            },
+            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f, env), o.args}; },
+            [&](const OpReduce& o) -> Exp {
+              return OpReduce{sub_lambda(o.op, env), o.neutral, o.args};
+            },
+            [&](const OpScan& o) -> Exp {
+              return OpScan{sub_lambda(o.op, env), o.neutral, o.args};
+            },
+            [&](const OpHist& o) -> Exp {
+              return OpHist{sub_lambda(o.op, env), o.neutral, o.dest, o.inds, o.vals};
+            },
+            [&](const OpWithAcc& o) -> Exp { return OpWithAcc{o.arrs, sub_lambda(o.f, env)}; },
+            [&](const auto& o) -> Exp { return o; },
+        },
+        ne);
+  }
+
+  LambdaPtr sub_lambda(const LambdaPtr& l, const Env& env) {
+    if (!l) return nullptr;
+    Lambda nl = *l;
+    Env inner = env;
+    for (const auto& p : nl.params) inner.alias.erase(p.var.id);
+    nl.body = body(nl.body, inner);
+    return make_lambda(std::move(nl));
+  }
+
+  static bool is_c(const Atom& a, double v) {
+    return a.is_const() && a.cval().t == ScalarType::F64 && a.cval().f == v;
+  }
+
+  std::optional<Atom> fold(const Exp& e) {
+    const auto* bin = std::get_if<OpBin>(&e);
+    if (bin != nullptr) {
+      const Atom &a = bin->a, &b = bin->b;
+      if (a.is_const() && b.is_const() && a.cval().t == ScalarType::F64 &&
+          b.cval().t == ScalarType::F64) {
+        const double x = a.cval().f, y = b.cval().f;
+        switch (bin->op) {
+          case BinOp::Add: return cf64(x + y);
+          case BinOp::Sub: return cf64(x - y);
+          case BinOp::Mul: return cf64(x * y);
+          case BinOp::Div: return cf64(x / y);
+          case BinOp::Pow: return cf64(std::pow(x, y));
+          case BinOp::Min: return cf64(std::min(x, y));
+          case BinOp::Max: return cf64(std::max(x, y));
+          default: return std::nullopt;
+        }
+      }
+      if (a.is_const() && b.is_const() && a.cval().t == ScalarType::I64 &&
+          b.cval().t == ScalarType::I64) {
+        const int64_t x = a.cval().i, y = b.cval().i;
+        switch (bin->op) {
+          case BinOp::Add: return ci64(x + y);
+          case BinOp::Sub: return ci64(x - y);
+          case BinOp::Mul: return ci64(x * y);
+          default: return std::nullopt;
+        }
+      }
+      switch (bin->op) {
+        case BinOp::Add:
+          if (is_c(a, 0.0)) return b;
+          if (is_c(b, 0.0)) return a;
+          break;
+        case BinOp::Sub:
+          if (is_c(b, 0.0)) return a;
+          break;
+        case BinOp::Mul:
+          if (is_c(a, 1.0)) return b;
+          if (is_c(b, 1.0)) return a;
+          if (is_c(a, 0.0) || is_c(b, 0.0)) return cf64(0.0);
+          break;
+        case BinOp::Div:
+          if (is_c(b, 1.0)) return a;
+          break;
+        case BinOp::Pow:
+          if (is_c(b, 1.0)) return a;
+          break;
+        default: break;
+      }
+      return std::nullopt;
+    }
+    if (const auto* sel = std::get_if<OpSelect>(&e)) {
+      if (sel->c.is_const()) return sel->c.cval().i != 0 ? sel->t : sel->f;
+      if (sel->t == sel->f) return sel->t;
+      return std::nullopt;
+    }
+    if (const auto* un = std::get_if<OpUn>(&e)) {
+      if (!un->a.is_const()) return std::nullopt;
+      if (un->a.cval().t == ScalarType::F64) {
+        const double x = un->a.cval().f;
+        switch (un->op) {
+          case UnOp::Neg: return cf64(-x);
+          case UnOp::Exp: return cf64(std::exp(x));
+          case UnOp::Log: return cf64(std::log(x));
+          case UnOp::Sqrt: return cf64(std::sqrt(x));
+          case UnOp::Sin: return cf64(std::sin(x));
+          case UnOp::Cos: return cf64(std::cos(x));
+          case UnOp::Tanh: return cf64(std::tanh(x));
+          case UnOp::Abs: return cf64(std::fabs(x));
+          case UnOp::ToI64: return ci64(static_cast<int64_t>(x));
+          default: return std::nullopt;
+        }
+      }
+      if (un->a.cval().t == ScalarType::I64 && un->op == UnOp::ToF64) {
+        return cf64(static_cast<double>(un->a.cval().i));
+      }
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+};
+
+} // namespace
+
+Prog dead_code_elim(const Prog& p) {
+  Prog out = p;
+  Dce d;
+  out.fn.body = d.body(p.fn.body, {});
+  return out;
+}
+
+Prog fold_constants(const Prog& p) {
+  Prog out = p;
+  Folder f;
+  out.fn.body = f.body(p.fn.body, {});
+  return out;
+}
+
+Prog simplify(const Prog& p) {
+  Prog cur = p;
+  size_t prev = SIZE_MAX;
+  for (int iter = 0; iter < 8; ++iter) {
+    cur = fold_constants(cur);
+    cur = dead_code_elim(cur);
+    const size_t n = count_stms(cur.fn.body);
+    if (n == prev) break;
+    prev = n;
+  }
+  return cur;
+}
+
+} // namespace npad::opt

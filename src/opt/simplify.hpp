@@ -1,0 +1,24 @@
+#pragma once
+
+// The simplification engine (Section 6): copy propagation, constant folding
+// with algebraic identities, and dead-code elimination. DCE is what removes
+// the redundant forward sweeps of perfectly-nested scopes after reverse AD
+// (Fig. 2) — the tests assert the statement-count property.
+
+#include "ir/ast.hpp"
+
+namespace npad::opt {
+
+// Removes statements none of whose bindings are live. Recurses into nested
+// scopes. All IR constructs are pure (accumulators are threaded through
+// results), so liveness alone is sufficient.
+ir::Prog dead_code_elim(const ir::Prog& p);
+
+// Copy propagation + constant folding (x+0, x*1, x*0, const ops, constant
+// selects), applied in one top-down walk per scope.
+ir::Prog fold_constants(const ir::Prog& p);
+
+// fold + DCE iterated to a (bounded) fixpoint.
+ir::Prog simplify(const ir::Prog& p);
+
+} // namespace npad::opt

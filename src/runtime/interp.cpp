@@ -1,0 +1,842 @@
+#include "runtime/interp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ir/patterns.hpp"
+#include "ir/visit.hpp"
+#include "runtime/kernel.hpp"
+#include "support/thread_pool.hpp"
+
+namespace npad::rt {
+
+namespace {
+using namespace ir;
+
+double digamma_approx(double x) {
+  double result = 0.0;
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x, inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12 - inv2 * (1.0 / 120 - inv2 * (1.0 / 252 - inv2 / 240)));
+  return result;
+}
+
+[[noreturn]] void die(const std::string& msg) { throw std::runtime_error("interp: " + msg); }
+
+} // namespace
+
+// Lexically scoped environment chain. Bindings shadow outer scopes.
+class Env {
+public:
+  explicit Env(const Env* parent = nullptr) : parent_(parent) {}
+
+  void bind(ir::Var v, Value val) { m_[v.id] = std::move(val); }
+
+  const Value& lookup(ir::Var v) const {
+    for (const Env* e = this; e != nullptr; e = e->parent_) {
+      auto it = e->m_.find(v.id);
+      if (it != e->m_.end()) return it->second;
+    }
+    die("unbound variable id " + std::to_string(v.id));
+  }
+
+private:
+  const Env* parent_;
+  std::unordered_map<uint32_t, Value> m_;
+};
+
+namespace {
+
+class EvalCtx {
+public:
+  EvalCtx(const Interp& host, const ir::Module& mod)
+      : opts_(host.options()), stats_(const_cast<InterpStats*>(&host.stats())), mod_(mod) {}
+
+  Value eval_atom(const Atom& a, const Env& env) const {
+    if (a.is_var()) return env.lookup(a.var());
+    const ConstVal& c = a.cval();
+    switch (c.t) {
+      case ScalarType::F64: return c.f;
+      case ScalarType::I64: return c.i;
+      case ScalarType::Bool: return c.i != 0;
+    }
+    return 0.0;
+  }
+
+  std::vector<Value> eval_body(const Body& b, const Env& parent) const {
+    Env env(&parent);
+    for (const auto& st : b.stms) exec_stm(st, env);
+    std::vector<Value> out;
+    out.reserve(b.result.size());
+    for (const auto& a : b.result) out.push_back(eval_atom(a, env));
+    return out;
+  }
+
+  std::vector<Value> apply(const Lambda& f, std::vector<Value> args, const Env& captured) const {
+    assert(args.size() == f.params.size());
+    Env env(&captured);
+    for (size_t i = 0; i < args.size(); ++i) env.bind(f.params[i].var, std::move(args[i]));
+    return eval_body(f.body, env);
+  }
+
+  void exec_stm(const Stm& st, Env& env) const {
+    std::vector<Value> vals = eval_exp(st.e, env);
+    assert(vals.size() == st.vars.size());
+    for (size_t i = 0; i < vals.size(); ++i) env.bind(st.vars[i], std::move(vals[i]));
+  }
+
+  std::vector<Value> eval_exp(const Exp& e, Env& env) const {
+    return std::visit(
+        Overload{
+            [&](const OpAtom& o) -> std::vector<Value> { return {eval_atom(o.a, env)}; },
+            [&](const OpBin& o) -> std::vector<Value> {
+              return {eval_bin(o.op, eval_atom(o.a, env), eval_atom(o.b, env))};
+            },
+            [&](const OpUn& o) -> std::vector<Value> {
+              return {eval_un(o.op, eval_atom(o.a, env))};
+            },
+            [&](const OpSelect& o) -> std::vector<Value> {
+              return {as_bool(eval_atom(o.c, env)) ? eval_atom(o.t, env) : eval_atom(o.f, env)};
+            },
+            [&](const OpIndex& o) -> std::vector<Value> { return {eval_index(o, env)}; },
+            [&](const OpUpdate& o) -> std::vector<Value> { return {eval_update(o, env)}; },
+            [&](const OpUpdAcc& o) -> std::vector<Value> { return {eval_updacc(o, env)}; },
+            [&](const OpIota& o) -> std::vector<Value> {
+              const int64_t n = as_i64(eval_atom(o.n, env));
+              ArrayVal a = ArrayVal::alloc(ScalarType::I64, {n});
+              for (int64_t i = 0; i < n; ++i) a.set_i64(i, i);
+              return {a};
+            },
+            [&](const OpReplicate& o) -> std::vector<Value> {
+              const int64_t n = as_i64(eval_atom(o.n, env));
+              Value v = eval_atom(o.v, env);
+              if (is_array(v)) {
+                const ArrayVal& row = as_array(v);
+                std::vector<int64_t> shp{n};
+                shp.insert(shp.end(), row.shape.begin(), row.shape.end());
+                ArrayVal out = ArrayVal::alloc(row.elem, std::move(shp));
+                for (int64_t i = 0; i < n; ++i) copy_into(out, i * row.elems(), row);
+                return {out};
+              }
+              ScalarType t = std::holds_alternative<double>(v)    ? ScalarType::F64
+                             : std::holds_alternative<int64_t>(v) ? ScalarType::I64
+                                                                  : ScalarType::Bool;
+              ArrayVal out = ArrayVal::alloc(t, {n});
+              for (int64_t i = 0; i < n; ++i) store_scalar(out, i, v);
+              return {out};
+            },
+            [&](const OpZerosLike& o) -> std::vector<Value> {
+              const Value& v = env.lookup(o.v);
+              if (is_array(v)) {
+                const ArrayVal& a = as_array(v);
+                return {ArrayVal::alloc(a.elem, a.shape)};
+              }
+              if (std::holds_alternative<int64_t>(v)) return {int64_t{0}};
+              if (std::holds_alternative<bool>(v)) return {false};
+              return {0.0};
+            },
+            [&](const OpScratch& o) -> std::vector<Value> {
+              const int64_t n = as_i64(eval_atom(o.n, env));
+              const Value& like = env.lookup(o.like);
+              std::vector<int64_t> shp{n};
+              ScalarType t = ScalarType::F64;
+              if (is_array(like)) {
+                const ArrayVal& a = as_array(like);
+                shp.insert(shp.end(), a.shape.begin(), a.shape.end());
+                t = a.elem;
+              } else if (std::holds_alternative<int64_t>(like)) {
+                t = ScalarType::I64;
+              } else if (std::holds_alternative<bool>(like)) {
+                t = ScalarType::Bool;
+              }
+              return {ArrayVal::alloc(t, std::move(shp))};
+            },
+            [&](const OpLength& o) -> std::vector<Value> {
+              return {as_array(env.lookup(o.arr)).outer()};
+            },
+            [&](const OpReverse& o) -> std::vector<Value> {
+              const ArrayVal& a = as_array(env.lookup(o.arr));
+              ArrayVal out = ArrayVal::alloc(a.elem, a.shape);
+              const int64_t n = a.outer(), row = a.row_elems();
+              for (int64_t i = 0; i < n; ++i) copy_into(out, (n - 1 - i) * row, row_view(a, i));
+              return {out};
+            },
+            [&](const OpTranspose& o) -> std::vector<Value> {
+              const ArrayVal& a = as_array(env.lookup(o.arr));
+              assert(a.rank() >= 2);
+              std::vector<int64_t> shp = a.shape;
+              std::swap(shp[0], shp[1]);
+              ArrayVal out = ArrayVal::alloc(a.elem, shp);
+              const int64_t r = a.shape[0], c = a.shape[1];
+              int64_t inner = 1;
+              for (size_t d = 2; d < a.shape.size(); ++d) inner *= a.shape[d];
+              for (int64_t i = 0; i < r; ++i) {
+                for (int64_t j = 0; j < c; ++j) {
+                  ArrayVal cell = row_view(a, i);
+                  // copy a[i,j,...] to out[j,i,...]
+                  for (int64_t k = 0; k < inner; ++k) {
+                    const int64_t src = (i * c + j) * inner + k;
+                    const int64_t dst = (j * r + i) * inner + k;
+                    switch (a.elem) {
+                      case ScalarType::F64: out.set_f64(dst, a.get_f64(src)); break;
+                      case ScalarType::I64: out.set_i64(dst, a.get_i64(src)); break;
+                      case ScalarType::Bool: out.set_b8(dst, a.get_i64(src) != 0); break;
+                    }
+                  }
+                  (void)cell;
+                }
+              }
+              return {out};
+            },
+            [&](const OpCopy& o) -> std::vector<Value> {
+              const Value& v = env.lookup(o.v);
+              if (is_array(v)) return {compact_copy(as_array(v))};
+              return {v};
+            },
+            [&](const OpIf& o) -> std::vector<Value> {
+              return eval_body(as_bool(eval_atom(o.c, env)) ? *o.tb : *o.fb, env);
+            },
+            [&](const OpLoop& o) -> std::vector<Value> { return eval_loop(o, env); },
+            [&](const OpMap& o) -> std::vector<Value> { return eval_map(o, env); },
+            [&](const OpReduce& o) -> std::vector<Value> { return eval_reduce(o, env); },
+            [&](const OpScan& o) -> std::vector<Value> { return eval_scan(o, env); },
+            [&](const OpHist& o) -> std::vector<Value> { return {eval_hist(o, env)}; },
+            [&](const OpScatter& o) -> std::vector<Value> { return {eval_scatter(o, env)}; },
+            [&](const OpWithAcc& o) -> std::vector<Value> { return eval_withacc(o, env); },
+        },
+        e);
+  }
+
+  // ------------------------------------------------------------- scalars ---
+  static Value eval_bin(BinOp op, const Value& va, const Value& vb) {
+    switch (op) {
+      case BinOp::Eq: case BinOp::Ne: case BinOp::Lt: case BinOp::Le:
+      case BinOp::Gt: case BinOp::Ge: {
+        if (std::holds_alternative<int64_t>(va)) {
+          const int64_t a = as_i64(va), b = as_i64(vb);
+          switch (op) {
+            case BinOp::Eq: return a == b;
+            case BinOp::Ne: return a != b;
+            case BinOp::Lt: return a < b;
+            case BinOp::Le: return a <= b;
+            case BinOp::Gt: return a > b;
+            default: return a >= b;
+          }
+        }
+        const double a = as_f64(va), b = as_f64(vb);
+        switch (op) {
+          case BinOp::Eq: return a == b;
+          case BinOp::Ne: return a != b;
+          case BinOp::Lt: return a < b;
+          case BinOp::Le: return a <= b;
+          case BinOp::Gt: return a > b;
+          default: return a >= b;
+        }
+      }
+      case BinOp::And: return as_bool(va) && as_bool(vb);
+      case BinOp::Or: return as_bool(va) || as_bool(vb);
+      case BinOp::Mod: {
+        const int64_t b = as_i64(vb);
+        return b == 0 ? int64_t{0} : as_i64(va) % b;
+      }
+      default: break;
+    }
+    if (std::holds_alternative<int64_t>(va)) {
+      const int64_t a = as_i64(va), b = as_i64(vb);
+      switch (op) {
+        case BinOp::Add: return a + b;
+        case BinOp::Sub: return a - b;
+        case BinOp::Mul: return a * b;
+        case BinOp::Div: return b == 0 ? int64_t{0} : a / b;
+        case BinOp::Min: return std::min(a, b);
+        case BinOp::Max: return std::max(a, b);
+        case BinOp::Pow: return static_cast<int64_t>(std::pow(static_cast<double>(a), static_cast<double>(b)));
+        default: die("bad int binop");
+      }
+    }
+    const double a = as_f64(va), b = as_f64(vb);
+    switch (op) {
+      case BinOp::Add: return a + b;
+      case BinOp::Sub: return a - b;
+      case BinOp::Mul: return a * b;
+      case BinOp::Div: return a / b;
+      case BinOp::Pow: return std::pow(a, b);
+      case BinOp::Min: return std::min(a, b);
+      case BinOp::Max: return std::max(a, b);
+      default: die("bad f64 binop");
+    }
+  }
+
+  static Value eval_un(UnOp op, const Value& va) {
+    switch (op) {
+      case UnOp::Not: return !as_bool(va);
+      case UnOp::ToF64: return as_f64(va);
+      case UnOp::ToI64: return as_i64(va);
+      case UnOp::Neg:
+        if (std::holds_alternative<int64_t>(va)) return -as_i64(va);
+        return -as_f64(va);
+      case UnOp::Abs:
+        if (std::holds_alternative<int64_t>(va)) return std::abs(as_i64(va));
+        return std::fabs(as_f64(va));
+      case UnOp::Sign: {
+        const double x = as_f64(va);
+        return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0);
+      }
+      default: break;
+    }
+    const double a = as_f64(va);
+    switch (op) {
+      case UnOp::Exp: return std::exp(a);
+      case UnOp::Log: return std::log(a);
+      case UnOp::Sqrt: return std::sqrt(a);
+      case UnOp::Sin: return std::sin(a);
+      case UnOp::Cos: return std::cos(a);
+      case UnOp::Tanh: return std::tanh(a);
+      case UnOp::LGamma: return std::lgamma(a);
+      case UnOp::Digamma: return digamma_approx(a);
+      default: die("bad unop");
+    }
+  }
+
+  // -------------------------------------------------------- array access ---
+  Value eval_index(const OpIndex& o, const Env& env) const {
+    const ArrayVal* a = &as_array(env.lookup(o.arr));
+    ArrayVal view = *a;
+    for (size_t k = 0; k < o.idx.size(); ++k) {
+      const int64_t i = as_i64(eval_atom(o.idx[k], env));
+      if (i < 0 || i >= view.shape[0]) die("index out of bounds");
+      if (view.rank() == 1) {
+        // Final scalar element.
+        assert(k + 1 == o.idx.size());
+        return scalar_value(view.elem, view, i);
+      }
+      view = row_view(view, i);
+    }
+    return view;
+  }
+
+  Value eval_update(const OpUpdate& o, const Env& env) const {
+    ArrayVal a = as_array(env.lookup(o.arr));  // +1 ref (env keeps one)
+    ArrayVal dst = (a.whole() && a.buf.use_count() <= 2) ? a : compact_copy(a);
+    int64_t off = 0;
+    int64_t rows = dst.elems();
+    for (size_t k = 0; k < o.idx.size(); ++k) {
+      rows /= dst.shape[k];
+      const int64_t i = as_i64(eval_atom(o.idx[k], env));
+      if (i < 0 || i >= dst.shape[k]) die("update index out of bounds");
+      off += i * rows;
+    }
+    Value v = eval_atom(o.v, env);
+    if (is_array(v)) {
+      copy_into(dst, off, as_array(v));
+    } else {
+      store_scalar(dst, off, v);
+    }
+    return dst;
+  }
+
+  Value eval_updacc(const OpUpdAcc& o, const Env& env) const {
+    AccVal acc = as_acc(env.lookup(o.acc));
+    ArrayVal& a = acc.arr;
+    int64_t off = 0;
+    int64_t rows = a.elems();
+    for (size_t k = 0; k < o.idx.size(); ++k) {
+      rows /= a.shape[k];
+      const int64_t i = as_i64(eval_atom(o.idx[k], env));
+      if (i < 0 || i >= a.shape[k]) return acc;  // out-of-bounds updates ignored
+      off += i * rows;
+    }
+    Value v = eval_atom(o.v, env);
+    if (is_array(v)) {
+      const ArrayVal& src = as_array(v);
+      for (int64_t k = 0; k < src.elems(); ++k) atomic_add_f64(a, off + k, src.get_f64(k));
+    } else {
+      atomic_add_f64(a, off, as_f64(v));
+    }
+    return acc;
+  }
+
+  // ---------------------------------------------------------------- loop ---
+  std::vector<Value> eval_loop(const OpLoop& o, Env& env) const {
+    std::vector<Value> state;
+    state.reserve(o.init.size());
+    for (const auto& a : o.init) state.push_back(eval_atom(a, env));
+    if (o.while_cond) {
+      for (;;) {
+        std::vector<Value> c = apply(*o.while_cond, state, env);
+        if (!as_bool(c[0])) break;
+        Env it_env(&env);
+        for (size_t k = 0; k < o.params.size(); ++k)
+          it_env.bind(o.params[k].var, std::move(state[k]));
+        state = eval_body(*o.body, it_env);
+      }
+      return state;
+    }
+    const int64_t n = as_i64(eval_atom(o.count, env));
+    for (int64_t i = 0; i < n; ++i) {
+      Env it_env(&env);
+      it_env.bind(o.idx, i);
+      for (size_t k = 0; k < o.params.size(); ++k)
+        it_env.bind(o.params[k].var, std::move(state[k]));
+      state = eval_body(*o.body, it_env);
+    }
+    return state;
+  }
+
+  // ----------------------------------------------------------------- map ---
+  std::vector<Value> eval_map(const OpMap& o, Env& env) const {
+    const Lambda& f = *o.f;
+    // Element inputs (non-acc) and threaded accumulator args.
+    std::vector<ArrayVal> inputs;
+    std::vector<Value> acc_args;
+    int64_t n = -1;
+    for (size_t i = 0; i < o.args.size(); ++i) {
+      const Value& v = env.lookup(o.args[i]);
+      if (f.params[i].type.is_acc) {
+        acc_args.push_back(v);
+      } else {
+        const ArrayVal& a = as_array(v);
+        if (n < 0) n = a.outer();
+        if (a.outer() != n) die("map arguments of unequal length");
+        inputs.push_back(a);
+      }
+    }
+    if (n < 0) die("map without array argument");
+
+    if (opts_.use_kernels) {
+      if (auto kopt = try_kernel(o, inputs, env)) {
+        stats_->kernel_maps.fetch_add(1, std::memory_order_relaxed);
+        return run_kernel(*kopt, f, o, n, env);
+      }
+    }
+    stats_->general_maps.fetch_add(1, std::memory_order_relaxed);
+
+    // General path: evaluate element 0 to learn result shapes.
+    std::vector<Value> outs(f.rets.size());
+    std::vector<ArrayVal> out_arrays(f.rets.size());
+    auto elem_args = [&](int64_t i) {
+      std::vector<Value> args;
+      args.reserve(f.params.size());
+      size_t ai = 0, ci = 0;
+      for (size_t k = 0; k < f.params.size(); ++k) {
+        if (f.params[k].type.is_acc) {
+          args.push_back(acc_args[ci++]);
+        } else {
+          const ArrayVal& a = inputs[ai++];
+          if (a.rank() == 1) {
+            args.push_back(scalar_value(a.elem, a, i));
+          } else {
+            args.push_back(row_view(a, i));
+          }
+        }
+      }
+      return args;
+    };
+    auto store_result = [&](int64_t i, std::vector<Value>& vals) {
+      for (size_t r = 0; r < f.rets.size(); ++r) {
+        if (f.rets[r].is_acc) continue;
+        ArrayVal& dst = out_arrays[r];
+        if (is_array(vals[r])) {
+          const ArrayVal& src = as_array(vals[r]);
+          copy_into(dst, i * src.elems(), src);
+        } else {
+          store_scalar(dst, i, vals[r]);
+        }
+      }
+    };
+    if (n == 0) {
+      for (size_t r = 0; r < f.rets.size(); ++r) {
+        if (f.rets[r].is_acc) continue;
+        std::vector<int64_t> shp{0};
+        for (int d = 0; d < f.rets[r].rank; ++d) shp.push_back(0);
+        out_arrays[r] = ArrayVal::alloc(f.rets[r].elem, std::move(shp));
+      }
+    } else {
+      std::vector<Value> first = apply(f, elem_args(0), env);
+      for (size_t r = 0; r < f.rets.size(); ++r) {
+        if (f.rets[r].is_acc) {
+          outs[r] = first[r];
+          continue;
+        }
+        std::vector<int64_t> shp{n};
+        if (is_array(first[r])) {
+          const auto& a = as_array(first[r]);
+          shp.insert(shp.end(), a.shape.begin(), a.shape.end());
+          out_arrays[r] = ArrayVal::alloc(a.elem, std::move(shp));
+        } else {
+          ScalarType t = std::holds_alternative<double>(first[r])    ? ScalarType::F64
+                         : std::holds_alternative<int64_t>(first[r]) ? ScalarType::I64
+                                                                     : ScalarType::Bool;
+          out_arrays[r] = ArrayVal::alloc(t, std::move(shp));
+        }
+      }
+      store_result(0, first);
+      const auto body = [&](int64_t lo, int64_t hi) {
+        for (int64_t i = std::max<int64_t>(lo, 1); i < hi; ++i) {
+          std::vector<Value> vals = apply(f, elem_args(i), env);
+          store_result(i, vals);
+        }
+      };
+      if (opts_.parallel) {
+        support::parallel_for(n, opts_.grain, body);
+      } else {
+        body(0, n);
+      }
+    }
+    for (size_t r = 0; r < f.rets.size(); ++r) {
+      if (!f.rets[r].is_acc) outs[r] = out_arrays[r];
+    }
+    return outs;
+  }
+
+  std::optional<KernelLaunch> try_kernel(const OpMap& o, const std::vector<ArrayVal>& inputs,
+                                         const Env& env) const {
+    for (const auto& a : inputs) {
+      if (a.rank() != 1) return std::nullopt;
+    }
+    auto kopt = compile_kernel(*o.f);
+    if (!kopt) return std::nullopt;
+    static thread_local std::vector<Kernel> keep;  // keep compiled kernels alive per launch
+    keep.clear();
+    keep.push_back(std::move(*kopt));
+    const Kernel& k = keep.back();
+    KernelLaunch L;
+    L.k = &k;
+    L.inputs = inputs;
+    for (ir::Var v : k.free_scalars) {
+      const Value& val = env.lookup(v);
+      if (is_array(val) || is_acc(val)) return std::nullopt;
+      L.free_scalar_vals.push_back(as_f64(val));
+    }
+    for (ir::Var v : k.free_arrays) {
+      const Value& val = env.lookup(v);
+      if (!is_array(val)) return std::nullopt;
+      L.free_array_vals.push_back(as_array(val));
+    }
+    for (const auto& ab : k.accs) {
+      Value val;
+      if (ab.param_index >= 0) {
+        val = env.lookup(o.args[static_cast<size_t>(ab.param_index)]);
+      } else {
+        val = env.lookup(ab.var);
+      }
+      if (!is_acc(val)) return std::nullopt;
+      if (as_acc(val).arr.elem != ScalarType::F64) return std::nullopt;
+      L.acc_array_vals.push_back(as_acc(val).arr);
+    }
+    return L;
+  }
+
+  std::vector<Value> run_kernel(KernelLaunch& L, const Lambda& f, const OpMap& o, int64_t n,
+                                const Env& env) const {
+    const Kernel& k = *L.k;
+    for (ScalarType t : k.out_elems) L.outputs.push_back(ArrayVal::alloc(t, {n}));
+    const auto body = [&](int64_t lo, int64_t hi) { L.run(lo, hi); };
+    if (opts_.parallel) {
+      support::parallel_for(n, opts_.grain, body);
+    } else {
+      body(0, n);
+    }
+    std::vector<Value> outs;
+    size_t oi = 0;
+    for (size_t r = 0; r < f.rets.size(); ++r) {
+      const int32_t slot = k.ret_acc_slot[r];
+      if (slot >= 0) {
+        const auto& ab = k.accs[static_cast<size_t>(slot)];
+        if (ab.param_index >= 0) {
+          outs.push_back(env.lookup(o.args[static_cast<size_t>(ab.param_index)]));
+        } else {
+          outs.push_back(env.lookup(ab.var));
+        }
+      } else {
+        outs.push_back(L.outputs[oi++]);
+      }
+    }
+    return outs;
+  }
+
+  // -------------------------------------------------------------- reduce ---
+  std::vector<Value> eval_reduce(const OpReduce& o, Env& env) const {
+    const Lambda& op = *o.op;
+    const size_t k = o.args.size();
+    std::vector<ArrayVal> arrs;
+    arrs.reserve(k);
+    for (auto v : o.args) arrs.push_back(as_array(env.lookup(v)));
+    const int64_t n = arrs[0].outer();
+    std::vector<Value> neutral;
+    for (const auto& a : o.neutral) neutral.push_back(eval_atom(a, env));
+
+    auto elem = [&](size_t j, int64_t i) -> Value {
+      const ArrayVal& a = arrs[j];
+      if (a.rank() == 1) return scalar_value(a.elem, a, i);
+      return row_view(a, i);
+    };
+    auto fold_range = [&](int64_t lo, int64_t hi, std::vector<Value> acc) {
+      // Fast path: single f64 array with a recognized scalar operator.
+      if (k == 1 && arrs[0].rank() == 1 && arrs[0].elem == ScalarType::F64) {
+        if (auto bop = recognize_binop(op)) {
+          double acc0 = as_f64(acc[0]);
+          const double* p = arrs[0].buf->f64() + arrs[0].offset;
+          switch (*bop) {
+            case BinOp::Add: for (int64_t i = lo; i < hi; ++i) acc0 += p[i]; break;
+            case BinOp::Mul: for (int64_t i = lo; i < hi; ++i) acc0 *= p[i]; break;
+            case BinOp::Min: for (int64_t i = lo; i < hi; ++i) acc0 = std::min(acc0, p[i]); break;
+            case BinOp::Max: for (int64_t i = lo; i < hi; ++i) acc0 = std::max(acc0, p[i]); break;
+            default: goto general;
+          }
+          acc[0] = acc0;
+          return acc;
+        }
+      }
+    general:
+      for (int64_t i = lo; i < hi; ++i) {
+        std::vector<Value> args = acc;
+        for (size_t j = 0; j < k; ++j) args.push_back(elem(j, i));
+        acc = apply(op, std::move(args), env);
+      }
+      return acc;
+    };
+
+    const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
+    if (!opts_.parallel || n < 2 * opts_.grain || threads == 1 ||
+        support::ThreadPool::in_parallel_region()) {
+      return fold_range(0, n, neutral);
+    }
+    const int64_t chunks = std::min<int64_t>(threads, (n + opts_.grain - 1) / opts_.grain);
+    const int64_t per = (n + chunks - 1) / chunks;
+    std::vector<std::vector<Value>> partial(static_cast<size_t>(chunks));
+    support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+      for (int64_t c = clo; c < chi; ++c) {
+        const int64_t lo = c * per, hi = std::min(n, lo + per);
+        partial[static_cast<size_t>(c)] = fold_range(lo, hi, neutral);
+      }
+    });
+    std::vector<Value> acc = std::move(partial[0]);
+    for (size_t c = 1; c < partial.size(); ++c) {
+      std::vector<Value> args = std::move(acc);
+      for (auto& v : partial[c]) args.push_back(std::move(v));
+      acc = apply(op, std::move(args), env);
+    }
+    return acc;
+  }
+
+  // ---------------------------------------------------------------- scan ---
+  std::vector<Value> eval_scan(const OpScan& o, Env& env) const {
+    const Lambda& op = *o.op;
+    const size_t k = o.args.size();
+    std::vector<ArrayVal> arrs;
+    for (auto v : o.args) arrs.push_back(as_array(env.lookup(v)));
+    const int64_t n = arrs[0].outer();
+    std::vector<ArrayVal> outs;
+    for (size_t j = 0; j < k; ++j) outs.push_back(ArrayVal::alloc(arrs[j].elem, arrs[j].shape));
+
+    // Fast path: single f64 rank-1 array with recognized operator, parallel
+    // three-phase blocked scan.
+    if (k == 1 && arrs[0].rank() == 1 && arrs[0].elem == ScalarType::F64) {
+      if (auto bop = recognize_binop(op)) {
+        const double* in = arrs[0].buf->f64() + arrs[0].offset;
+        double* out = outs[0].buf->f64();
+        auto combine = [&](double a, double b) {
+          switch (*bop) {
+            case BinOp::Add: return a + b;
+            case BinOp::Mul: return a * b;
+            case BinOp::Min: return std::min(a, b);
+            case BinOp::Max: return std::max(a, b);
+            default: return a + b;
+          }
+        };
+        if (*bop == BinOp::Add || *bop == BinOp::Mul || *bop == BinOp::Min ||
+            *bop == BinOp::Max) {
+          const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
+          if (opts_.parallel && threads > 1 && n >= 4 * opts_.grain &&
+              !support::ThreadPool::in_parallel_region()) {
+            const int64_t chunks = std::min<int64_t>(threads, (n + opts_.grain - 1) / opts_.grain);
+            const int64_t per = (n + chunks - 1) / chunks;
+            std::vector<double> sums(static_cast<size_t>(chunks));
+            support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+              for (int64_t c = clo; c < chi; ++c) {
+                const int64_t lo = c * per, hi = std::min(n, lo + per);
+                double acc = in[lo];
+                out[lo] = acc;
+                for (int64_t i = lo + 1; i < hi; ++i) {
+                  acc = combine(acc, in[i]);
+                  out[i] = acc;
+                }
+                sums[static_cast<size_t>(c)] = acc;
+              }
+            });
+            std::vector<double> pre(static_cast<size_t>(chunks));
+            double run = as_f64(eval_atom(o.neutral[0], env));
+            for (int64_t c = 0; c < chunks; ++c) {
+              pre[static_cast<size_t>(c)] = run;
+              run = combine(run, sums[static_cast<size_t>(c)]);
+            }
+            support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+              for (int64_t c = clo; c < chi; ++c) {
+                if (c == 0) continue;
+                const int64_t lo = c * per, hi = std::min(n, lo + per);
+                const double p = pre[static_cast<size_t>(c)];
+                for (int64_t i = lo; i < hi; ++i) out[i] = combine(p, out[i]);
+              }
+            });
+          } else {
+            double acc = as_f64(eval_atom(o.neutral[0], env));
+            for (int64_t i = 0; i < n; ++i) {
+              acc = combine(acc, in[i]);
+              out[i] = acc;
+            }
+          }
+          return {outs[0]};
+        }
+      }
+    }
+
+    // General sequential scan.
+    std::vector<Value> acc;
+    for (const auto& a : o.neutral) acc.push_back(eval_atom(a, env));
+    for (int64_t i = 0; i < n; ++i) {
+      std::vector<Value> args = acc;
+      for (size_t j = 0; j < k; ++j) {
+        const ArrayVal& a = arrs[j];
+        args.push_back(a.rank() == 1 ? scalar_value(a.elem, a, i) : Value(row_view(a, i)));
+      }
+      acc = apply(op, std::move(args), env);
+      for (size_t j = 0; j < k; ++j) {
+        if (is_array(acc[j])) {
+          copy_into(outs[j], i * as_array(acc[j]).elems(), as_array(acc[j]));
+        } else {
+          store_scalar(outs[j], i, acc[j]);
+        }
+      }
+    }
+    std::vector<Value> res;
+    for (auto& a : outs) res.push_back(a);
+    return res;
+  }
+
+  // ---------------------------------------------------------------- hist ---
+  Value eval_hist(const OpHist& o, Env& env) const {
+    const Lambda& op = *o.op;
+    ArrayVal dest0 = as_array(env.lookup(o.dest));
+    ArrayVal dest = (dest0.whole() && dest0.buf.use_count() <= 2) ? dest0 : compact_copy(dest0);
+    const ArrayVal inds = as_array(env.lookup(o.inds));
+    const ArrayVal vals = as_array(env.lookup(o.vals));
+    const int64_t n = inds.outer();
+    const int64_t m = dest.outer();
+    const int64_t row = dest.rank() > 1 ? dest.row_elems() : 1;
+
+    // Fast path: scalar f64 bins with recognized operator.
+    auto bop = recognize_binop(op);
+    if (bop && dest.rank() == 1 && dest.elem == ScalarType::F64 &&
+        vals.elem == ScalarType::F64) {
+      double* d = dest.buf->f64() + dest.offset;
+      auto combine = [&](double a, double b) {
+        switch (*bop) {
+          case BinOp::Add: return a + b;
+          case BinOp::Mul: return a * b;
+          case BinOp::Min: return std::min(a, b);
+          case BinOp::Max: return std::max(a, b);
+          default: return a + b;
+        }
+      };
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t b = inds.get_i64(i);
+        if (b < 0 || b >= m) continue;
+        d[b] = combine(d[b], vals.get_f64(i));
+      }
+      return dest;
+    }
+
+    // General path: sequential application of the operator per element.
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t b = inds.get_i64(i);
+      if (b < 0 || b >= m) continue;
+      Value cur = dest.rank() == 1 ? scalar_value(dest.elem, dest, b) : Value(row_view(dest, b));
+      Value v = vals.rank() == 1 ? scalar_value(vals.elem, vals, i) : Value(row_view(vals, i));
+      std::vector<Value> r = apply(op, {cur, v}, env);
+      if (is_array(r[0])) {
+        copy_into(dest, b * row, as_array(r[0]));
+      } else {
+        store_scalar(dest, b, r[0]);
+      }
+    }
+    return dest;
+  }
+
+  // ------------------------------------------------------------- scatter ---
+  Value eval_scatter(const OpScatter& o, Env& env) const {
+    ArrayVal dest0 = as_array(env.lookup(o.dest));
+    ArrayVal dest = (dest0.whole() && dest0.buf.use_count() <= 2) ? dest0 : compact_copy(dest0);
+    const ArrayVal inds = as_array(env.lookup(o.inds));
+    const ArrayVal vals = as_array(env.lookup(o.vals));
+    const int64_t n = inds.outer();
+    const int64_t m = dest.outer();
+    const int64_t row = dest.rank() > 1 ? dest.row_elems() : 1;
+    const auto body = [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const int64_t b = inds.get_i64(i);
+        if (b < 0 || b >= m) continue;
+        if (dest.rank() == 1) {
+          store_scalar(dest, b, scalar_value(vals.elem, vals, i));
+        } else {
+          copy_into(dest, b * row, row_view(vals, i));
+        }
+      }
+    };
+    if (opts_.parallel) {
+      support::parallel_for(n, opts_.grain, body);
+    } else {
+      body(0, n);
+    }
+    return dest;
+  }
+
+  // ------------------------------------------------------------- withacc ---
+  std::vector<Value> eval_withacc(const OpWithAcc& o, Env& env) const {
+    const Lambda& f = *o.f;
+    std::vector<Value> args;
+    for (Var a : o.arrs) {
+      ArrayVal arr = as_array(env.lookup(a));
+      ArrayVal owned = (arr.whole() && arr.buf.use_count() <= 2) ? arr : compact_copy(arr);
+      args.push_back(AccVal{std::move(owned)});
+    }
+    std::vector<Value> res = apply(f, std::move(args), env);
+    std::vector<Value> out;
+    for (size_t i = 0; i < res.size(); ++i) {
+      if (i < o.arrs.size()) {
+        out.push_back(as_acc(res[i]).arr);
+      } else {
+        out.push_back(std::move(res[i]));
+      }
+    }
+    return out;
+  }
+
+private:
+  InterpOptions opts_;
+  InterpStats* stats_;
+  const ir::Module& mod_;
+};
+
+} // namespace
+
+std::vector<Value> Interp::run(const ir::Prog& p, const std::vector<Value>& args) const {
+  if (args.size() != p.fn.params.size()) die("argument count mismatch");
+  EvalCtx ctx(*this, *p.mod);
+  Env env;
+  for (size_t i = 0; i < args.size(); ++i) env.bind(p.fn.params[i].var, args[i]);
+  return ctx.eval_body(p.fn.body, env);
+}
+
+std::vector<Value> run_prog(const ir::Prog& p, const std::vector<Value>& args,
+                            InterpOptions opts) {
+  Interp in(opts);
+  return in.run(p, args);
+}
+
+} // namespace npad::rt

@@ -1,0 +1,49 @@
+#pragma once
+
+// Parallel interpreter for npad IR: the execution substrate standing in for
+// the paper's GPU backend. SOACs execute on the global thread pool; scalar
+// map lambdas take the kernel-compiled fast path (runtime/kernel.hpp);
+// accumulators lower to atomic adds.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "runtime/value.hpp"
+
+namespace npad::rt {
+
+struct InterpOptions {
+  bool parallel = true;      // use the thread pool for SOACs
+  bool use_kernels = true;   // enable the kernel-compiled map fast path
+  int64_t grain = 2048;      // minimum elements per parallel chunk
+};
+
+struct InterpStats {
+  std::atomic<uint64_t> kernel_maps{0};    // maps run through compiled kernels
+  std::atomic<uint64_t> general_maps{0};   // maps run through the interpreter
+};
+
+class Env;
+
+class Interp {
+public:
+  explicit Interp(InterpOptions opts = {}) : opts_(opts) {}
+
+  std::vector<Value> run(const ir::Prog& p, const std::vector<Value>& args) const;
+
+  const InterpStats& stats() const { return stats_; }
+  const InterpOptions& options() const { return opts_; }
+
+private:
+  friend class EvalCtx;
+  InterpOptions opts_;
+  mutable InterpStats stats_;
+};
+
+// One-shot convenience entry point.
+std::vector<Value> run_prog(const ir::Prog& p, const std::vector<Value>& args,
+                            InterpOptions opts = {});
+
+} // namespace npad::rt

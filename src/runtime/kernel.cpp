@@ -1,0 +1,323 @@
+#include "runtime/kernel.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "ir/visit.hpp"
+
+namespace npad::rt {
+
+namespace {
+
+using namespace ir;
+
+// Digamma via the standard asymptotic series with recurrence shift;
+// accurate to ~1e-12 for x > 0 (sufficient for the GMM prior terms).
+double digamma(double x) {
+  double result = 0.0;
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x, inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12 - inv2 * (1.0 / 120 - inv2 * (1.0 / 252 - inv2 / 240)));
+  return result;
+}
+
+class KernelBuilder {
+public:
+  explicit KernelBuilder(const Lambda& f) : f_(f) {}
+
+  std::optional<Kernel> build() {
+    // Parameters: scalars become element inputs; accumulators become slots.
+    int32_t param_index = 0;
+    for (const auto& p : f_.params) {
+      if (p.type.is_acc) {
+        acc_slot_[p.var.id] = add_acc(p.var, param_index++);
+      } else if (p.type.rank == 0) {
+        ++param_index;
+        const int r = new_reg();
+        reg_[p.var.id] = r;
+        KInstr in;
+        in.op = KOp::LoadElem;
+        in.dst = r;
+        in.slot = static_cast<int32_t>(k_.num_inputs++);
+        k_.instrs.push_back(in);
+      } else {
+        return std::nullopt;  // array-element params are not kernelizable
+      }
+    }
+    for (const auto& st : f_.body.stms) {
+      if (!stm(st)) return std::nullopt;
+    }
+    for (size_t ri = 0; ri < f_.body.result.size(); ++ri) {
+      const Atom& a = f_.body.result[ri];
+      if (a.is_var() && acc_slot_.count(a.var().id)) {  // threaded acc result
+        k_.ret_acc_slot.push_back(acc_slot_[a.var().id]);
+        continue;
+      }
+      Type t = f_.rets[ri];
+      if (t.rank != 0) return std::nullopt;
+      KInstr out;
+      out.op = KOp::StoreOut;
+      out.a = use(a);
+      out.slot = static_cast<int32_t>(k_.out_elems.size());
+      k_.instrs.push_back(out);
+      k_.out_elems.push_back(t.elem);
+      k_.ret_acc_slot.push_back(-1);
+    }
+    k_.num_regs = next_reg_;
+    return std::move(k_);
+  }
+
+private:
+  int new_reg() { return next_reg_++; }
+
+  int add_acc(Var v, int32_t param_index) {
+    k_.accs.push_back(Kernel::AccBinding{v, param_index});
+    return static_cast<int>(k_.accs.size()) - 1;
+  }
+
+  // Returns the register holding atom `a`, materializing constants and
+  // registering free scalar variables on first use.
+  int32_t use(const Atom& a) {
+    if (a.is_const()) {
+      const ConstVal& c = a.cval();
+      const int r = new_reg();
+      KInstr in;
+      in.op = KOp::ConstF;
+      in.dst = r;
+      in.imm = c.t == ScalarType::F64 ? c.f : static_cast<double>(c.i);
+      k_.instrs.push_back(in);
+      return r;
+    }
+    auto it = reg_.find(a.var().id);
+    if (it != reg_.end()) return it->second;
+    // Free scalar variable: reserve a register filled at launch time.
+    const int r = new_reg();
+    reg_[a.var().id] = r;
+    k_.free_scalars.push_back(a.var());
+    k_.free_scalar_regs.push_back(r);
+    return r;
+  }
+
+  // Free array used via Gather; -1 when the var is not a known array yet.
+  int32_t array_slot(Var v) {
+    auto it = arr_slot_.find(v.id);
+    if (it != arr_slot_.end()) return it->second;
+    if (reg_.count(v.id) || acc_slot_.count(v.id)) return -1;
+    const auto slot = static_cast<int32_t>(k_.free_arrays.size());
+    k_.free_arrays.push_back(v);
+    arr_slot_[v.id] = slot;
+    return slot;
+  }
+
+  bool stm(const Stm& st) {
+    if (st.vars.size() != 1) return false;
+    const Var dst = st.vars[0];
+    const Type dt = st.types[0];
+    auto simple = [&](KOp op, int32_t a, int32_t b = -1, int32_t c = -1) {
+      const int r = new_reg();
+      KInstr in;
+      in.op = op;
+      in.dst = r;
+      in.a = a;
+      in.b = b;
+      in.c = c;
+      k_.instrs.push_back(in);
+      reg_[dst.id] = r;
+      return true;
+    };
+    return std::visit(
+        Overload{
+            [&](const OpAtom& o) {
+              if (dt.is_acc) {
+                if (!o.a.is_var()) return false;
+                auto it = acc_slot_.find(o.a.var().id);
+                if (it == acc_slot_.end()) return false;
+                acc_slot_[dst.id] = it->second;
+                return true;
+              }
+              if (dt.rank != 0) return false;
+              return simple(KOp::Mov, use(o.a));
+            },
+            [&](const OpBin& o) {
+              static constexpr KOp table[] = {KOp::Add, KOp::Sub, KOp::Mul, KOp::Div,
+                                              KOp::Pow, KOp::Min, KOp::Max, KOp::Mod,
+                                              KOp::Eq,  KOp::Ne,  KOp::Lt,  KOp::Le,
+                                              KOp::Gt,  KOp::Ge,  KOp::And, KOp::Or};
+              KOp op = table[static_cast<size_t>(o.op)];
+              // Integer division must truncate (registers are doubles).
+              if (op == KOp::Div && dt.elem == ScalarType::I64) op = KOp::IDiv;
+              return simple(op, use(o.a), use(o.b));
+            },
+            [&](const OpUn& o) {
+              KOp op;
+              switch (o.op) {
+                case UnOp::Neg: op = KOp::Neg; break;
+                case UnOp::Exp: op = KOp::Exp; break;
+                case UnOp::Log: op = KOp::Log; break;
+                case UnOp::Sqrt: op = KOp::Sqrt; break;
+                case UnOp::Sin: op = KOp::Sin; break;
+                case UnOp::Cos: op = KOp::Cos; break;
+                case UnOp::Tanh: op = KOp::Tanh; break;
+                case UnOp::Abs: op = KOp::Abs; break;
+                case UnOp::Sign: op = KOp::Sign; break;
+                case UnOp::LGamma: op = KOp::LGamma; break;
+                case UnOp::Digamma: op = KOp::Digamma; break;
+                case UnOp::Not: op = KOp::Not; break;
+                case UnOp::ToF64: op = KOp::Mov; break;
+                case UnOp::ToI64: op = KOp::Trunc; break;
+                default: return false;
+              }
+              return simple(op, use(o.a));
+            },
+            [&](const OpSelect& o) { return simple(KOp::Select, use(o.c), use(o.t), use(o.f)); },
+            [&](const OpIndex& o) {
+              if (o.idx.empty() || o.idx.size() > 4 || dt.rank != 0) return false;
+              const int32_t slot = array_slot(o.arr);
+              if (slot < 0) return false;
+              KInstr in;
+              in.op = KOp::Gather;
+              in.slot = slot;
+              in.nidx = static_cast<int32_t>(o.idx.size());
+              for (size_t i = 0; i < o.idx.size(); ++i) in.idx[i] = use(o.idx[i]);
+              in.dst = new_reg();
+              k_.instrs.push_back(in);
+              reg_[dst.id] = in.dst;
+              return true;
+            },
+            [&](const OpUpdAcc& o) {
+              auto it = acc_slot_.find(o.acc.id);
+              int32_t slot;
+              if (it != acc_slot_.end()) {
+                slot = it->second;
+              } else {
+                if (reg_.count(o.acc.id) || arr_slot_.count(o.acc.id)) return false;
+                slot = add_acc(o.acc, -1);
+                acc_slot_[o.acc.id] = slot;
+              }
+              if (o.idx.empty() || o.idx.size() > 4) return false;
+              KInstr in;
+              in.op = KOp::UpdAcc;
+              in.slot = slot;
+              in.a = use(o.v);
+              in.nidx = static_cast<int32_t>(o.idx.size());
+              for (size_t i = 0; i < o.idx.size(); ++i) in.idx[i] = use(o.idx[i]);
+              k_.instrs.push_back(in);
+              acc_slot_[dst.id] = slot;  // threaded result aliases the slot
+              return true;
+            },
+            [&](const auto&) { return false; },
+        },
+        st.e);
+  }
+
+  const Lambda& f_;
+  Kernel k_;
+  int next_reg_ = 0;
+  std::unordered_map<uint32_t, int32_t> reg_;
+  std::unordered_map<uint32_t, int32_t> arr_slot_;
+  std::unordered_map<uint32_t, int32_t> acc_slot_;
+};
+
+inline int64_t flat_index(const ArrayVal& a, const double* regs, const int32_t* idx,
+                          int32_t nidx) {
+  int64_t off = 0;
+  int64_t stride = 1;
+  // idx covers the leading `nidx` dims of a rank-nidx array (full indexing).
+  for (int32_t d = nidx - 1; d >= 0; --d) {
+    const auto i = static_cast<int64_t>(regs[idx[d]]);
+    off += i * stride;
+    stride *= a.shape[static_cast<size_t>(d)];
+  }
+  return off;
+}
+
+} // namespace
+
+std::optional<Kernel> compile_kernel(const ir::Lambda& f) {
+  return KernelBuilder(f).build();
+}
+
+void KernelLaunch::run(int64_t lo, int64_t hi) const {
+  std::vector<double> regs(static_cast<size_t>(k->num_regs), 0.0);
+  for (size_t i = 0; i < k->free_scalar_regs.size(); ++i) {
+    regs[static_cast<size_t>(k->free_scalar_regs[i])] = free_scalar_vals[i];
+  }
+  for (int64_t it = lo; it < hi; ++it) {
+    for (const auto& in : k->instrs) {
+      double* r = regs.data();
+      switch (in.op) {
+        case KOp::ConstF: r[in.dst] = in.imm; break;
+        case KOp::Mov: r[in.dst] = r[in.a]; break;
+        case KOp::Add: r[in.dst] = r[in.a] + r[in.b]; break;
+        case KOp::Sub: r[in.dst] = r[in.a] - r[in.b]; break;
+        case KOp::Mul: r[in.dst] = r[in.a] * r[in.b]; break;
+        case KOp::Div: r[in.dst] = r[in.a] / r[in.b]; break;
+        case KOp::IDiv: {
+          const auto x = static_cast<int64_t>(r[in.a]), y = static_cast<int64_t>(r[in.b]);
+          r[in.dst] = static_cast<double>(y == 0 ? 0 : x / y);
+          break;
+        }
+        case KOp::Pow: r[in.dst] = std::pow(r[in.a], r[in.b]); break;
+        case KOp::Min: r[in.dst] = std::min(r[in.a], r[in.b]); break;
+        case KOp::Max: r[in.dst] = std::max(r[in.a], r[in.b]); break;
+        case KOp::Mod: {
+          const auto x = static_cast<int64_t>(r[in.a]), y = static_cast<int64_t>(r[in.b]);
+          r[in.dst] = static_cast<double>(y == 0 ? 0 : x % y);
+          break;
+        }
+        case KOp::Eq: r[in.dst] = r[in.a] == r[in.b] ? 1.0 : 0.0; break;
+        case KOp::Ne: r[in.dst] = r[in.a] != r[in.b] ? 1.0 : 0.0; break;
+        case KOp::Lt: r[in.dst] = r[in.a] < r[in.b] ? 1.0 : 0.0; break;
+        case KOp::Le: r[in.dst] = r[in.a] <= r[in.b] ? 1.0 : 0.0; break;
+        case KOp::Gt: r[in.dst] = r[in.a] > r[in.b] ? 1.0 : 0.0; break;
+        case KOp::Ge: r[in.dst] = r[in.a] >= r[in.b] ? 1.0 : 0.0; break;
+        case KOp::And: r[in.dst] = (r[in.a] != 0.0 && r[in.b] != 0.0) ? 1.0 : 0.0; break;
+        case KOp::Or: r[in.dst] = (r[in.a] != 0.0 || r[in.b] != 0.0) ? 1.0 : 0.0; break;
+        case KOp::Neg: r[in.dst] = -r[in.a]; break;
+        case KOp::Exp: r[in.dst] = std::exp(r[in.a]); break;
+        case KOp::Log: r[in.dst] = std::log(r[in.a]); break;
+        case KOp::Sqrt: r[in.dst] = std::sqrt(r[in.a]); break;
+        case KOp::Sin: r[in.dst] = std::sin(r[in.a]); break;
+        case KOp::Cos: r[in.dst] = std::cos(r[in.a]); break;
+        case KOp::Tanh: r[in.dst] = std::tanh(r[in.a]); break;
+        case KOp::Abs: r[in.dst] = std::fabs(r[in.a]); break;
+        case KOp::Sign: r[in.dst] = r[in.a] > 0 ? 1.0 : (r[in.a] < 0 ? -1.0 : 0.0); break;
+        case KOp::LGamma: r[in.dst] = std::lgamma(r[in.a]); break;
+        case KOp::Digamma: r[in.dst] = digamma(r[in.a]); break;
+        case KOp::Not: r[in.dst] = r[in.a] == 0.0 ? 1.0 : 0.0; break;
+        case KOp::Trunc: r[in.dst] = std::trunc(r[in.a]); break;
+        case KOp::Select: r[in.dst] = r[in.a] != 0.0 ? r[in.b] : r[in.c]; break;
+        case KOp::LoadElem: {
+          const ArrayVal& a = inputs[static_cast<size_t>(in.slot)];
+          r[in.dst] = a.get_f64(it);
+          break;
+        }
+        case KOp::Gather: {
+          const ArrayVal& a = free_array_vals[static_cast<size_t>(in.slot)];
+          r[in.dst] = a.get_f64(flat_index(a, r, in.idx, in.nidx));
+          break;
+        }
+        case KOp::UpdAcc: {
+          ArrayVal& a = const_cast<ArrayVal&>(acc_array_vals[static_cast<size_t>(in.slot)]);
+          atomic_add_f64(a, flat_index(a, r, in.idx, in.nidx), r[in.a]);
+          break;
+        }
+        case KOp::StoreOut: {
+          ArrayVal& o = const_cast<ArrayVal&>(outputs[static_cast<size_t>(in.slot)]);
+          switch (o.elem) {
+            case ScalarType::F64: o.set_f64(it, r[in.a]); break;
+            case ScalarType::I64: o.set_i64(it, static_cast<int64_t>(r[in.a])); break;
+            case ScalarType::Bool: o.set_b8(it, r[in.a] != 0.0); break;
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+} // namespace npad::rt

@@ -1,0 +1,78 @@
+#pragma once
+
+// The kernel compiler: lowers a scalar map-lambda to a small register-machine
+// program executed in a tight loop over the iteration space. This is the
+// CPU stand-in for the paper's GPU code generation — scalar intermediates
+// live in (virtual) registers rather than being fetched from a tape in
+// global memory, and accumulator updates lower to atomic adds.
+//
+// A lambda is kernel-compilable when its parameters and results are scalars
+// (or threaded accumulators) and its body consists only of scalar operations,
+// full indexing into free arrays, and upd_acc side effects. Everything else
+// falls back to the general interpreter.
+
+#include <optional>
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "runtime/value.hpp"
+
+namespace npad::rt {
+
+enum class KOp : uint8_t {
+  ConstF, Mov,
+  Add, Sub, Mul, Div, IDiv, Pow, Min, Max, Mod,
+  Eq, Ne, Lt, Le, Gt, Ge, And, Or,
+  Neg, Exp, Log, Sqrt, Sin, Cos, Tanh, Abs, Sign, LGamma, Digamma, Not, Trunc,
+  Select,
+  LoadElem,   // dst = input[slot] element at current iteration
+  Gather,     // dst = free_array[slot][flatten(idx regs)]
+  UpdAcc,     // acc_array[slot][flatten(idx regs)] += reg a (atomic)
+  StoreOut,   // output[slot] element at current iteration = reg a
+};
+
+struct KInstr {
+  KOp op = KOp::Mov;
+  int32_t dst = -1, a = -1, b = -1, c = -1;
+  int32_t slot = -1;
+  double imm = 0.0;
+  int32_t nidx = 0;
+  int32_t idx[4] = {-1, -1, -1, -1};
+};
+
+struct Kernel {
+  // Accumulator bindings: param_index >= 0 means the acc comes from that map
+  // argument position; -1 means a free accumulator variable in scope.
+  struct AccBinding {
+    ir::Var var;
+    int32_t param_index = -1;
+  };
+
+  std::vector<KInstr> instrs;
+  int num_regs = 0;
+  std::vector<ir::Var> free_scalars;     // resolved to registers at launch
+  std::vector<int32_t> free_scalar_regs;
+  std::vector<ir::Var> free_arrays;      // gather sources
+  std::vector<AccBinding> accs;          // accumulator targets
+  std::vector<int32_t> ret_acc_slot;     // per lambda result: acc slot or -1
+  std::vector<ScalarType> out_elems;     // one per scalar output
+  size_t num_inputs = 0;                 // element-wise inputs (non-acc args)
+};
+
+// Attempts to compile `f` applied element-wise over non-acc `args`.
+std::optional<Kernel> compile_kernel(const ir::Lambda& f);
+
+// Bound kernel ready to run: free variables resolved against an environment.
+struct KernelLaunch {
+  const Kernel* k = nullptr;
+  std::vector<double> free_scalar_vals;
+  std::vector<ArrayVal> free_array_vals;
+  std::vector<ArrayVal> acc_array_vals;
+  std::vector<ArrayVal> inputs;   // rank-1, one per element input
+  std::vector<ArrayVal> outputs;  // rank-1, one per scalar output
+
+  // Executes iterations [lo, hi).
+  void run(int64_t lo, int64_t hi) const;
+};
+
+} // namespace npad::rt

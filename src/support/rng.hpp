@@ -1,0 +1,65 @@
+#pragma once
+
+// Deterministic, seedable RNG used by all data generators and property tests.
+// splitmix64 core; uniform/normal helpers. Header-only.
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace npad::support {
+
+class Rng {
+public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t next_u64() noexcept {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  int64_t uniform_int(int64_t n) noexcept {
+    return static_cast<int64_t>(next_u64() % static_cast<uint64_t>(n));
+  }
+
+  // Standard normal via Box-Muller.
+  double normal() noexcept {
+    const double u1 = uniform() + 1e-300;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  std::vector<double> uniform_vec(size_t n, double lo = 0.0, double hi = 1.0) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = uniform(lo, hi);
+    return v;
+  }
+
+  std::vector<double> normal_vec(size_t n, double mean = 0.0, double stddev = 1.0) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = mean + stddev * normal();
+    return v;
+  }
+
+  std::vector<int64_t> index_vec(size_t n, int64_t bound) {
+    std::vector<int64_t> v(n);
+    for (auto& x : v) x = uniform_int(bound);
+    return v;
+  }
+
+private:
+  uint64_t state_;
+};
+
+} // namespace npad::support

@@ -1,0 +1,57 @@
+#pragma once
+
+// Fixed-width text table printer used by the bench binaries to emit the same
+// rows the paper's tables report (paper value vs measured value side by side).
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace npad::support {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  static std::string fmt(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (size_t c = 0; c < r.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], r[c].size());
+    auto line = [&] {
+      os << '+';
+      for (auto w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto row = [&](const std::vector<std::string>& r) {
+      os << '|';
+      for (size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string{};
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cell << " |";
+      }
+      os << '\n';
+    };
+    line();
+    row(headers_);
+    line();
+    for (const auto& r : rows_) row(r);
+    line();
+  }
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace npad::support

@@ -1,0 +1,109 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace npad::support {
+
+namespace {
+thread_local bool tl_in_parallel = false;
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The caller participates in work execution, so spawn threads-1 workers.
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::in_parallel_region() noexcept { return tl_in_parallel; }
+
+void ThreadPool::worker_loop() {
+  tl_in_parallel = true;
+  for (;;) {
+    Task t;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      t = queue_.back();
+      queue_.pop_back();
+    }
+    (*t.body)(t.lo, t.hi);
+    {
+      std::lock_guard lk(mu_);
+      if (--outstanding_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int64_t n, int64_t grain,
+                              const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  const auto threads = static_cast<int64_t>(thread_count());
+  // Run inline when nested, single-threaded, or too small to split.
+  if (tl_in_parallel || threads == 1 || n <= grain) {
+    body(0, n);
+    return;
+  }
+  const int64_t chunks = std::min<int64_t>((n + grain - 1) / grain, threads * 4);
+  const int64_t chunk = (n + chunks - 1) / chunks;
+  {
+    std::lock_guard lk(mu_);
+    for (int64_t lo = 0; lo < n; lo += chunk) {
+      queue_.push_back(Task{&body, lo, std::min(lo + chunk, n)});
+      ++outstanding_;
+    }
+  }
+  cv_work_.notify_all();
+  // The caller helps drain the queue, then waits for stragglers.
+  tl_in_parallel = true;
+  for (;;) {
+    Task t;
+    if (!pop_task(t)) break;
+    (*t.body)(t.lo, t.hi);
+    std::lock_guard lk(mu_);
+    if (--outstanding_ == 0) cv_done_.notify_all();
+  }
+  tl_in_parallel = false;
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return outstanding_ == 0; });
+}
+
+bool ThreadPool::pop_task(Task& out) {
+  std::lock_guard lk(mu_);
+  if (queue_.empty()) return false;
+  out = queue_.back();
+  queue_.pop_back();
+  return true;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("NPAD_NUM_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+    return 0u;
+  }());
+  return pool;
+}
+
+void parallel_for(int64_t n, int64_t grain, const std::function<void(int64_t, int64_t)>& body) {
+  ThreadPool::global().parallel_for(n, grain, body);
+}
+
+} // namespace npad::support

@@ -1,0 +1,60 @@
+#pragma once
+
+// A small fixed-size thread pool with blocking parallel-for, used as the
+// execution substrate for the parallel SOAC runtime. Nested parallel regions
+// run sequentially on the worker that encounters them (the "flattening-lite"
+// policy described in DESIGN.md §3.8): only the outermost level fans out.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace npad::support {
+
+class ThreadPool {
+public:
+  // Creates `threads` workers; 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const noexcept { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  // Runs body(lo, hi) over [0, n) split into chunks of at least `grain`
+  // elements. Blocks until all chunks complete. The calling thread also
+  // executes chunks. Re-entrant calls (from inside a chunk) run inline.
+  void parallel_for(int64_t n, int64_t grain, const std::function<void(int64_t, int64_t)>& body);
+
+  // True when the current thread is already executing inside a parallel_for.
+  static bool in_parallel_region() noexcept;
+
+  // Process-wide pool, sized from NPAD_NUM_THREADS or hardware concurrency.
+  static ThreadPool& global();
+
+private:
+  struct Task {
+    const std::function<void(int64_t, int64_t)>* body = nullptr;
+    int64_t lo = 0, hi = 0;
+  };
+
+  void worker_loop();
+  bool pop_task(Task& out);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Task> queue_;
+  int64_t outstanding_ = 0;
+  bool stop_ = false;
+};
+
+// Convenience wrapper over the global pool.
+void parallel_for(int64_t n, int64_t grain, const std::function<void(int64_t, int64_t)>& body);
+
+} // namespace npad::support

@@ -1,0 +1,34 @@
+#pragma once
+
+// Wall-clock timing helpers for the benchmark harness. The paper reports
+// mean-of-10 runtimes including all overheads except host/device transfer;
+// `time_mean_ms` mirrors that protocol (warmup + mean of `reps`).
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace npad::support {
+
+class Timer {
+public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Runs `fn` once for warmup, then `reps` times, returning the mean in ms.
+inline double time_mean_ms(const std::function<void()>& fn, int reps = 5) {
+  fn();
+  Timer t;
+  for (int i = 0; i < reps; ++i) fn();
+  return t.elapsed_ms() / reps;
+}
+
+} // namespace npad::support

@@ -1,0 +1,27 @@
+#include "tape/tape.hpp"
+
+#include <functional>
+
+namespace npad::tape {
+
+Tape& Tape::active() {
+  static thread_local Tape t;
+  return t;
+}
+
+std::vector<double> gradient(const std::vector<double>& x,
+                             const std::function<Adouble(const std::vector<Adouble>&)>& f) {
+  Tape& t = Tape::active();
+  t.clear();
+  std::vector<Adouble> ax;
+  ax.reserve(x.size());
+  for (double v : x) ax.emplace_back(v);
+  Adouble y = f(ax);
+  y.seed(1.0);
+  t.reverse();
+  std::vector<double> g(x.size());
+  for (size_t i = 0; i < x.size(); ++i) g[i] = ax[i].adjoint();
+  return g;
+}
+
+} // namespace npad::tape

@@ -1,0 +1,182 @@
+#pragma once
+
+// Classic operator-overloading, tape-based reverse AD (the ADOL-C / Adept /
+// Tapenade-style baseline the paper compares against in Tables 1 and 2).
+// Every arithmetic operation on `Adouble` appends one record to a global
+// per-thread tape holding the operation's partials; `Tape::reverse` then
+// interprets the tape backwards to accumulate adjoints. This is exactly the
+// "store all intermediates" strategy whose memory traffic the paper's
+// redundant-execution technique eliminates.
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace npad::tape {
+
+class Tape {
+public:
+  struct Record {
+    int32_t lhs = -1;      // adjoint slot of the result
+    int32_t rhs1 = -1;     // adjoint slot of operand 1 (-1: constant)
+    int32_t rhs2 = -1;     // adjoint slot of operand 2 (-1: none/constant)
+    double d1 = 0.0;       // partial wrt operand 1
+    double d2 = 0.0;       // partial wrt operand 2
+  };
+
+  int32_t new_slot() {
+    adjoints_.push_back(0.0);
+    return static_cast<int32_t>(adjoints_.size() - 1);
+  }
+
+  void record(int32_t lhs, int32_t r1, double d1, int32_t r2 = -1, double d2 = 0.0) {
+    records_.push_back(Record{lhs, r1, r2, d1, d2});
+  }
+
+  void seed(int32_t slot, double v) { adjoints_[static_cast<size_t>(slot)] = v; }
+  double adjoint(int32_t slot) const { return adjoints_[static_cast<size_t>(slot)]; }
+
+  // Interprets the tape in reverse, accumulating adjoints.
+  void reverse() {
+    for (size_t i = records_.size(); i-- > 0;) {
+      const Record& r = records_[i];
+      const double a = adjoints_[static_cast<size_t>(r.lhs)];
+      if (a == 0.0) continue;
+      if (r.rhs1 >= 0) adjoints_[static_cast<size_t>(r.rhs1)] += r.d1 * a;
+      if (r.rhs2 >= 0) adjoints_[static_cast<size_t>(r.rhs2)] += r.d2 * a;
+    }
+  }
+
+  void clear() {
+    records_.clear();
+    adjoints_.clear();
+  }
+
+  size_t size() const { return records_.size(); }
+  size_t memory_bytes() const {
+    return records_.size() * sizeof(Record) + adjoints_.size() * sizeof(double);
+  }
+
+  static Tape& active();
+
+private:
+  std::vector<Record> records_;
+  std::vector<double> adjoints_;
+};
+
+// Differentiable scalar recorded on the active tape.
+class Adouble {
+public:
+  Adouble() : Adouble(0.0) {}
+  Adouble(double v) : v_(v), slot_(Tape::active().new_slot()) {}  // NOLINT
+
+  double value() const { return v_; }
+  int32_t slot() const { return slot_; }
+  double adjoint() const { return Tape::active().adjoint(slot_); }
+  void seed(double a) const { Tape::active().seed(slot_, a); }
+
+  static Adouble binary(double v, int32_t s1, double d1, int32_t s2, double d2) {
+    Adouble r(v);
+    Tape::active().record(r.slot_, s1, d1, s2, d2);
+    return r;
+  }
+
+  static Adouble unary(double v, int32_t s, double d) {
+    Adouble r(v);
+    Tape::active().record(r.slot_, s, d);
+    return r;
+  }
+
+private:
+  double v_;
+  int32_t slot_;
+};
+
+inline Adouble operator+(const Adouble& a, const Adouble& b) {
+  return Adouble::binary(a.value() + b.value(), a.slot(), 1.0, b.slot(), 1.0);
+}
+inline Adouble operator-(const Adouble& a, const Adouble& b) {
+  return Adouble::binary(a.value() - b.value(), a.slot(), 1.0, b.slot(), -1.0);
+}
+inline Adouble operator*(const Adouble& a, const Adouble& b) {
+  return Adouble::binary(a.value() * b.value(), a.slot(), b.value(), b.slot(), a.value());
+}
+inline Adouble operator/(const Adouble& a, const Adouble& b) {
+  const double inv = 1.0 / b.value();
+  return Adouble::binary(a.value() * inv, a.slot(), inv, b.slot(),
+                         -a.value() * inv * inv);
+}
+inline Adouble operator-(const Adouble& a) { return Adouble::unary(-a.value(), a.slot(), -1.0); }
+
+inline Adouble operator+(const Adouble& a, double c) {
+  return Adouble::unary(a.value() + c, a.slot(), 1.0);
+}
+inline Adouble operator+(double c, const Adouble& a) { return a + c; }
+inline Adouble operator-(const Adouble& a, double c) {
+  return Adouble::unary(a.value() - c, a.slot(), 1.0);
+}
+inline Adouble operator-(double c, const Adouble& a) {
+  return Adouble::unary(c - a.value(), a.slot(), -1.0);
+}
+inline Adouble operator*(const Adouble& a, double c) {
+  return Adouble::unary(a.value() * c, a.slot(), c);
+}
+inline Adouble operator*(double c, const Adouble& a) { return a * c; }
+inline Adouble operator/(const Adouble& a, double c) { return a * (1.0 / c); }
+inline Adouble operator/(double c, const Adouble& a) {
+  const double inv = 1.0 / a.value();
+  return Adouble::unary(c * inv, a.slot(), -c * inv * inv);
+}
+
+inline bool operator<(const Adouble& a, const Adouble& b) { return a.value() < b.value(); }
+inline bool operator>(const Adouble& a, const Adouble& b) { return a.value() > b.value(); }
+inline bool operator<=(const Adouble& a, const Adouble& b) { return a.value() <= b.value(); }
+inline bool operator>=(const Adouble& a, const Adouble& b) { return a.value() >= b.value(); }
+
+inline Adouble exp(const Adouble& a) {
+  const double e = std::exp(a.value());
+  return Adouble::unary(e, a.slot(), e);
+}
+inline Adouble log(const Adouble& a) {
+  return Adouble::unary(std::log(a.value()), a.slot(), 1.0 / a.value());
+}
+inline Adouble sqrt(const Adouble& a) {
+  const double s = std::sqrt(a.value());
+  return Adouble::unary(s, a.slot(), 0.5 / s);
+}
+inline Adouble sin(const Adouble& a) {
+  return Adouble::unary(std::sin(a.value()), a.slot(), std::cos(a.value()));
+}
+inline Adouble cos(const Adouble& a) {
+  return Adouble::unary(std::cos(a.value()), a.slot(), -std::sin(a.value()));
+}
+inline Adouble tanh(const Adouble& a) {
+  const double t = std::tanh(a.value());
+  return Adouble::unary(t, a.slot(), 1.0 - t * t);
+}
+inline Adouble pow(const Adouble& a, double p) {
+  return Adouble::unary(std::pow(a.value(), p), a.slot(), p * std::pow(a.value(), p - 1));
+}
+inline Adouble max(const Adouble& a, const Adouble& b) {
+  return a.value() >= b.value() ? Adouble::unary(a.value(), a.slot(), 1.0)
+                                : Adouble::unary(b.value(), b.slot(), 1.0);
+}
+inline Adouble min(const Adouble& a, const Adouble& b) {
+  return a.value() <= b.value() ? Adouble::unary(a.value(), a.slot(), 1.0)
+                                : Adouble::unary(b.value(), b.slot(), 1.0);
+}
+inline Adouble abs(const Adouble& a) {
+  return a.value() >= 0 ? Adouble::unary(a.value(), a.slot(), 1.0)
+                        : Adouble::unary(-a.value(), a.slot(), -1.0);
+}
+inline Adouble sigmoid(const Adouble& a) {
+  const double s = 1.0 / (1.0 + std::exp(-a.value()));
+  return Adouble::unary(s, a.slot(), s * (1.0 - s));
+}
+
+// Convenience: gradient of f : R^n -> Adouble at x.
+std::vector<double> gradient(const std::vector<double>& x,
+                             const std::function<Adouble(const std::vector<Adouble>&)>& f);
+
+} // namespace npad::tape

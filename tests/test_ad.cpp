@@ -1,0 +1,661 @@
+// Core AD tests: Fig. 1 reproduction, per-combinator vjp rules vs finite
+// differences, jvp-vs-vjp agreement, loop checkpointing, and jvp∘vjp
+// composition (Hessians).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ad.hpp"
+#include "core/gradcheck.hpp"
+#include "ir/builder.hpp"
+#include "ir/print.hpp"
+#include "ir/typecheck.hpp"
+#include "opt/loopopt.hpp"
+#include "runtime/interp.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace npad;
+using namespace npad::ir;
+using rt::ArrayVal;
+using rt::Value;
+using rt::make_f64_array;
+using rt::make_i64_array;
+
+std::vector<Value> run(const Prog& p, const std::vector<Value>& args) {
+  typecheck(p);
+  return rt::run_prog(p, args);
+}
+
+void expect_gradcheck(const Prog& p, const std::vector<Value>& args, double tol = 1e-4) {
+  typecheck(p);
+  Prog g = ad::vjp(p);
+  typecheck(g);
+  auto r = ad::check_gradients(p, args, 1e-6, tol);
+  EXPECT_TRUE(r.ok) << "max_abs=" << r.max_abs_err << " max_rel=" << r.max_rel_err;
+}
+
+// ------------------------------------------------------------- Figure 1 ----
+
+Prog fig1_prog() {
+  // f(x0, x1) = (x1 * sin x0, x0 * x1)
+  ProgBuilder pb("P");
+  Var x0 = pb.param("x0", f64());
+  Var x1 = pb.param("x1", f64());
+  Builder& b = pb.body();
+  Var t0 = b.sin(x0);
+  Var t1 = b.mul(x1, t0);
+  Var t2 = b.mul(x0, x1);
+  return pb.finish({Atom(t1), Atom(t2)});
+}
+
+TEST(Vjp, Figure1ReverseMode) {
+  Prog p = fig1_prog();
+  Prog g = ad::vjp(p);
+  typecheck(g);
+  const double x0 = 0.7, x1 = -1.3;
+  // Seed (1, 0): gradient of the first output.
+  auto r1 = run(g, {x0, x1, 1.0, 0.0});
+  ASSERT_EQ(r1.size(), 4u);  // 2 primal results + 2 adjoints
+  EXPECT_NEAR(rt::as_f64(r1[0]), x1 * std::sin(x0), 1e-12);
+  EXPECT_NEAR(rt::as_f64(r1[2]), x1 * std::cos(x0), 1e-12);
+  EXPECT_NEAR(rt::as_f64(r1[3]), std::sin(x0), 1e-12);
+  // Seed (0, 1): gradient of the second output.
+  auto r2 = run(g, {x0, x1, 0.0, 1.0});
+  EXPECT_NEAR(rt::as_f64(r2[2]), x1, 1e-12);
+  EXPECT_NEAR(rt::as_f64(r2[3]), x0, 1e-12);
+  // Combined seed accumulates both contributions into x1's adjoint.
+  auto r3 = run(g, {x0, x1, 1.0, 1.0});
+  EXPECT_NEAR(rt::as_f64(r3[3]), std::sin(x0) + x0, 1e-12);
+}
+
+TEST(Jvp, Figure1ForwardMode) {
+  Prog p = fig1_prog();
+  Prog j = ad::jvp(p);
+  typecheck(j);
+  const double x0 = 0.4, x1 = 2.0;
+  auto r = run(j, {x0, x1, 1.0, 0.0});
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_NEAR(rt::as_f64(r[2]), x1 * std::cos(x0), 1e-12);
+  EXPECT_NEAR(rt::as_f64(r[3]), x1, 1e-12);
+}
+
+// -------------------------------------------------------- scalar programs --
+
+TEST(Vjp, ScalarChain) {
+  ProgBuilder pb("f");
+  Var x = pb.param("x", f64());
+  Builder& b = pb.body();
+  Var y = b.mul(b.exp(b.sin(x)), b.log(b.add(x, cf64(2.0))));
+  Prog p = pb.finish({Atom(y)});
+  expect_gradcheck(p, {0.8});
+}
+
+TEST(Vjp, MinMaxAbsSelect) {
+  ProgBuilder pb("f");
+  Var x = pb.param("x", f64());
+  Var y = pb.param("y", f64());
+  Builder& b = pb.body();
+  Var m = b.max(b.abs(x), b.mul(y, y));
+  Var c = b.lt(x, y);
+  Var s = b.select(c, b.mul(m, cf64(3.0)), m);
+  Prog p = pb.finish({Atom(s)});
+  expect_gradcheck(p, {1.5, -2.0});
+  expect_gradcheck(p, {-3.0, 0.5});
+}
+
+TEST(Vjp, PowAndDiv) {
+  ProgBuilder pb("f");
+  Var x = pb.param("x", f64());
+  Var y = pb.param("y", f64());
+  Builder& b = pb.body();
+  Var r = b.div(b.pow(x, y), b.add(x, y));
+  Prog p = pb.finish({Atom(r)});
+  expect_gradcheck(p, {1.7, 2.3});
+}
+
+// -------------------------------------------------------------- map rules --
+
+TEST(Vjp, MapSquareSum) {
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var sq = b.map1(b.lam({f64()},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          return std::vector<Atom>{Atom(c.mul(p[0], p[0]))};
+                        }),
+                  {xs});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {sq});
+  Prog p = pb.finish({Atom(s)});
+  Prog g = ad::vjp(p);
+  typecheck(g);
+  auto grads = ad::reverse_gradients(p, {make_f64_array({1, 2, 3}, {3})});
+  EXPECT_EQ(grads[0], (std::vector<double>{2, 4, 6}));
+}
+
+TEST(Vjp, MapWithFreeScalar) {
+  // f(xs, k) = sum(k * xs_i^2): free scalar adjoint needs a partial-sum
+  // reduction across map iterations.
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var k = pb.param("k", f64());
+  Builder& b = pb.body();
+  Var sq = b.map1(b.lam({f64()},
+                        [&](Builder& c, const std::vector<Var>& p) {
+                          return std::vector<Atom>{Atom(c.mul(k, c.mul(p[0], p[0])))};
+                        }),
+                  {xs});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {sq});
+  Prog p = pb.finish({Atom(s)});
+  expect_gradcheck(p, {make_f64_array({1, -2, 3}, {3}), 0.5});
+}
+
+TEST(Vjp, MapWithFreeArrayGather) {
+  // f(xs) = sum over j of xs[is[j]]^2: reads become accumulations (§5.4).
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var is = pb.param("is", arr(ScalarType::I64, 1));
+  Builder& b = pb.body();
+  Var e = b.map1(b.lam({i64()},
+                       [&](Builder& c, const std::vector<Var>& p) {
+                         Var v = c.index(xs, {Atom(p[0])});
+                         return std::vector<Atom>{Atom(c.mul(v, v))};
+                       }),
+                 {is});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {e});
+  Prog p = pb.finish({Atom(s)});
+  // Repeated indices: adjoints must accumulate atomically.
+  expect_gradcheck(p, {make_f64_array({1, 2, 3}, {3}), make_i64_array({0, 2, 0, 1, 0}, {5})});
+}
+
+TEST(Vjp, NestedMapMatrixScale) {
+  ProgBuilder pb("f");
+  Var xss = pb.param("xss", arr_f64(2));
+  Builder& b = pb.body();
+  Var yss = b.map1(b.lam({arr_f64(1)},
+                         [](Builder& c, const std::vector<Var>& row) {
+                           Var r = c.map1(c.lam({f64()},
+                                                [](Builder& cc, const std::vector<Var>& p) {
+                                                  Var e = cc.exp(p[0]);
+                                                  return std::vector<Atom>{
+                                                      Atom(cc.mul(e, p[0]))};
+                                                }),
+                                          {row[0]});
+                           return std::vector<Atom>{Atom(r)};
+                         }),
+                   {xss});
+  Var rows = b.map1(b.lam({arr_f64(1)},
+                          [&](Builder& c, const std::vector<Var>& row) {
+                            return std::vector<Atom>{
+                                Atom(c.reduce1(c.add_op(), cf64(0.0), {row[0]}))};
+                          }),
+                    {yss});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {rows});
+  Prog p = pb.finish({Atom(s)});
+  expect_gradcheck(p, {make_f64_array({0.1, 0.2, 0.3, 0.4, 0.5, 0.6}, {2, 3})});
+}
+
+TEST(Vjp, MatrixMultiplyAdjoint) {
+  // The Section 6.1 motivating example: c[i,j] = sum_k a[i,k]*b[k,j].
+  const int64_t m = 3, q = 4, n = 2;
+  ProgBuilder pb("matmul");
+  Var a = pb.param("a", arr_f64(2));
+  Var bmat = pb.param("b", arr_f64(2));
+  Builder& b = pb.body();
+  Var im = b.iota(ci64(m));
+  Var c = b.map1(
+      b.lam({i64()},
+            [&](Builder& c1, const std::vector<Var>& pi) {
+              Var in = c1.iota(ci64(n));
+              Var row = c1.map1(
+                  c1.lam({i64()},
+                         [&](Builder& c2, const std::vector<Var>& pj) {
+                           Var iq = c2.iota(ci64(q));
+                           Var prods = c2.map1(
+                               c2.lam({i64()},
+                                      [&](Builder& c3, const std::vector<Var>& pk) {
+                                        Var av = c3.index(a, {Atom(pi[0]), Atom(pk[0])});
+                                        Var bv = c3.index(bmat, {Atom(pk[0]), Atom(pj[0])});
+                                        return std::vector<Atom>{Atom(c3.mul(av, bv))};
+                                      }),
+                               {iq});
+                           return std::vector<Atom>{
+                               Atom(c2.reduce1(c2.add_op(), cf64(0.0), {prods}))};
+                         }),
+                  {in});
+              return std::vector<Atom>{Atom(row)};
+            }),
+      {im});
+  // Scalar objective: sum of all entries squared.
+  Var rows = b.map1(b.lam({arr_f64(1)},
+                          [&](Builder& cb, const std::vector<Var>& row) {
+                            Var sq = cb.map1(cb.lam({f64()},
+                                                    [](Builder& cc, const std::vector<Var>& p) {
+                                                      return std::vector<Atom>{
+                                                          Atom(cc.mul(p[0], p[0]))};
+                                                    }),
+                                             {row[0]});
+                            return std::vector<Atom>{
+                                Atom(cb.reduce1(cb.add_op(), cf64(0.0), {sq}))};
+                          }),
+                    {c});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {rows});
+  Prog p = pb.finish({Atom(s)});
+  support::Rng rng(7);
+  expect_gradcheck(p, {make_f64_array(rng.normal_vec(m * q), {m, q}),
+                       make_f64_array(rng.normal_vec(q * n), {q, n})});
+}
+
+// ------------------------------------------------------------ reduce rules --
+
+Prog reduce_prog(BinOp op, double neutral) {
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var r = b.reduce1(b.binop_lam(op), cf64(neutral), {xs});
+  return pb.finish({Atom(r)});
+}
+
+TEST(Vjp, ReduceSum) { expect_gradcheck(reduce_prog(BinOp::Add, 0.0), {make_f64_array({1, 2, 3, 4}, {4})}); }
+
+TEST(Vjp, ReduceMulNoZeros) {
+  expect_gradcheck(reduce_prog(BinOp::Mul, 1.0), {make_f64_array({1.5, 2.0, -0.5, 3.0}, {4})});
+}
+
+TEST(Vjp, ReduceMulOneZero) {
+  Prog p = reduce_prog(BinOp::Mul, 1.0);
+  auto grads = ad::reverse_gradients(p, {make_f64_array({2.0, 0.0, 3.0}, {3})});
+  // Only the zero element has nonzero adjoint = product of nonzeros.
+  EXPECT_EQ(grads[0], (std::vector<double>{0, 6, 0}));
+}
+
+TEST(Vjp, ReduceMulTwoZeros) {
+  Prog p = reduce_prog(BinOp::Mul, 1.0);
+  auto grads = ad::reverse_gradients(p, {make_f64_array({2.0, 0.0, 0.0}, {3})});
+  EXPECT_EQ(grads[0], (std::vector<double>{0, 0, 0}));
+}
+
+TEST(Vjp, ReduceMinMax) {
+  Prog pmin = reduce_prog(BinOp::Min, 1e300);
+  auto gmin = ad::reverse_gradients(pmin, {make_f64_array({3, 1, 4, 1}, {4})});
+  // First minimal element receives the full adjoint.
+  EXPECT_EQ(gmin[0], (std::vector<double>{0, 1, 0, 0}));
+  Prog pmax = reduce_prog(BinOp::Max, -1e300);
+  auto gmax = ad::reverse_gradients(pmax, {make_f64_array({3, 1, 4, 1}, {4})});
+  EXPECT_EQ(gmax[0], (std::vector<double>{0, 0, 1, 0}));
+}
+
+TEST(Vjp, ReduceGeneralOperator) {
+  // Non-recognized associative operator: a ⊙ b = a + b + a*b.
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  LambdaPtr op = b.lam({f64(), f64()}, [](Builder& c, const std::vector<Var>& p) {
+    Var s = c.add(p[0], p[1]);
+    return std::vector<Atom>{Atom(c.add(s, c.mul(p[0], p[1])))};
+  });
+  Var r = b.reduce1(std::move(op), cf64(0.0), {xs});
+  Prog p = pb.finish({Atom(r)});
+  expect_gradcheck(p, {make_f64_array({0.1, 0.3, -0.2, 0.5}, {4})});
+}
+
+// -------------------------------------------------------------- scan rules --
+
+TEST(Vjp, ScanSum) {
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var sc = b.scan1(b.add_op(), cf64(0.0), {xs});
+  // Weighted sum of prefix sums so every prefix matters differently.
+  Var ws = pb.param("ws", arr_f64(1));
+  Var prods = b.map(b.lam({f64(), f64()},
+                          [](Builder& c, const std::vector<Var>& p) {
+                            return std::vector<Atom>{Atom(c.mul(p[0], p[1]))};
+                          }),
+                    {sc, ws})[0];
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {prods});
+  Prog p = pb.finish({Atom(s)});
+  expect_gradcheck(p, {make_f64_array({1, 2, 3, 4}, {4}), make_f64_array({2, -1, 3, 0.5}, {4})});
+}
+
+TEST(Vjp, ScanGeneralOperatorMul) {
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var ws = pb.param("ws", arr_f64(1));
+  Builder& b = pb.body();
+  Var sc = b.scan1(b.mul_op(), cf64(1.0), {xs});
+  Var prods = b.map(b.lam({f64(), f64()},
+                          [](Builder& c, const std::vector<Var>& p) {
+                            return std::vector<Atom>{Atom(c.mul(p[0], p[1]))};
+                          }),
+                    {sc, ws})[0];
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {prods});
+  Prog p = pb.finish({Atom(s)});
+  expect_gradcheck(
+      p, {make_f64_array({1.2, 0.8, 1.5, 0.9}, {4}), make_f64_array({1, 2, -1, 0.5}, {4})});
+}
+
+// -------------------------------------------------------- hist and scatter --
+
+TEST(Vjp, HistAdd) {
+  ProgBuilder pb("f");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var inds = pb.param("inds", arr(ScalarType::I64, 1));
+  Var vals = pb.param("vals", arr_f64(1));
+  Var ws = pb.param("ws", arr_f64(1));
+  Builder& b = pb.body();
+  Var h = b.hist(b.add_op(), cf64(0.0), dest, inds, vals);
+  Var prods = b.map(b.lam({f64(), f64()},
+                          [](Builder& c, const std::vector<Var>& p) {
+                            return std::vector<Atom>{Atom(c.mul(p[0], p[1]))};
+                          }),
+                    {h, ws})[0];
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {prods});
+  Prog p = pb.finish({Atom(s)});
+  expect_gradcheck(p, {make_f64_array({1, 2}, {2}), make_i64_array({0, 1, 0, 5}, {4}),
+                       make_f64_array({3, 4, 5, 9}, {4}), make_f64_array({2, -1}, {2})});
+}
+
+TEST(Vjp, HistMul) {
+  ProgBuilder pb("f");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var inds = pb.param("inds", arr(ScalarType::I64, 1));
+  Var vals = pb.param("vals", arr_f64(1));
+  Builder& b = pb.body();
+  Var h = b.hist(b.mul_op(), cf64(1.0), dest, inds, vals);
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {h});
+  Prog p = pb.finish({Atom(s)});
+  expect_gradcheck(p, {make_f64_array({2, 3}, {2}), make_i64_array({0, 1, 0}, {3}),
+                       make_f64_array({1.5, -2.0, 0.5}, {3})});
+  // With a zero value in a bin.
+  auto g = ad::reverse_gradients(p, {make_f64_array({2, 3}, {2}),
+                                     make_i64_array({0, 1, 0}, {3}),
+                                     make_f64_array({0.0, -2.0, 0.5}, {3})});
+  // Bin 0: 2 * 0 * 0.5 -> only the zero element gets adjoint 2*0.5 = 1.
+  EXPECT_NEAR(g[1][0], 1.0, 1e-12);
+  EXPECT_NEAR(g[1][2], 0.0, 1e-12);
+}
+
+TEST(Vjp, HistMin) {
+  ProgBuilder pb("f");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var inds = pb.param("inds", arr(ScalarType::I64, 1));
+  Var vals = pb.param("vals", arr_f64(1));
+  Builder& b = pb.body();
+  Var h = b.hist(b.min_op(), cf64(1e300), dest, inds, vals);
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {h});
+  Prog p = pb.finish({Atom(s)});
+  auto g = ad::reverse_gradients(p, {make_f64_array({10, 0.5}, {2}),
+                                     make_i64_array({0, 0, 1}, {3}),
+                                     make_f64_array({3.0, 2.0, 4.0}, {3})});
+  // Bin 0: min(10, 3, 2) = 2 -> vals[1]; bin 1: min(0.5, 4) = 0.5 -> dest[1].
+  EXPECT_EQ(g[1], (std::vector<double>{0, 1, 0}));
+  EXPECT_EQ(g[0], (std::vector<double>{0, 1}));
+}
+
+TEST(Vjp, Scatter) {
+  ProgBuilder pb("f");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var inds = pb.param("inds", arr(ScalarType::I64, 1));
+  Var vals = pb.param("vals", arr_f64(1));
+  Var ws = pb.param("ws", arr_f64(1));
+  Builder& b = pb.body();
+  Var sc = b.scatter(dest, inds, vals);
+  Var prods = b.map(b.lam({f64(), f64()},
+                          [](Builder& c, const std::vector<Var>& p) {
+                            return std::vector<Atom>{Atom(c.mul(p[0], p[1]))};
+                          }),
+                    {sc, ws})[0];
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {prods});
+  Prog p = pb.finish({Atom(s)});
+  expect_gradcheck(p, {make_f64_array({1, 2, 3}, {3}), make_i64_array({2, 0}, {2}),
+                       make_f64_array({5, 6}, {2}), make_f64_array({1, -2, 0.5}, {3})});
+}
+
+// --------------------------------------------------------------- indexing --
+
+TEST(Vjp, IndexAndUpdate) {
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var e1 = b.index(xs, {ci64(1)});
+  Var xs2 = b.update(xs, {ci64(0)}, Atom(b.mul(e1, e1)));
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {xs2});
+  Prog p = pb.finish({Atom(s)});
+  expect_gradcheck(p, {make_f64_array({1, 3, 5}, {3})});
+}
+
+// ------------------------------------------------------------------ loops --
+
+TEST(Vjp, ForLoopScalarRecurrence) {
+  // x_{i+1} = x_i * x_i * 0.5 + c
+  ProgBuilder pb("f");
+  Var x0 = pb.param("x0", f64());
+  Var c = pb.param("c", f64());
+  Builder& b = pb.body();
+  auto outs = b.loop_for({Atom(x0)}, ci64(5), [&](Builder& lb, Var, const std::vector<Var>& ps) {
+    Var t = lb.mul(lb.mul(ps[0], ps[0]), cf64(0.5));
+    return std::vector<Atom>{Atom(lb.add(t, c))};
+  });
+  Prog p = pb.finish({Atom(outs[0])});
+  expect_gradcheck(p, {0.9, 0.3});
+}
+
+TEST(Vjp, ForLoopArrayCheckpointing) {
+  // Loop mutates an array in place; per-iteration checkpointing must restore
+  // the right values on the return sweep.
+  ProgBuilder pb("f");
+  Var xs0 = pb.param("xs0", arr_f64(1));
+  Builder& b = pb.body();
+  Var n = b.length(xs0);
+  auto outs =
+      b.loop_for({Atom(xs0)}, Atom(b.sub(Atom(n), ci64(1))),
+                 [&](Builder& lb, Var i, const std::vector<Var>& ps) {
+                   Var prev = lb.index(ps[0], {Atom(i)});
+                   Var ip1 = lb.add(Atom(i), ci64(1));
+                   Var curv = lb.index(ps[0], {Atom(ip1)});
+                   Var nv = lb.add(Atom(curv), Atom(lb.mul(prev, prev)));
+                   return std::vector<Atom>{Atom(lb.update(ps[0], {Atom(ip1)}, Atom(nv)))};
+                 });
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {outs[0]});
+  Prog p = pb.finish({Atom(s)});
+  expect_gradcheck(p, {make_f64_array({0.5, 0.2, 0.1, 0.4}, {4})});
+}
+
+TEST(Vjp, LoopWithFreeArray) {
+  // Loop accumulates from a free array; its adjoint threads through the
+  // reversed loop.
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var n = b.length(xs);
+  auto outs = b.loop_for({cf64(0.0)}, Atom(n),
+                         [&](Builder& lb, Var i, const std::vector<Var>& ps) {
+                           Var e = lb.index(xs, {Atom(i)});
+                           Var t = lb.mul(e, e);
+                           return std::vector<Atom>{Atom(lb.add(ps[0], t))};
+                         });
+  Prog p = pb.finish({Atom(outs[0])});
+  auto g = ad::reverse_gradients(p, {make_f64_array({1, 2, 3}, {3})});
+  EXPECT_EQ(g[0], (std::vector<double>{2, 4, 6}));
+}
+
+TEST(Vjp, NestedLoops) {
+  ProgBuilder pb("f");
+  Var x0 = pb.param("x0", f64());
+  Builder& b = pb.body();
+  auto outs = b.loop_for(
+      {Atom(x0)}, ci64(3), [&](Builder& lb, Var, const std::vector<Var>& ps) {
+        auto inner =
+            lb.loop_for({Atom(ps[0])}, ci64(2), [&](Builder& ib, Var, const std::vector<Var>& qs) {
+              return std::vector<Atom>{Atom(ib.add(qs[0], Atom(ib.mul(qs[0], cf64(0.1)))))};
+            });
+        return std::vector<Atom>{Atom(inner[0])};
+      });
+  Prog p = pb.finish({Atom(outs[0])});
+  expect_gradcheck(p, {1.3});
+}
+
+TEST(Vjp, WhileLoopViaInspector) {
+  ProgBuilder pb("f");
+  Var x0 = pb.param("x0", f64());
+  Builder& b = pb.body();
+  auto outs = b.loop_while(
+      {Atom(x0)},
+      [](Builder& c, const std::vector<Var>& ps) {
+        return std::vector<Atom>{Atom(c.lt(ps[0], cf64(10.0)))};
+      },
+      [](Builder& c, Var, const std::vector<Var>& ps) {
+        return std::vector<Atom>{Atom(c.mul(ps[0], cf64(1.7)))};
+      });
+  Prog p = pb.finish({Atom(outs[0])});
+  typecheck(p);
+  Prog bounded = opt::prepare_for_ad(p);
+  typecheck(bounded);
+  // Same primal semantics.
+  EXPECT_NEAR(rt::as_f64(run(bounded, {1.0})[0]), rt::as_f64(run(p, {1.0})[0]), 1e-12);
+  // Differentiable: d out/d x0 = 1.7^k.
+  auto g = ad::reverse_gradients(bounded, {1.0});
+  const double expected = std::pow(1.7, std::ceil(std::log(10.0) / std::log(1.7)));
+  EXPECT_NEAR(g[0][0], expected, 1e-9);
+}
+
+TEST(Vjp, WhileLoopWithBoundAnnotation) {
+  ProgBuilder pb("f");
+  Var x0 = pb.param("x0", f64());
+  Builder& b = pb.body();
+  auto outs = b.loop_while(
+      {Atom(x0)},
+      [](Builder& c, const std::vector<Var>& ps) {
+        return std::vector<Atom>{Atom(c.lt(ps[0], cf64(10.0)))};
+      },
+      [](Builder& c, Var, const std::vector<Var>& ps) {
+        return std::vector<Atom>{Atom(c.mul(ps[0], cf64(1.7)))};
+      },
+      std::optional<Atom>(ci64(64)));
+  Prog p = pb.finish({Atom(outs[0])});
+  Prog bounded = opt::prepare_for_ad(p);
+  typecheck(bounded);
+  EXPECT_NEAR(rt::as_f64(run(bounded, {1.0})[0]), rt::as_f64(run(p, {1.0})[0]), 1e-12);
+  auto g = ad::reverse_gradients(bounded, {1.0});
+  const double expected = std::pow(1.7, std::ceil(std::log(10.0) / std::log(1.7)));
+  EXPECT_NEAR(g[0][0], expected, 1e-9);
+}
+
+// ----------------------------------------------------------------- branches --
+
+TEST(Vjp, IfBranches) {
+  ProgBuilder pb("f");
+  Var x = pb.param("x", f64());
+  Var y = pb.param("y", f64());
+  Builder& b = pb.body();
+  Var c = b.lt(x, cf64(0.0));
+  auto r = b.if_(
+      Atom(c),
+      [&](Builder& tb) {
+        return std::vector<Atom>{Atom(tb.mul(x, y))};
+      },
+      [&](Builder& fb) {
+        return std::vector<Atom>{Atom(fb.add(fb.mul(x, x), y))};
+      });
+  Prog p = pb.finish({Atom(r[0])});
+  expect_gradcheck(p, {-2.0, 3.0});
+  expect_gradcheck(p, {2.0, 3.0});
+}
+
+// ------------------------------------------------ fwd/rev agreement, Hessian --
+
+TEST(AdCompose, ForwardReverseAgree) {
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var e = b.map1(b.lam({f64()},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         Var t = c.tanh(p[0]);
+                         return std::vector<Atom>{Atom(c.mul(t, p[0]))};
+                       }),
+                 {xs});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {e});
+  Prog p = pb.finish({Atom(s)});
+  std::vector<Value> args = {make_f64_array({0.3, -0.8, 1.2}, {3})};
+  auto fw = ad::forward_gradients(p, args);
+  auto rv = ad::reverse_gradients(p, args);
+  auto cmp = ad::compare_gradients(fw, rv, 1e-10);
+  EXPECT_TRUE(cmp.ok) << cmp.max_rel_err;
+}
+
+TEST(AdCompose, HessianDiagonalViaJvpOfVjp) {
+  // f(x) = sum(x_i^3); Hessian diagonal = 6 x_i, computed as jvp(vjp(f)).
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var e = b.map1(b.lam({f64()},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         return std::vector<Atom>{Atom(c.mul(p[0], c.mul(p[0], p[0])))};
+                       }),
+                 {xs});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {e});
+  Prog p = pb.finish({Atom(s)});
+  Prog g = ad::vjp(p);  // (xs, seed) -> (f, grad)
+  typecheck(g);
+  Prog h = ad::jvp(g);  // (xs, seed, xs_tan, seed_tan) -> (f, grad, f_tan, grad_tan)
+  typecheck(h);
+  ArrayVal x = make_f64_array({1.0, 2.0, -1.5}, {3});
+  // Direction e_1: grad_tan = H e_1; diagonal entry = 6 * x_1.
+  ArrayVal dir = make_f64_array({0, 1, 0}, {3});
+  auto out = rt::run_prog(h, {x, 1.0, dir, 0.0});
+  ASSERT_EQ(out.size(), 4u);
+  auto hv = rt::to_f64_vec(rt::as_array(out[3]));
+  EXPECT_NEAR(hv[0], 0.0, 1e-10);
+  EXPECT_NEAR(hv[1], 12.0, 1e-10);
+  EXPECT_NEAR(hv[2], 0.0, 1e-10);
+}
+
+// ----------------------------------------------------- property-style sweep --
+
+class RandomChainGrad : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomChainGrad, MatchesFiniteDifferences) {
+  // A randomized composite: maps, reduces, scans and scalar chains whose
+  // structure is driven by the seed.
+  support::Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  const int64_t n = 3 + static_cast<int64_t>(rng.uniform_int(5));
+  ProgBuilder pb("rand");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var k = pb.param("k", f64());
+  Builder& b = pb.body();
+  const int which = static_cast<int>(rng.uniform_int(4));
+  Var arrv = xs;
+  // Stage 1: an elementwise map with a random unary chain.
+  arrv = b.map1(b.lam({f64()},
+                      [&](Builder& c, const std::vector<Var>& p) {
+                        Var t = p[0];
+                        switch (which) {
+                          case 0: t = c.tanh(t); break;
+                          case 1: t = c.sin(t); break;
+                          case 2: t = c.mul(t, c.exp(c.neg(c.mul(t, t)))); break;
+                          default: t = c.mul(t, k); break;
+                        }
+                        return std::vector<Atom>{Atom(t)};
+                      }),
+                {arrv});
+  // Stage 2: scan then weighted reduce.
+  Var sc = b.scan1(b.add_op(), cf64(0.0), {arrv});
+  Var wgt = b.map(b.lam({f64(), f64()},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          return std::vector<Atom>{Atom(c.mul(p[0], p[1]))};
+                        }),
+                  {sc, arrv})[0];
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {wgt});
+  Prog p = pb.finish({Atom(s)});
+  std::vector<Value> args = {make_f64_array(rng.normal_vec(static_cast<size_t>(n)), {n}),
+                             rng.uniform(0.5, 2.0)};
+  auto r = ad::check_gradients(p, args, 1e-6, 2e-4);
+  EXPECT_TRUE(r.ok) << "seed=" << GetParam() << " max_rel=" << r.max_rel_err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChainGrad, ::testing::Range(0, 12));
+
+} // namespace

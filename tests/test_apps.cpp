@@ -1,0 +1,304 @@
+// Cross-implementation agreement tests for the nine benchmark applications:
+// every IR objective gradient is checked against finite differences, and the
+// manual / eager / tape implementations are checked against the IR AD result.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/ba.hpp"
+#include "apps/gmm.hpp"
+#include "apps/hand.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/lstm.hpp"
+#include "apps/mc_transport.hpp"
+#include "core/ad.hpp"
+#include "core/gradcheck.hpp"
+#include "ir/analysis.hpp"
+#include "ir/builder.hpp"
+#include "ir/typecheck.hpp"
+#include "opt/loopopt.hpp"
+#include "runtime/interp.hpp"
+
+namespace {
+
+using namespace npad;
+using rt::Value;
+
+void expect_close(const std::vector<double>& a, const std::vector<double>& b, double tol,
+                  const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double err = std::fabs(a[i] - b[i]) /
+                       std::max(1.0, std::max(std::fabs(a[i]), std::fabs(b[i])));
+    ASSERT_LT(err, tol) << what << " index " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+// ------------------------------------------------------------------ GMM ----
+
+TEST(AppGmm, IrGradMatchesFiniteDifferences) {
+  support::Rng rng(1);
+  auto g = apps::gmm_gen(rng, 6, 3, 2);
+  ir::Prog p = apps::gmm_ir_objective();
+  ir::typecheck(p);
+  auto r = ad::check_gradients(p, apps::gmm_ir_args(g), 1e-6, 1e-4);
+  EXPECT_TRUE(r.ok) << r.max_rel_err;
+}
+
+TEST(AppGmm, ManualAndEagerMatchIrAd) {
+  support::Rng rng(2);
+  auto g = apps::gmm_gen(rng, 10, 4, 3);
+  ir::Prog p = apps::gmm_ir_objective();
+  auto grads = ad::reverse_gradients(p, apps::gmm_ir_args(g));
+  auto manual = apps::gmm_manual(g);
+  auto eagerr = apps::gmm_eager(g);
+  // Objective values agree.
+  auto obj = rt::run_prog(p, apps::gmm_ir_args(g));
+  EXPECT_NEAR(rt::as_f64(obj[0]), manual.objective, 1e-8);
+  EXPECT_NEAR(manual.objective, eagerr.objective, 1e-8);
+  expect_close(grads[0], manual.d_alphas, 1e-8, "alphas manual");
+  expect_close(grads[1], manual.d_means, 1e-8, "means manual");
+  expect_close(grads[2], manual.d_qs, 1e-8, "qs manual");
+  expect_close(grads[0], eagerr.d_alphas, 1e-8, "alphas eager");
+  expect_close(grads[1], eagerr.d_means, 1e-8, "means eager");
+  expect_close(grads[2], eagerr.d_qs, 1e-8, "qs eager");
+}
+
+// --------------------------------------------------------------- k-means ---
+
+TEST(AppKmeans, DenseAllImplementationsAgree) {
+  support::Rng rng(3);
+  auto data = apps::kmeans_gen(rng, 30, 3, 4);
+  ir::Prog p = apps::kmeans_ir_cost();
+  ir::typecheck(p);
+  std::vector<Value> args = {rt::make_f64_array(data.centroids, {data.k, data.d}),
+                             rt::make_f64_array(data.points, {data.n, data.d})};
+  auto grads = ad::reverse_gradients(p, args);
+  auto manual = apps::kmeans_manual(data);
+  auto eagerr = apps::kmeans_eager(data);
+  expect_close(grads[0], manual.grad, 1e-8, "kmeans manual grad");
+  expect_close(grads[0], eagerr.grad, 1e-7, "kmeans eager grad");
+  auto cost = rt::run_prog(p, args);
+  EXPECT_NEAR(rt::as_f64(cost[0]), manual.cost, 1e-8);
+}
+
+TEST(AppKmeans, HessianDiagonalViaJvpOfVjpMatchesManual) {
+  support::Rng rng(4);
+  auto data = apps::kmeans_gen(rng, 20, 2, 3);
+  ir::Prog p = apps::kmeans_ir_cost();
+  ir::Prog g = ad::vjp(p);   // (C, P, seed) -> (cost, dC, dP)
+  ir::Prog h = ad::jvp(g);   // + tangents
+  ir::typecheck(h);
+  auto manual = apps::kmeans_manual(data);
+  // One jvp evaluation per diagonal entry probes H[e,e].
+  const int64_t kd = data.k * data.d;
+  for (int64_t e = 0; e < kd; e += std::max<int64_t>(1, kd / 4)) {
+    std::vector<double> dir(static_cast<size_t>(kd), 0.0);
+    dir[static_cast<size_t>(e)] = 1.0;
+    std::vector<Value> args = {
+        rt::make_f64_array(data.centroids, {data.k, data.d}),
+        rt::make_f64_array(data.points, {data.n, data.d}),
+        1.0,
+        rt::make_f64_array(dir, {data.k, data.d}),
+        rt::make_f64_array(std::vector<double>(static_cast<size_t>(data.n * data.d), 0.0),
+                           {data.n, data.d}),
+        0.0,
+    };
+    auto out = rt::run_prog(h, args);
+    // Outputs: cost, dC, dP, cost_tan, dC_tan, dP_tan.
+    auto hcol = rt::to_f64_vec(rt::as_array(out[4]));
+    EXPECT_NEAR(hcol[static_cast<size_t>(e)], manual.hess_diag[static_cast<size_t>(e)], 1e-6)
+        << e;
+  }
+}
+
+TEST(AppKmeans, SparseAllImplementationsAgree) {
+  support::Rng rng(5);
+  auto data = apps::kmeans_sparse_gen(rng, 25, 8, 3, 3);
+  ir::Prog p = apps::kmeans_sparse_ir_cost();
+  ir::typecheck(p);
+  auto args = apps::kmeans_sparse_ir_args(data);
+  auto r = ad::check_gradients(p, args, 1e-6, 1e-4);
+  EXPECT_TRUE(r.ok) << r.max_rel_err;
+  auto grads = ad::reverse_gradients(p, args);
+  auto manual = apps::kmeans_sparse_manual(data);
+  auto eagerr = apps::kmeans_sparse_eager(data);
+  expect_close(grads[0], manual.grad, 1e-8, "sparse manual grad");
+  expect_close(grads[0], eagerr.grad, 1e-7, "sparse eager grad");
+}
+
+// ------------------------------------------------------------------ LSTM ---
+
+TEST(AppLstm, AllImplementationsAgree) {
+  support::Rng rng(6);
+  auto L = apps::lstm_gen(rng, 2, 3, 4, 3);
+  ir::Prog p = apps::lstm_ir_objective();
+  ir::typecheck(p);
+  auto args = apps::lstm_ir_args(L);
+  auto obj = rt::run_prog(p, args);
+  auto manual = apps::lstm_manual(L);
+  auto eagerr = apps::lstm_eager(L);
+  EXPECT_NEAR(rt::as_f64(obj[0]), manual.objective, 1e-8);
+  EXPECT_NEAR(manual.objective, eagerr.objective, 1e-8);
+  auto grads = ad::reverse_gradients(p, args);
+  expect_close(grads[0], manual.d_wx, 1e-7, "wx manual");
+  expect_close(grads[1], manual.d_wh, 1e-7, "wh manual");
+  expect_close(grads[2], manual.d_b, 1e-7, "b manual");
+  expect_close(grads[0], eagerr.d_wx, 1e-7, "wx eager");
+  expect_close(grads[1], eagerr.d_wh, 1e-7, "wh eager");
+  expect_close(grads[2], eagerr.d_b, 1e-7, "b eager");
+}
+
+TEST(AppLstm, IrGradMatchesFiniteDifferences) {
+  support::Rng rng(7);
+  auto L = apps::lstm_gen(rng, 1, 2, 3, 2);
+  ir::Prog p = apps::lstm_ir_objective();
+  auto r = ad::check_gradients(p, apps::lstm_ir_args(L), 1e-6, 2e-4);
+  EXPECT_TRUE(r.ok) << r.max_rel_err;
+}
+
+// -------------------------------------------------------------------- BA ---
+
+TEST(AppBa, IrResidualsMatchTemplatedKernel) {
+  support::Rng rng(8);
+  auto d = apps::ba_gen(rng, 2, 5, 8);
+  ir::Prog p = apps::ba_ir_residuals();
+  ir::typecheck(p);
+  auto out = rt::run_prog(p, apps::ba_ir_args(d));
+  auto e0 = rt::to_f64_vec(rt::as_array(out[0]));
+  auto e1 = rt::to_f64_vec(rt::as_array(out[1]));
+  auto werr = rt::to_f64_vec(rt::as_array(out[2]));
+  for (int64_t o = 0; o < d.n_obs; ++o) {
+    double proj[2];
+    apps::ba_project(d.cams.data() + d.cam_idx[static_cast<size_t>(o)] * 11,
+                     d.pts.data() + d.pt_idx[static_cast<size_t>(o)] * 3, proj);
+    const double w = d.weights[static_cast<size_t>(o)];
+    EXPECT_NEAR(e0[static_cast<size_t>(o)],
+                w * (proj[0] - d.feats[static_cast<size_t>(o * 2)]), 1e-9);
+    EXPECT_NEAR(e1[static_cast<size_t>(o)],
+                w * (proj[1] - d.feats[static_cast<size_t>(o * 2 + 1)]), 1e-9);
+    EXPECT_NEAR(werr[static_cast<size_t>(o)], 1.0 - w * w, 1e-12);
+  }
+}
+
+TEST(AppBa, JvpJacobianColumnMatchesTape) {
+  support::Rng rng(9);
+  auto d = apps::ba_gen(rng, 1, 2, 3);
+  ir::Prog p = apps::ba_ir_residuals();
+  ir::Prog j = ad::jvp(p);
+  ir::typecheck(j);
+  // Seed camera parameter 0 (rotation r0) of all cameras; compare the first
+  // residual's derivative against a tape row.
+  std::vector<double> cam_tan(static_cast<size_t>(d.n_cams * 11), 0.0);
+  for (int64_t c = 0; c < d.n_cams; ++c) cam_tan[static_cast<size_t>(c * 11)] = 1.0;
+  auto args = apps::ba_ir_args(d);
+  args.push_back(rt::make_f64_array(cam_tan, {d.n_cams, 11}));
+  args.push_back(rt::make_f64_array(std::vector<double>(static_cast<size_t>(d.n_pts * 3), 0.0),
+                                    {d.n_pts, 3}));
+  args.push_back(rt::make_f64_array(std::vector<double>(static_cast<size_t>(d.n_obs), 0.0),
+                                    {d.n_obs}));
+  args.push_back(rt::make_f64_array(std::vector<double>(static_cast<size_t>(d.n_obs * 2), 0.0),
+                                    {d.n_obs, 2}));
+  auto out = rt::run_prog(j, args);
+  auto de0 = rt::to_f64_vec(rt::as_array(out[3]));  // tangent of e0
+  std::vector<double> rows;
+  apps::ba_tape_jacobian(d, &rows);
+  // Tape rows: per obs, per comp: 11 cam + 3 pt + 1 w entries.
+  for (int64_t o = 0; o < d.n_obs; ++o) {
+    const double tape_val = rows[static_cast<size_t>((o * 2 + 0) * 15 + 0)];
+    EXPECT_NEAR(de0[static_cast<size_t>(o)], tape_val, 1e-7) << o;
+  }
+}
+
+// ------------------------------------------------------------------ HAND ---
+
+TEST(AppHand, IrResidualsMatchTemplatedKernel) {
+  support::Rng rng(10);
+  auto d = apps::hand_gen(rng, 3, 6);
+  for (bool complicated : {false, true}) {
+    ir::Prog p = apps::hand_ir_residuals(complicated);
+    ir::typecheck(p);
+    auto out = rt::run_prog(p, apps::hand_ir_args(d, complicated));
+    std::vector<double> ref(static_cast<size_t>(d.nverts * 3));
+    apps::hand_residuals<double>(d, d.theta.data(), complicated ? d.us.data() : nullptr,
+                                 ref.data());
+    for (int64_t v = 0; v < d.nverts; ++v) {
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_NEAR(rt::to_f64_vec(rt::as_array(out[static_cast<size_t>(i)]))[static_cast<size_t>(v)],
+                    ref[static_cast<size_t>(v * 3 + i)], 1e-9)
+            << complicated << " v=" << v << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(AppHand, VjpGradChecksOnScalarizedObjective) {
+  support::Rng rng(11);
+  auto d = apps::hand_gen(rng, 2, 4);
+  // Wrap the residuals into sum-of-squares to gradcheck theta.
+  ir::Prog p = apps::hand_ir_residuals(true);
+  // Append a reduction over residuals.
+  {
+    ir::TypeMap tm = ir::collect_types(p.fn);
+    ir::Builder b(*p.mod, tm);
+    for (auto& s : p.fn.body.stms) b.push(s);
+    std::vector<ir::Var> sums;
+    for (auto& res : p.fn.body.result) {
+      ir::Var sq = b.map1(b.lam({ir::f64()},
+                                [](ir::Builder& c, const std::vector<ir::Var>& q) {
+                                  return std::vector<ir::Atom>{ir::Atom(c.mul(q[0], q[0]))};
+                                }),
+                          {res.var()});
+      sums.push_back(b.reduce1(b.add_op(), ir::cf64(0.0), {sq}));
+    }
+    ir::Var t = b.add(ir::Atom(sums[0]), ir::Atom(sums[1]));
+    ir::Var total = b.add(ir::Atom(t), ir::Atom(sums[2]));
+    p.fn.body = ir::Body{b.take_stms(), {ir::Atom(total)}};
+    p.fn.rets = {ir::f64()};
+  }
+  ir::typecheck(p);
+  auto r = ad::check_gradients(p, apps::hand_ir_args(d, true), 1e-6, 2e-4);
+  EXPECT_TRUE(r.ok) << r.max_rel_err;
+}
+
+// ------------------------------------------------------- XSBench/RSBench ---
+
+TEST(AppXs, PrimalMatchesAndGradChecks) {
+  support::Rng rng(12);
+  auto d = apps::xs_gen(rng, 3, 16, 5);
+  ir::Prog p = apps::xs_ir_objective();
+  ir::typecheck(p);
+  auto out = rt::run_prog(p, apps::xs_ir_args(d));
+  EXPECT_NEAR(rt::as_f64(out[0]), apps::xs_primal(d), 1e-8);
+  auto r = ad::check_gradients(p, apps::xs_ir_args(d), 1e-6, 1e-4);
+  EXPECT_TRUE(r.ok) << r.max_rel_err;
+  // Tape gradient agrees with IR vjp on the xs data.
+  std::vector<double> tape_grad;
+  apps::xs_tape_gradient(d, &tape_grad);
+  auto grads = ad::reverse_gradients(p, apps::xs_ir_args(d));
+  expect_close(grads[1], tape_grad, 1e-8, "xs tape grad");
+}
+
+TEST(AppRs, PrimalMatchesAndGradChecks) {
+  support::Rng rng(13);
+  auto d = apps::rs_gen(rng, 3, 8, 6);
+  ir::Prog p = apps::rs_ir_objective();
+  ir::typecheck(p);
+  auto out = rt::run_prog(p, apps::rs_ir_args(d));
+  EXPECT_NEAR(rt::as_f64(out[0]), apps::rs_primal(d), 1e-8);
+  auto r = ad::check_gradients(p, apps::rs_ir_args(d), 1e-6, 1e-4);
+  EXPECT_TRUE(r.ok) << r.max_rel_err;
+}
+
+// ------------------------------------------------------------------ tape ---
+
+TEST(TapeBaseline, GradientMatchesClosedForm) {
+  auto g = tape::gradient({1.5, -2.0}, [](const std::vector<tape::Adouble>& x) {
+    return tape::exp(x[0]) * tape::sin(x[1]) + x[0] * x[1];
+  });
+  EXPECT_NEAR(g[0], std::exp(1.5) * std::sin(-2.0) + (-2.0), 1e-12);
+  EXPECT_NEAR(g[1], std::exp(1.5) * std::cos(-2.0) + 1.5, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+// Unit tests for the IR substrate: builder, printer, free-variable analysis,
+// lambda inlining, pattern recognition and the type checker.
+
+#include <gtest/gtest.h>
+
+#include "ir/analysis.hpp"
+#include "ir/builder.hpp"
+#include "ir/patterns.hpp"
+#include "ir/print.hpp"
+#include "ir/typecheck.hpp"
+#include "ir/visit.hpp"
+
+namespace {
+
+using namespace npad::ir;
+
+Prog make_square_prog() {
+  ProgBuilder pb("square");
+  Var x = pb.param("x", f64());
+  Builder& b = pb.body();
+  Var y = b.mul(x, x);
+  return pb.finish({Atom(y)});
+}
+
+TEST(Ir, BuildAndPrintScalarProgram) {
+  Prog p = make_square_prog();
+  EXPECT_EQ(p.fn.params.size(), 1u);
+  EXPECT_EQ(p.fn.rets.size(), 1u);
+  EXPECT_EQ(p.fn.rets[0], f64());
+  std::string s = to_string(p);
+  EXPECT_NE(s.find("square"), std::string::npos);
+  EXPECT_NE(s.find("*"), std::string::npos);
+}
+
+TEST(Ir, TypecheckAcceptsWellFormed) {
+  Prog p = make_square_prog();
+  EXPECT_NO_THROW(typecheck(p));
+}
+
+TEST(Ir, TypecheckRejectsUnbound) {
+  ProgBuilder pb("bad");
+  Var x = pb.param("x", f64());
+  Builder& b = pb.body();
+  Var y = b.mul(x, x);
+  Prog p = pb.finish({Atom(y)});
+  // Corrupt: reference a fresh unbound var.
+  Var ghost = p.mod->fresh("ghost");
+  p.fn.body.result[0] = Atom(ghost);
+  p.fn.rets[0] = f64();
+  EXPECT_THROW(typecheck(p), TypeError);
+}
+
+TEST(Ir, TypecheckRejectsDtypeMismatch) {
+  ProgBuilder pb("bad2");
+  Var x = pb.param("x", f64());
+  Builder& b = pb.body();
+  Var y = b.mul(x, x);
+  Prog p = pb.finish({Atom(y)});
+  // Corrupt the statement's declared type.
+  p.fn.body.stms[0].types[0] = i64();
+  EXPECT_THROW(typecheck(p), TypeError);
+}
+
+TEST(Ir, MapReduceTypesInferred) {
+  ProgBuilder pb("dot");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var ys = pb.param("ys", arr_f64(1));
+  Builder& b = pb.body();
+  Var prods = b.map1(b.lam({f64(), f64()},
+                           [](Builder& c, const std::vector<Var>& p) {
+                             return std::vector<Atom>{Atom(c.mul(p[0], p[1]))};
+                           }),
+                     {xs, ys});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {prods});
+  Prog p = pb.finish({Atom(s)});
+  EXPECT_NO_THROW(typecheck(p));
+  EXPECT_EQ(p.fn.rets[0], f64());
+}
+
+TEST(Ir, FreeVarsOfLambdaExcludeParams) {
+  ProgBuilder pb("fv");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var c = pb.param("c", f64());
+  Builder& b = pb.body();
+  LambdaPtr f = b.lam({f64()}, [&](Builder& cb, const std::vector<Var>& p) {
+    return std::vector<Atom>{Atom(cb.mul(p[0], c))};
+  });
+  Var ys = b.map1(f, {xs});
+  Prog p = pb.finish({Atom(ys)});
+  (void)p;
+  std::vector<Var> fv = free_vars(*f);
+  ASSERT_EQ(fv.size(), 1u);
+  EXPECT_EQ(fv[0], c);
+}
+
+TEST(Ir, FreeVarsSeeThroughNestedScopes) {
+  ProgBuilder pb("fv2");
+  Var k = pb.param("k", f64());
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  LambdaPtr f = b.lam({f64()}, [&](Builder& cb, const std::vector<Var>& p) {
+    Var cond = cb.lt(p[0], cf64(0.0));
+    Var r = cb.if1(
+        cond, [&](Builder& tb) { return std::vector<Atom>{Atom(tb.mul(p[0], k))}; },
+        [&](Builder& fb) { return std::vector<Atom>{Atom(fb.add(p[0], cf64(1.0)))}; });
+    return std::vector<Atom>{Atom(r)};
+  });
+  std::vector<Var> fv = free_vars(*f);
+  ASSERT_EQ(fv.size(), 1u);
+  EXPECT_EQ(fv[0], k);
+  Var ys = b.map1(f, {xs});
+  Prog p = pb.finish({Atom(ys)});
+  EXPECT_NO_THROW(typecheck(p));
+}
+
+TEST(Ir, InlineLambdaSubstitutesAndRefreshes) {
+  ProgBuilder pb("inl");
+  Var a = pb.param("a", f64());
+  Builder& b = pb.body();
+  LambdaPtr f = b.lam({f64(), f64()}, [](Builder& c, const std::vector<Var>& p) {
+    Var s = c.add(p[0], p[1]);
+    return std::vector<Atom>{Atom(c.mul(s, s))};
+  });
+  auto [stms, res] = inline_lambda(b.module(), *f, {Atom(a), cf64(3.0)});
+  ASSERT_EQ(stms.size(), 2u);
+  ASSERT_EQ(res.size(), 1u);
+  // Bindings must have been refreshed (different from the lambda's own vars).
+  EXPECT_NE(stms[0].vars[0].id, f->body.stms[0].vars[0].id);
+  // The add statement must reference `a` and the constant.
+  const auto* add = std::get_if<OpBin>(&stms[0].e);
+  ASSERT_NE(add, nullptr);
+  EXPECT_TRUE(add->a.is_var() && add->a.var() == a);
+  EXPECT_TRUE(add->b.is_const());
+}
+
+TEST(Ir, RecognizeBinopLambdas) {
+  ProgBuilder pb("rec");
+  Builder& b = pb.body();
+  EXPECT_EQ(recognize_binop(*b.add_op()), BinOp::Add);
+  EXPECT_EQ(recognize_binop(*b.mul_op()), BinOp::Mul);
+  EXPECT_EQ(recognize_binop(*b.min_op()), BinOp::Min);
+  LambdaPtr weird = b.lam({f64(), f64()}, [](Builder& c, const std::vector<Var>& p) {
+    Var t = c.mul(p[0], p[1]);
+    return std::vector<Atom>{Atom(c.add(t, cf64(1.0)))};
+  });
+  EXPECT_FALSE(recognize_binop(*weird).has_value());
+}
+
+TEST(Ir, CountStmsRecursesNests) {
+  ProgBuilder pb("cnt");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var ys = b.map1(b.lam({f64()},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          Var t = c.mul(p[0], p[0]);
+                          return std::vector<Atom>{Atom(c.add(t, cf64(1.0)))};
+                        }),
+                  {xs});
+  Prog p = pb.finish({Atom(ys)});
+  EXPECT_EQ(count_stms(p.fn.body), 3u);  // map + two lambda stms
+}
+
+TEST(Ir, LoopBuilderProducesTypedLoop) {
+  ProgBuilder pb("lp");
+  Var x0 = pb.param("x0", f64());
+  Var n = pb.param("n", i64());
+  Builder& b = pb.body();
+  auto outs = b.loop_for({Atom(x0)}, Atom(n), [](Builder& c, Var, const std::vector<Var>& ps) {
+    return std::vector<Atom>{Atom(c.mul(ps[0], cf64(1.5)))};
+  });
+  Prog p = pb.finish({Atom(outs[0])});
+  EXPECT_NO_THROW(typecheck(p));
+}
+
+TEST(Ir, ScatterAndHistTypecheck) {
+  ProgBuilder pb("sc");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var inds = pb.param("inds", arr(ScalarType::I64, 1));
+  Var vals = pb.param("vals", arr_f64(1));
+  Builder& b = pb.body();
+  Var s = b.scatter(dest, inds, vals);
+  Var h = b.hist(b.add_op(), cf64(0.0), s, inds, vals);
+  Prog p = pb.finish({Atom(h)});
+  EXPECT_NO_THROW(typecheck(p));
+}
+
+TEST(Ir, WithAccTypecheck) {
+  ProgBuilder pb("wa");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var is = pb.param("is", arr(ScalarType::I64, 1));
+  Builder& b = pb.body();
+  auto outs = b.withacc({dest}, [&](Builder& c, const std::vector<Var>& accs) {
+    LambdaPtr f = c.lam({i64(), acc_of(arr_f64(1))},
+                        [](Builder& cc, const std::vector<Var>& p) {
+                          Var a2 = cc.upd_acc(p[1], {Atom(p[0])}, cf64(1.0));
+                          return std::vector<Atom>{Atom(a2)};
+                        });
+    Var acc2 = c.map(f, {is, accs[0]})[0];
+    return std::vector<Atom>{Atom(acc2)};
+  });
+  Prog p = pb.finish({Atom(outs[0])});
+  EXPECT_NO_THROW(typecheck(p));
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+// Conformance suite for the kernel-compiled map fast path: for every scalar
+// operator, a map built around it must produce bit-identical results under
+// the kernel VM and the general interpreter (parameterized sweep), including
+// i64 index arithmetic, gathers, select chains and accumulator updates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/builder.hpp"
+#include "ir/typecheck.hpp"
+#include "runtime/interp.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace npad;
+using namespace npad::ir;
+using rt::Value;
+
+struct OpCase {
+  const char* name;
+  std::function<Var(Builder&, Var, Var)> build;  // scalar f64 body
+};
+
+class KernelBinOp : public ::testing::TestWithParam<int> {};
+
+const OpCase kCases[] = {
+    {"add", [](Builder& c, Var a, Var b) { return c.add(a, b); }},
+    {"sub", [](Builder& c, Var a, Var b) { return c.sub(a, b); }},
+    {"mul", [](Builder& c, Var a, Var b) { return c.mul(a, b); }},
+    {"div", [](Builder& c, Var a, Var b) { return c.div(a, Atom(c.add(b, cf64(3.0)))); }},
+    {"min", [](Builder& c, Var a, Var b) { return c.min(a, b); }},
+    {"max", [](Builder& c, Var a, Var b) { return c.max(a, b); }},
+    {"pow", [](Builder& c, Var a, Var b) { return c.pow(Atom(c.abs(a)), b); }},
+    {"exp", [](Builder& c, Var a, Var) { return c.exp(a); }},
+    {"log", [](Builder& c, Var a, Var) { return c.log(Atom(c.add(c.abs(a), cf64(0.1)))); }},
+    {"sqrt", [](Builder& c, Var a, Var) { return c.sqrt(Atom(c.abs(a))); }},
+    {"sin", [](Builder& c, Var a, Var) { return c.sin(a); }},
+    {"cos", [](Builder& c, Var a, Var) { return c.cos(a); }},
+    {"tanh", [](Builder& c, Var a, Var) { return c.tanh(a); }},
+    {"abs", [](Builder& c, Var a, Var) { return c.abs(a); }},
+    {"neg", [](Builder& c, Var a, Var) { return c.neg(a); }},
+    {"lgamma", [](Builder& c, Var a, Var) { return c.lgamma(Atom(c.add(c.abs(a), cf64(0.5)))); }},
+    {"select",
+     [](Builder& c, Var a, Var b) { return c.select(Atom(c.lt(a, b)), Atom(c.mul(a, b)), a); }},
+    {"cmp_chain",
+     [](Builder& c, Var a, Var b) {
+       Var g = c.logical_and(Atom(c.gt(a, cf64(0.0))), Atom(c.le(b, cf64(0.5))));
+       return c.select(Atom(g), cf64(1.0), cf64(-1.0));
+     }},
+};
+
+TEST_P(KernelBinOp, KernelMatchesInterpreter) {
+  const OpCase& oc = kCases[static_cast<size_t>(GetParam())];
+  support::Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  ProgBuilder pb("k");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var ys = pb.param("ys", arr_f64(1));
+  Builder& b = pb.body();
+  LambdaPtr f = b.lam({f64(), f64()}, [&](Builder& c, const std::vector<Var>& p) {
+    return std::vector<Atom>{Atom(oc.build(c, p[0], p[1]))};
+  });
+  Var out = b.map1(std::move(f), {xs, ys});
+  Prog p = pb.finish({Atom(out)});
+  typecheck(p);
+  std::vector<Value> args = {rt::make_f64_array(rng.normal_vec(64), {64}),
+                             rt::make_f64_array(rng.normal_vec(64), {64})};
+  rt::Interp fast({.parallel = false, .use_kernels = true});
+  rt::Interp slow({.parallel = false, .use_kernels = false});
+  auto r1 = rt::to_f64_vec(rt::as_array(fast.run(p, args)[0]));
+  auto r2 = rt::to_f64_vec(rt::as_array(slow.run(p, args)[0]));
+  ASSERT_EQ(r1.size(), r2.size()) << oc.name;
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i], r2[i]) << oc.name << " at " << i;  // bit-identical
+  }
+  EXPECT_EQ(fast.stats().kernel_maps.load(), 1u) << oc.name << " did not kernelize";
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, KernelBinOp,
+                         ::testing::Range(0, static_cast<int>(std::size(kCases))));
+
+TEST(KernelConformance, IndexArithmeticAndGather) {
+  // Strided gather with i64 div/mod arithmetic — the HAND regression case.
+  ProgBuilder pb("g");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var is = b.iota(ci64(30));
+  Var out = b.map1(b.lam({i64()},
+                         [&](Builder& c, const std::vector<Var>& p) {
+                           Var r = c.div(p[0], ci64(3));
+                           Var q = c.mod(p[0], ci64(3));
+                           Var idx = c.add(Atom(c.mul(r, ci64(3))), Atom(q));
+                           return std::vector<Atom>{Atom(c.index(xs, {Atom(idx)}))};
+                         }),
+                   {is});
+  Prog p = pb.finish({Atom(out)});
+  typecheck(p);
+  support::Rng rng(5);
+  std::vector<Value> args = {rt::make_f64_array(rng.normal_vec(30), {30})};
+  rt::Interp fast({.parallel = false, .use_kernels = true});
+  rt::Interp slow({.parallel = false, .use_kernels = false});
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(fast.run(p, args)[0])),
+            rt::to_f64_vec(rt::as_array(slow.run(p, args)[0])));
+  EXPECT_EQ(fast.stats().kernel_maps.load(), 1u);
+}
+
+TEST(KernelConformance, MultiDimGather) {
+  ProgBuilder pb("g2");
+  Var m = pb.param("m", arr_f64(2));
+  Builder& b = pb.body();
+  Var is = b.iota(ci64(12));
+  Var out = b.map1(b.lam({i64()},
+                         [&](Builder& c, const std::vector<Var>& p) {
+                           Var r = c.div(p[0], ci64(4));
+                           Var q = c.mod(p[0], ci64(4));
+                           return std::vector<Atom>{Atom(c.index(m, {Atom(r), Atom(q)}))};
+                         }),
+                   {is});
+  Prog p = pb.finish({Atom(out)});
+  typecheck(p);
+  support::Rng rng(6);
+  std::vector<Value> args = {rt::make_f64_array(rng.normal_vec(12), {3, 4})};
+  rt::Interp fast({.parallel = false, .use_kernels = true});
+  rt::Interp slow({.parallel = false, .use_kernels = false});
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(fast.run(p, args)[0])),
+            rt::to_f64_vec(rt::as_array(slow.run(p, args)[0])));
+}
+
+TEST(KernelConformance, AccumulatorUpdatesMatch) {
+  ProgBuilder pb("acc");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var is = pb.param("is", arr(ScalarType::I64, 1));
+  Var vs = pb.param("vs", arr_f64(1));
+  Builder& b = pb.body();
+  auto outs = b.withacc({dest}, [&](Builder& c, const std::vector<Var>& accs) {
+    LambdaPtr f = c.lam({i64(), f64(), acc_of(arr_f64(1))},
+                        [](Builder& cc, const std::vector<Var>& p) {
+                          Var v2 = cc.mul(p[1], p[1]);
+                          Var a2 = cc.upd_acc(p[2], {Atom(p[0])}, Atom(v2));
+                          return std::vector<Atom>{Atom(a2)};
+                        });
+    return std::vector<Atom>{Atom(c.map(f, {is, vs, accs[0]})[0])};
+  });
+  Prog p = pb.finish({Atom(outs[0])});
+  typecheck(p);
+  support::Rng rng(7);
+  const int64_t n = 200, m = 16;
+  auto mk_args = [&] {
+    return std::vector<Value>{
+        rt::make_f64_array(std::vector<double>(static_cast<size_t>(m), 0.0), {m}),
+        rt::make_i64_array(rng.index_vec(static_cast<size_t>(n), m), {n}),
+        rt::make_f64_array(rng.normal_vec(static_cast<size_t>(n)), {n})};
+  };
+  auto args = mk_args();
+  rt::Interp fast({.parallel = false, .use_kernels = true});
+  rt::Interp slow({.parallel = false, .use_kernels = false});
+  auto r1 = rt::to_f64_vec(rt::as_array(fast.run(p, args)[0]));
+  auto r2 = rt::to_f64_vec(rt::as_array(slow.run(p, args)[0]));
+  for (size_t i = 0; i < r1.size(); ++i) EXPECT_NEAR(r1[i], r2[i], 1e-12);
+  EXPECT_EQ(fast.stats().kernel_maps.load(), 1u);
+}
+
+// Parallel runtime: parallel and sequential execution must agree for
+// reductions and scans across a size sweep (chunked combine correctness).
+class ParallelAgree : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ParallelAgree, ReduceAndScan) {
+  const int64_t n = GetParam();
+  support::Rng rng(static_cast<uint64_t>(n));
+  ProgBuilder pb("rs");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {xs});
+  Var mx = b.reduce1(b.max_op(), cf64(-1e300), {xs});
+  Var sc = b.scan1(b.add_op(), cf64(0.0), {xs});
+  Prog p = pb.finish({Atom(s), Atom(mx), Atom(sc)});
+  typecheck(p);
+  std::vector<Value> args = {
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -1.0, 1.0), {n})};
+  rt::Interp par({.parallel = true, .use_kernels = true, .grain = 64});
+  rt::Interp seq({.parallel = false, .use_kernels = true, .grain = 64});
+  auto r1 = par.run(p, args);
+  auto r2 = seq.run(p, args);
+  EXPECT_NEAR(rt::as_f64(r1[0]), rt::as_f64(r2[0]), 1e-9 * static_cast<double>(n));
+  EXPECT_EQ(rt::as_f64(r1[1]), rt::as_f64(r2[1]));
+  auto s1 = rt::to_f64_vec(rt::as_array(r1[2]));
+  auto s2 = rt::to_f64_vec(rt::as_array(r2[2]));
+  for (size_t i = 0; i < s1.size(); ++i) EXPECT_NEAR(s1[i], s2[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelAgree,
+                         ::testing::Values<int64_t>(0, 1, 7, 63, 64, 65, 1000, 4096));
+
+} // namespace

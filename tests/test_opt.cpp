@@ -1,0 +1,262 @@
+// Optimization pass tests: DCE removes the redundant forward sweeps of
+// perfect nests (Fig. 2 property), strip-mining preserves semantics and
+// gradients (Fig. 4), accumulator specialization (§6.1) preserves gradients
+// while eliminating withacc constructs.
+
+#include <gtest/gtest.h>
+
+#include "core/ad.hpp"
+#include "core/gradcheck.hpp"
+#include "ir/builder.hpp"
+#include "ir/print.hpp"
+#include "ir/typecheck.hpp"
+#include "ir/visit.hpp"
+#include "opt/accopt.hpp"
+#include "opt/loopopt.hpp"
+#include "opt/simplify.hpp"
+#include "runtime/interp.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace npad;
+using namespace npad::ir;
+using rt::Value;
+using rt::make_f64_array;
+using rt::make_i64_array;
+
+// Drops the primal outputs of a vjp program, keeping only the gradients
+// (the Fig. 2 setting where the caller does not need the original result).
+Prog gradient_only(const Prog& vjp_prog, size_t primal_rets) {
+  Prog out = vjp_prog;
+  out.fn.body.result.erase(out.fn.body.result.begin(),
+                           out.fn.body.result.begin() + static_cast<long>(primal_rets));
+  out.fn.rets.erase(out.fn.rets.begin(), out.fn.rets.begin() + static_cast<long>(primal_rets));
+  return out;
+}
+
+size_t count_maps(const Body& b);
+size_t count_maps_exp(const Exp& e) {
+  size_t n = std::holds_alternative<OpMap>(e) ? 1 : 0;
+  for_each_nested(e, [&](const NestedScope& s) { n += count_maps(*s.body); });
+  return n;
+}
+size_t count_maps(const Body& b) {
+  size_t n = 0;
+  for (const auto& s : b.stms) n += count_maps_exp(s.e);
+  return n;
+}
+
+TEST(Simplify, DceDropsDeadStatements) {
+  ProgBuilder pb("f");
+  Var x = pb.param("x", f64());
+  Builder& b = pb.body();
+  Var used = b.mul(x, x);
+  Var dead1 = b.exp(x);
+  Var dead2 = b.add(dead1, cf64(1.0));
+  (void)dead2;
+  Prog p = pb.finish({Atom(used)});
+  Prog q = opt::dead_code_elim(p);
+  EXPECT_EQ(count_stms(q.fn.body), 1u);
+  EXPECT_DOUBLE_EQ(rt::as_f64(rt::run_prog(q, {3.0})[0]), 9.0);
+}
+
+TEST(Simplify, ConstantFoldingAndIdentities) {
+  ProgBuilder pb("f");
+  Var x = pb.param("x", f64());
+  Builder& b = pb.body();
+  Var a = b.add(x, cf64(0.0));     // x
+  Var m = b.mul(a, cf64(1.0));     // x
+  Var z = b.mul(m, cf64(0.0));     // 0
+  Var c = b.add(b.mul(cf64(2.0), cf64(3.0)), z);  // 6
+  Var r = b.add(m, c);
+  Prog p = pb.finish({Atom(r)});
+  Prog q = opt::simplify(p);
+  typecheck(q);
+  EXPECT_DOUBLE_EQ(rt::as_f64(rt::run_prog(q, {5.0})[0]), 11.0);
+  // After folding, only the final add of x and 6 should survive.
+  EXPECT_LE(count_stms(q.fn.body), 2u);
+}
+
+TEST(Redundancy, PerfectNestHasNoReexecutionAfterDce) {
+  // The Fig. 2 program: map (\c as -> if c then as else map (\a -> a*a) as).
+  ProgBuilder pb("fig2");
+  Var cs = pb.param("cs", arr(ScalarType::Bool, 1));
+  Var ass = pb.param("ass", arr_f64(2));
+  Builder& b = pb.body();
+  Var xss = b.map(b.lam({boolean(), arr_f64(1)},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          auto r = c.if_(
+                              Atom(p[0]),
+                              [&](Builder& tb) {
+                                return std::vector<Atom>{Atom(tb.copy(p[1]))};
+                              },
+                              [&](Builder& fb) {
+                                Var sq = fb.map1(
+                                    fb.lam({f64()},
+                                           [](Builder& cc, const std::vector<Var>& q) {
+                                             return std::vector<Atom>{
+                                                 Atom(cc.mul(q[0], q[0]))};
+                                           }),
+                                    {p[1]});
+                                return std::vector<Atom>{Atom(sq)};
+                              });
+                          return std::vector<Atom>{Atom(r[0])};
+                        }),
+                  {cs, ass})[0];
+  Prog p = pb.finish({Atom(xss)});
+  typecheck(p);
+  Prog g = ad::vjp(p);
+  typecheck(g);
+  Prog gonly = gradient_only(g, 1);
+  Prog opt1 = opt::simplify(gonly);
+  typecheck(opt1);
+  // The differentiated-and-optimized program must not re-execute the
+  // forward sweep: the primal output map (and the re-executed inner maps
+  // producing dead primal values) are gone. What remains is the single
+  // reverse map nest: outer rev-map + inner rev-map + (zeros init maps and
+  // elementwise-add maps from adjoint plumbing are value-producing, not
+  // re-execution). We assert the statement count shrinks substantially and
+  // that no *primal* square map survives by running both and comparing
+  // gradients.
+  const size_t before = count_stms(g.fn.body);
+  const size_t after = count_stms(opt1.fn.body);
+  EXPECT_LT(after, before);
+  // Check gradients agree between unoptimized and optimized programs.
+  std::vector<Value> args = {
+      [] {
+        rt::ArrayVal a = rt::ArrayVal::alloc(ScalarType::Bool, {2});
+        a.set_b8(0, true);
+        a.set_b8(1, false);
+        return a;
+      }(),
+      make_f64_array({1, 2, 3, 4, 5, 6}, {2, 3}),
+      make_f64_array({1, 1, 1, 1, 1, 1}, {2, 3})};  // seed
+  auto r1 = rt::run_prog(g, args);
+  auto r2 = rt::run_prog(opt1, args);
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(r1.back())), rt::to_f64_vec(rt::as_array(r2.back())));
+  // Gradient: row 0 passes through (1s), row 1 is 2*a.
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(r2.back())),
+            (std::vector<double>{1, 1, 1, 8, 10, 12}));
+}
+
+TEST(Stripmine, PreservesSemanticsAndGradients) {
+  auto build = [](int factor) {
+    ProgBuilder pb("f");
+    Var x0 = pb.param("x0", f64());
+    Builder& b = pb.body();
+    auto outs = b.loop_for(
+        {Atom(x0)}, ci64(10),
+        [](Builder& c, Var, const std::vector<Var>& ps) {
+          Var t = c.mul(ps[0], cf64(1.1));
+          return std::vector<Atom>{Atom(c.add(t, Atom(c.mul(ps[0], ps[0]))))};
+        },
+        factor);
+    return pb.finish({Atom(outs[0])});
+  };
+  Prog plain = build(0);
+  Prog annotated = build(4);
+  Prog mined = opt::apply_stripmining(annotated);
+  typecheck(mined);
+  const double x0 = 0.05;
+  EXPECT_NEAR(rt::as_f64(rt::run_prog(plain, {x0})[0]),
+              rt::as_f64(rt::run_prog(mined, {x0})[0]), 1e-13);
+  auto g1 = ad::reverse_gradients(plain, {x0});
+  auto g2 = ad::reverse_gradients(mined, {x0});
+  EXPECT_NEAR(g1[0][0], g2[0][0], 1e-10);
+}
+
+TEST(Stripmine, NonDivisibleCount) {
+  auto build = [](int factor) {
+    ProgBuilder pb("f");
+    Var x0 = pb.param("x0", f64());
+    Var n = pb.param("n", i64());
+    Builder& b = pb.body();
+    auto outs = b.loop_for(
+        {Atom(x0)}, Atom(n),
+        [](Builder& c, Var i, const std::vector<Var>& ps) {
+          Var fi = c.to_f64(Atom(i));
+          return std::vector<Atom>{Atom(c.add(ps[0], Atom(c.mul(fi, cf64(0.5)))))};
+        },
+        factor);
+    return pb.finish({Atom(outs[0])});
+  };
+  Prog mined = opt::apply_stripmining(build(3));
+  typecheck(mined);
+  for (int64_t n : {0, 1, 5, 7, 9}) {
+    EXPECT_NEAR(rt::as_f64(rt::run_prog(build(0), {2.0, n})[0]),
+                rt::as_f64(rt::run_prog(mined, {2.0, n})[0]), 1e-13)
+        << n;
+  }
+}
+
+// -------------------------------------------------------------- accopt -----
+
+TEST(AccOpt, HistogramRuleFiresAndPreservesGradient) {
+  // f(xs, inds) = sum(hist-like accumulation): the vjp of a gather produces
+  // the withacc+upd_acc pattern Rule H rewrites to reduce_by_index.
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var is = pb.param("is", arr(ScalarType::I64, 1));
+  Builder& b = pb.body();
+  Var e = b.map1(b.lam({i64()},
+                       [&](Builder& c, const std::vector<Var>& p) {
+                         Var v = c.index(xs, {Atom(p[0])});
+                         return std::vector<Atom>{Atom(c.mul(v, v))};
+                       }),
+                 {is});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {e});
+  Prog p = pb.finish({Atom(s)});
+  Prog g = ad::vjp(p);
+  typecheck(g);
+  opt::AccOptStats stats;
+  Prog go = opt::optimize_accumulators(g, &stats);
+  typecheck(go);
+  EXPECT_GE(stats.to_histogram, 1);
+  std::vector<Value> args = {make_f64_array({1, 2, 3}, {3}),
+                             make_i64_array({0, 2, 0, 1, 0}, {5}), 1.0};
+  auto r1 = rt::run_prog(g, args);
+  auto r2 = rt::run_prog(go, args);
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(r1.back())), rt::to_f64_vec(rt::as_array(r2.back())));
+}
+
+TEST(AccOpt, InvariantRuleFiresAndPreservesGradient) {
+  // All iterations accumulate into the same cell -> Rule R (map-reduce).
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var w = pb.param("w", arr_f64(1));
+  Builder& b = pb.body();
+  Var e = b.map1(b.lam({f64()},
+                       [&](Builder& c, const std::vector<Var>& p) {
+                         Var v = c.index(w, {ci64(0)});
+                         return std::vector<Atom>{Atom(c.mul(v, p[0]))};
+                       }),
+                 {xs});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {e});
+  Prog p = pb.finish({Atom(s)});
+  Prog g = ad::vjp(p);
+  opt::AccOptStats stats;
+  Prog go = opt::optimize_accumulators(g, &stats);
+  typecheck(go);
+  EXPECT_GE(stats.to_reduction, 1);
+  std::vector<Value> args = {make_f64_array({1, 2, 3}, {3}), make_f64_array({0.5, 9}, {2}), 1.0};
+  auto r1 = rt::run_prog(g, args);
+  auto r2 = rt::run_prog(go, args);
+  // w adjoint: dw0 = sum(xs) = 6, dw1 = 0.
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(r1.back())), (std::vector<double>{6, 0}));
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(r2.back())), (std::vector<double>{6, 0}));
+}
+
+TEST(AccOpt, LeavesNonMatchingProgramsUntouched) {
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {xs});
+  Prog p = pb.finish({Atom(s)});
+  opt::AccOptStats stats;
+  Prog q = opt::optimize_accumulators(p, &stats);
+  EXPECT_EQ(stats.to_histogram + stats.to_reduction, 0);
+  EXPECT_DOUBLE_EQ(rt::as_f64(rt::run_prog(q, {make_f64_array({1, 2}, {2})})[0]), 3.0);
+}
+
+} // namespace
