@@ -1,7 +1,10 @@
 // Ablation A (Section 6.1): accumulator specialization. The vjp of a gather
 // (reads become accumulations) produces the withacc+upd_acc pattern; Rule H
 // rewrites it to reduce_by_index and Rule R to a map-reduce. We compare the
-// differentiated program with and without opt::optimize_accumulators.
+// differentiated program with and without opt::optimize_accumulators, and —
+// for the runtime's own accumulator optimization — the same contended
+// histogram executed with privatized per-worker accumulator buffers vs plain
+// atomic RMW updates.
 
 #include "common.hpp"
 
@@ -23,6 +26,14 @@ int main(int argc, char** argv) {
   const int64_t n = 200000 * S, m = 512;
   support::Rng rng(23);
   rt::Interp interp;
+  // Runtime accumulator ablation: same program, privatized vs atomic updates.
+  rt::InterpOptions atomic_opts;
+  atomic_opts.privatize_accs = false;
+  rt::Interp atomic_interp(atomic_opts);
+  rt::InterpOptions priv_opts;
+  priv_opts.privatize_accs = true;
+  priv_opts.privatize_min_iters = 1024;
+  rt::Interp priv_interp(priv_opts);
 
   // f(xs, is) = sum_j xs[is_j]^2 — the canonical read-becomes-accumulation.
   ProgBuilder pb("gather_sq");
@@ -54,6 +65,12 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("grad/specialized", [&](benchmark::State& st) {
     for (auto _ : st) benchmark::DoNotOptimize(interp.run(grad_opt, gargs));
   })->Unit(benchmark::kMillisecond)->MinTime(0.1);
+  benchmark::RegisterBenchmark("grad/atomic", [&](benchmark::State& st) {
+    for (auto _ : st) benchmark::DoNotOptimize(atomic_interp.run(grad_acc, gargs));
+  })->Unit(benchmark::kMillisecond)->MinTime(0.1);
+  benchmark::RegisterBenchmark("grad/privatized", [&](benchmark::State& st) {
+    for (auto _ : st) benchmark::DoNotOptimize(priv_interp.run(grad_acc, gargs));
+  })->Unit(benchmark::kMillisecond)->MinTime(0.1);
 
   auto col = bench::run_benchmarks(argc, argv);
 
@@ -63,7 +80,15 @@ int main(int argc, char** argv) {
                  "x)",
              support::Table::fmt(col.ms("grad/specialized")),
              bench::ratio(col.ms("grad/accumulators"), col.ms("grad/specialized"))});
+  t.add_row({"runtime: atomic updates", support::Table::fmt(col.ms("grad/atomic")),
+             bench::ratio(col.ms("grad/accumulators"), col.ms("grad/atomic"))});
+  t.add_row({"runtime: privatized accumulators", support::Table::fmt(col.ms("grad/privatized")),
+             bench::ratio(col.ms("grad/atomic"), col.ms("grad/privatized"))});
   std::cout << "\nAblation A: accumulator specialization (Section 6.1)\n";
   t.print();
+  std::cout << "privatized_updates=" << priv_interp.stats().privatized_updates.load()
+            << " atomic_updates=" << atomic_interp.stats().atomic_updates.load() << "\n";
+
+  bench::write_bench_json("ablation_accopt", col, priv_interp.stats().counters());
   return 0;
 }

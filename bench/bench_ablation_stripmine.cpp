@@ -72,5 +72,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nAblation C: strip-mining time-space trade-off (Fig. 4)\n";
   t.print();
+
+  bench::write_bench_json("ablation_stripmine", col, interp.stats().counters());
   return 0;
 }

@@ -271,5 +271,7 @@ int main(int argc, char** argv) {
              bench::ratio(col.ms("gmm/manual_jac"), col.ms("gmm/manual_obj"), 1), "-", "-"});
   std::cout << "\nTable 1: full-Jacobian time / objective time (lower is better)\n";
   t.print();
+
+  bench::write_bench_json("table1_adbench", col, interp.stats().counters());
   return 0;
 }

@@ -62,5 +62,7 @@ int main(int argc, char** argv) {
              bench::ratio(col.ms("xs/tape_grad"), col.ms("xs/original"), 1), "2.6x / 3.2x"});
   std::cout << "\nTable 2: RSBench/XSBench primal runtimes and reverse-AD overheads\n";
   t.print();
+
+  bench::write_bench_json("table2_enzyme", col, interp.stats().counters());
   return 0;
 }

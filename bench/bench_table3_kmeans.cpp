@@ -79,5 +79,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nTable 3: dense k-means (gradient + Hessian probes)\n";
   t.print();
+
+  bench::write_bench_json("table3_kmeans", col, interp.stats().counters());
   return 0;
 }

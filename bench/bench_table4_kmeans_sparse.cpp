@@ -61,5 +61,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nTable 4: sparse k-means gradients\n";
   t.print();
+
+  bench::write_bench_json("table4_kmeans_sparse", col, interp.stats().counters());
   return 0;
 }

@@ -68,5 +68,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nTable 5: GMM Jacobians (A100 shapes, scaled)\n";
   t.print();
+
+  bench::write_bench_json("table5_gmm", col, interp.stats().counters());
   return 0;
 }

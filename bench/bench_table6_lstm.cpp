@@ -69,5 +69,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nTable 6: LSTM gradients (NLP shapes, scaled)\n";
   t.print();
+
+  bench::write_bench_json("table6_lstm", col, interp.stats().counters());
   return 0;
 }

@@ -7,17 +7,28 @@
 //
 // NPAD_SCALE (environment, default 1) multiplies the workload sizes; all
 // shipped defaults are laptop-scale (the runtime substrate is an interpreter
-// standing in for the paper's GPU backend — see DESIGN.md §1).
+// standing in for the paper's GPU backend — see src/runtime/README.md).
+//
+// Besides the human-readable tables, each binary writes BENCH_<name>.json
+// (benchmark timings + interpreter stats counters) for cross-PR tracking.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "support/table.hpp"
 
 namespace npad::bench {
+
+struct Measurement {
+  double mean_ms = 0.0;
+  double stddev_ms = 0.0;  // populated when repetitions report aggregates
+  int64_t iterations = 0;
+};
 
 class Collector : public benchmark::BenchmarkReporter {
 public:
@@ -30,17 +41,27 @@ public:
       // Strip decoration suffixes like "/min_time:0.050".
       std::string name = run.benchmark_name();
       if (auto pos = name.find("/min_time"); pos != std::string::npos) name.resize(pos);
-      ms_[name] = 1e3 * run.real_accumulated_time / iters;
+      if (auto pos = name.find("/repeats"); pos != std::string::npos) name.resize(pos);
+      if (run.run_type == Run::RT_Aggregate) {
+        if (run.aggregate_name == "stddev") runs_[name].stddev_ms = 1e3 * run.real_accumulated_time;
+        if (run.aggregate_name == "mean") runs_[name].mean_ms = 1e3 * run.real_accumulated_time;
+        continue;
+      }
+      auto& m = runs_[name];
+      m.mean_ms = 1e3 * run.real_accumulated_time / iters;
+      m.iterations = run.iterations;
     }
   }
 
   double ms(const std::string& name) const {
-    auto it = ms_.find(name);
-    return it == ms_.end() ? 0.0 : it->second;
+    auto it = runs_.find(name);
+    return it == runs_.end() ? 0.0 : it->second.mean_ms;
   }
 
+  const std::map<std::string, Measurement>& runs() const { return runs_; }
+
 private:
-  std::map<std::string, double> ms_;
+  std::map<std::string, Measurement> runs_;
 };
 
 inline int64_t scale_factor() {
@@ -62,6 +83,39 @@ inline Collector run_benchmarks(int argc, char** argv) {
 inline std::string ratio(double num, double den, int prec = 2) {
   if (den <= 0) return "-";
   return support::Table::fmt(num / den, prec) + "x";
+}
+
+// Writes BENCH_<name>.json next to the human-readable table so the perf
+// trajectory is machine-trackable across PRs: per-benchmark mean/stddev/
+// iteration counts plus any runtime counters (e.g. rt::InterpStats::counters).
+inline void write_bench_json(const std::string& name, const Collector& col,
+                             const std::map<std::string, uint64_t>& counters = {}) {
+  auto esc = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::ofstream os("BENCH_" + name + ".json");
+  os << "{\n  \"benchmark\": \"" << esc(name) << "\",\n";
+  os << "  \"scale\": " << scale_factor() << ",\n";
+  os << "  \"results\": [";
+  bool first = true;
+  for (const auto& [bname, m] : col.runs()) {
+    os << (first ? "" : ",") << "\n    {\"name\": \"" << esc(bname) << "\", \"n\": "
+       << m.iterations << ", \"mean_ms\": " << m.mean_ms << ", \"stddev\": " << m.stddev_ms
+       << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"counters\": {";
+  first = true;
+  for (const auto& [cname, v] : counters) {
+    os << (first ? "" : ",") << "\n    \"" << esc(cname) << "\": " << v;
+    first = false;
+  }
+  os << "\n  }\n}\n";
 }
 
 } // namespace npad::bench

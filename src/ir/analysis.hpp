@@ -1,9 +1,13 @@
 #pragma once
 
-// Program analyses shared by passes: free variables of bodies/lambdas and a
-// program-wide variable-type table.
+// Program analyses shared by passes: free variables of bodies/lambdas, a
+// program-wide variable-type table, and structural signatures/hashes used to
+// key the runtime caches.
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -153,5 +157,244 @@ inline TypeMap collect_types(const Function& f) {
 }
 
 inline void collect_types_into(const Body& b, TypeMap& tm) { detail::collect_body(b, tm); }
+
+// ---------------------------------------------- structural signature/hash ---
+//
+// A structural signature of a lambda or function: bound variables are
+// numbered positionally (alpha-invariant), free variables keep their raw ids,
+// constants contribute their bit patterns. Two nodes with equal signatures
+// evaluate identically in any environment that agrees on the free variables,
+// which is what the runtime kernel cache (runtime/kernel_cache.hpp) and the
+// resolved-program cache (runtime/resolve.hpp) need for safe sharing.
+// Equality of cached entries is decided by comparing signatures, so hash
+// collisions are harmless.
+
+namespace detail {
+
+class SigBuilder {
+public:
+  explicit SigBuilder(std::vector<uint64_t>& out) : out_(out) {}
+
+  void lambda(const Lambda& l) {
+    const size_t mark = undo_.size();
+    t(0x70u, l.params.size());
+    for (const auto& p : l.params) {
+      type(p.type);
+      bind(p.var);
+    }
+    body_scoped(l.body);
+    t(0x71u, l.rets.size());
+    for (const auto& tt : l.rets) type(tt);
+    unwind(mark);
+  }
+
+  void function(const Function& f) {
+    const size_t mark = undo_.size();
+    t(0x72u, f.params.size());
+    for (const auto& p : f.params) {
+      type(p.type);
+      bind(p.var);
+    }
+    body_scoped(f.body);
+    t(0x73u, f.rets.size());
+    for (const auto& tt : f.rets) type(tt);
+    unwind(mark);
+  }
+
+private:
+  void t(uint64_t tag, uint64_t payload = 0) { out_.push_back((tag << 48) ^ payload); }
+
+  void type(Type ty) {
+    t(0x01u, static_cast<uint64_t>(ty.elem) | (static_cast<uint64_t>(ty.rank) << 8) |
+                 (static_cast<uint64_t>(ty.is_acc) << 24));
+  }
+
+  void bind(Var v) {
+    auto it = ord_.find(v.id);
+    undo_.emplace_back(v.id, it == ord_.end() ? UINT32_MAX : it->second);
+    ord_[v.id] = next_++;
+  }
+
+  void unwind(size_t mark) {
+    while (undo_.size() > mark) {
+      auto [id, prev] = undo_.back();
+      undo_.pop_back();
+      if (prev == UINT32_MAX) {
+        ord_.erase(id);
+      } else {
+        ord_[id] = prev;
+      }
+    }
+  }
+
+  void use(Var v) {
+    auto it = ord_.find(v.id);
+    if (it != ord_.end()) {
+      t(0x02u, it->second);  // bound: positional ordinal
+    } else {
+      t(0x03u, v.id);        // free: identity matters
+    }
+  }
+
+  void atom(const Atom& a) {
+    if (a.is_var()) {
+      use(a.var());
+      return;
+    }
+    const ConstVal& c = a.cval();
+    t(0x04u, static_cast<uint64_t>(c.t));
+    out_.push_back(c.t == ScalarType::F64 ? std::bit_cast<uint64_t>(c.f)
+                                          : static_cast<uint64_t>(c.i));
+  }
+
+  // A body is a scope: bindings made inside must not leak to the enclosing
+  // signature context (mirrors the interpreter's lexical scoping).
+  void body_scoped(const Body& b) {
+    const size_t mark = undo_.size();
+    t(0x05u, b.stms.size());
+    for (const auto& st : b.stms) {
+      exp(st.e);
+      t(0x06u, st.vars.size());
+      for (size_t i = 0; i < st.vars.size(); ++i) {
+        type(st.types[i]);
+        bind(st.vars[i]);
+      }
+    }
+    t(0x07u, b.result.size());
+    for (const auto& a : b.result) atom(a);
+    unwind(mark);
+  }
+
+  void exp(const Exp& e) {
+    t(0x10u, e.index());
+    std::visit(
+        Overload{
+            [&](const OpAtom& o) { atom(o.a); },
+            [&](const OpBin& o) {
+              t(0x11u, static_cast<uint64_t>(o.op));
+              atom(o.a);
+              atom(o.b);
+            },
+            [&](const OpUn& o) {
+              t(0x12u, static_cast<uint64_t>(o.op));
+              atom(o.a);
+            },
+            [&](const OpSelect& o) { atom(o.c); atom(o.t); atom(o.f); },
+            [&](const OpIndex& o) {
+              use(o.arr);
+              t(0x13u, o.idx.size());
+              for (const auto& i : o.idx) atom(i);
+            },
+            [&](const OpUpdate& o) {
+              use(o.arr);
+              t(0x13u, o.idx.size());
+              for (const auto& i : o.idx) atom(i);
+              atom(o.v);
+            },
+            [&](const OpUpdAcc& o) {
+              use(o.acc);
+              t(0x13u, o.idx.size());
+              for (const auto& i : o.idx) atom(i);
+              atom(o.v);
+            },
+            [&](const OpIota& o) { atom(o.n); },
+            [&](const OpReplicate& o) { atom(o.n); atom(o.v); },
+            [&](const OpZerosLike& o) { use(o.v); },
+            [&](const OpScratch& o) { atom(o.n); use(o.like); },
+            [&](const OpLength& o) { use(o.arr); },
+            [&](const OpReverse& o) { use(o.arr); },
+            [&](const OpTranspose& o) { use(o.arr); },
+            [&](const OpCopy& o) { use(o.v); },
+            [&](const OpIf& o) {
+              atom(o.c);
+              body_scoped(*o.tb);
+              body_scoped(*o.fb);
+            },
+            [&](const OpLoop& o) {
+              t(0x14u, o.params.size());
+              for (const auto& i : o.init) atom(i);
+              if (!o.while_cond) atom(o.count);
+              t(0x15u, (static_cast<uint64_t>(o.stripmine) << 2) |
+                           (static_cast<uint64_t>(o.checkpoint_entry) << 1) |
+                           static_cast<uint64_t>(o.while_cond != nullptr));
+              if (o.while_bound) atom(*o.while_bound);
+              if (o.while_cond) lambda(*o.while_cond);
+              const size_t mark = undo_.size();
+              for (const auto& p : o.params) {
+                type(p.type);
+                bind(p.var);
+              }
+              if (o.idx.valid()) bind(o.idx);
+              body_scoped(*o.body);
+              unwind(mark);
+            },
+            [&](const OpMap& o) {
+              lambda(*o.f);
+              t(0x16u, o.args.size());
+              for (Var v : o.args) use(v);
+            },
+            [&](const OpReduce& o) {
+              lambda(*o.op);
+              for (const auto& n : o.neutral) atom(n);
+              t(0x16u, o.args.size());
+              for (Var v : o.args) use(v);
+            },
+            [&](const OpScan& o) {
+              lambda(*o.op);
+              for (const auto& n : o.neutral) atom(n);
+              t(0x16u, o.args.size());
+              for (Var v : o.args) use(v);
+            },
+            [&](const OpHist& o) {
+              lambda(*o.op);
+              atom(o.neutral);
+              use(o.dest);
+              use(o.inds);
+              use(o.vals);
+            },
+            [&](const OpScatter& o) { use(o.dest); use(o.inds); use(o.vals); },
+            [&](const OpWithAcc& o) {
+              t(0x16u, o.arrs.size());
+              for (Var v : o.arrs) use(v);
+              lambda(*o.f);
+            },
+        },
+        e);
+  }
+
+  std::vector<uint64_t>& out_;
+  std::unordered_map<uint32_t, uint32_t> ord_;
+  std::vector<std::pair<uint32_t, uint32_t>> undo_;
+  uint32_t next_ = 0;
+};
+
+} // namespace detail
+
+inline std::vector<uint64_t> structural_sig(const Lambda& l) {
+  std::vector<uint64_t> sig;
+  detail::SigBuilder(sig).lambda(l);
+  return sig;
+}
+
+inline std::vector<uint64_t> structural_sig(const Function& f) {
+  std::vector<uint64_t> sig;
+  detail::SigBuilder(sig).function(f);
+  return sig;
+}
+
+// FNV-1a over the signature words.
+inline uint64_t structural_hash(const std::vector<uint64_t>& sig) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint64_t w : sig) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (w >> (8 * b)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+inline uint64_t structural_hash(const Lambda& l) { return structural_hash(structural_sig(l)); }
+inline uint64_t structural_hash(const Function& f) { return structural_hash(structural_sig(f)); }
 
 } // namespace npad::ir

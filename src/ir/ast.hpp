@@ -153,6 +153,11 @@ struct OpLoop {
   int stripmine = 0;                    // §4.3: strip-mine factor annotation
   bool checkpoint_entry = false;        // §6.2: no-false-deps annotation
   std::optional<Atom> while_bound;      // §6.2: user iteration bound for while
+
+  // Runtime annotation: index into the owning ResolvedProg's activation table
+  // (runtime/resolve.hpp). Written once during slot resolution on a privately
+  // owned clone; never meaningful on user-built programs.
+  mutable uint32_t activation_id = UINT32_MAX;
 };
 
 // --- SOACs ---
@@ -197,6 +202,9 @@ struct Lambda {
   std::vector<Param> params;
   Body body;
   std::vector<Type> rets;
+
+  // Runtime annotation (see OpLoop::activation_id).
+  mutable uint32_t activation_id = UINT32_MAX;
 };
 
 struct Function {

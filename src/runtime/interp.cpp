@@ -2,11 +2,12 @@
 
 #include <cmath>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "ir/patterns.hpp"
 #include "ir/visit.hpp"
 #include "runtime/kernel.hpp"
+#include "runtime/kernel_cache.hpp"
+#include "runtime/resolve.hpp"
 #include "support/thread_pool.hpp"
 
 namespace npad::rt {
@@ -28,34 +29,79 @@ double digamma_approx(double x) {
 
 [[noreturn]] void die(const std::string& msg) { throw std::runtime_error("interp: " + msg); }
 
-} // namespace
+// Tree-merges per-chunk private accumulator buffers (pairwise, levels in
+// parallel when the pool allows), then adds the surviving buffer into the
+// destination element-parallel.
+void merge_private(std::vector<ArrayVal>& bufs, ArrayVal& dst, int64_t grain) {
+  const int64_t m = dst.elems();
+  for (size_t stride = 1; stride < bufs.size(); stride *= 2) {
+    const auto pairs = static_cast<int64_t>((bufs.size() + 2 * stride - 1) / (2 * stride));
+    support::parallel_for(pairs, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t p = lo; p < hi; ++p) {
+        const size_t i = static_cast<size_t>(p) * 2 * stride;
+        if (i + stride >= bufs.size()) continue;
+        double* d = bufs[i].buf->f64() + bufs[i].offset;
+        const double* s = bufs[i + stride].buf->f64() + bufs[i + stride].offset;
+        for (int64_t j = 0; j < m; ++j) d[j] += s[j];
+      }
+    });
+  }
+  double* d = dst.buf->f64() + dst.offset;
+  const double* s = bufs[0].buf->f64() + bufs[0].offset;
+  support::parallel_for(m, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t j = lo; j < hi; ++j) d[j] += s[j];
+  });
+}
 
-// Lexically scoped environment chain. Bindings shadow outer scopes.
+// Slot-resolved environment: one flat frame per activation (function entry,
+// lambda application, loop), chained by static links. Variable access is
+// precomputed (level, slot) indexing — no hashing, no per-scope rehash churn
+// (see runtime/resolve.hpp). Frames of enclosing activations are read-only
+// while parallel workers build their own child frames.
 class Env {
 public:
-  explicit Env(const Env* parent = nullptr) : parent_(parent) {}
+  Env(const ResolvedProg& rp, uint32_t act)
+      : parent_(nullptr),
+        rp_(&rp),
+        level_(rp.activations[act].level),
+        slots_(rp.activations[act].num_slots) {}
 
-  void bind(ir::Var v, Value val) { m_[v.id] = std::move(val); }
+  Env(const Env& parent, uint32_t act)
+      : parent_(&parent),
+        rp_(parent.rp_),
+        level_(rp_->activations[act].level),
+        slots_(rp_->activations[act].num_slots) {
+    assert(level_ == parent.level_ + 1 && "activation entered from a non-lexical parent");
+  }
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  void bind(ir::Var v, Value val) {
+    const SlotRef r = rp_->slots[v.id];
+    assert(r.valid() && r.level == level_ && "binding outside its own activation");
+    slots_[r.slot] = std::move(val);
+  }
 
   const Value& lookup(ir::Var v) const {
-    for (const Env* e = this; e != nullptr; e = e->parent_) {
-      auto it = e->m_.find(v.id);
-      if (it != e->m_.end()) return it->second;
-    }
-    die("unbound variable id " + std::to_string(v.id));
+    const SlotRef r = v.id < rp_->slots.size() ? rp_->slots[v.id] : SlotRef{};
+    if (!r.valid() || r.level > level_) die("unbound variable id " + std::to_string(v.id));
+    const Env* e = this;
+    while (e->level_ > r.level) e = e->parent_;
+    return e->slots_[r.slot];
   }
 
 private:
   const Env* parent_;
-  std::unordered_map<uint32_t, Value> m_;
+  const ResolvedProg* rp_;
+  uint32_t level_;
+  std::vector<Value> slots_;
 };
-
-namespace {
 
 class EvalCtx {
 public:
-  EvalCtx(const Interp& host, const ir::Module& mod)
-      : opts_(host.options()), stats_(const_cast<InterpStats*>(&host.stats())), mod_(mod) {}
+  explicit EvalCtx(const Interp& host)
+      : opts_(host.options()), stats_(const_cast<InterpStats*>(&host.stats())) {}
 
   Value eval_atom(const Atom& a, const Env& env) const {
     if (a.is_var()) return env.lookup(a.var());
@@ -68,8 +114,10 @@ public:
     return 0.0;
   }
 
-  std::vector<Value> eval_body(const Body& b, const Env& parent) const {
-    Env env(&parent);
+  // Statements execute in the caller's frame: nested bodies (if branches) are
+  // not activations — their bindings have dedicated slots in the enclosing
+  // frame (binding ids are unique after alpha-renaming).
+  std::vector<Value> eval_body(const Body& b, Env& env) const {
     for (const auto& st : b.stms) exec_stm(st, env);
     std::vector<Value> out;
     out.reserve(b.result.size());
@@ -79,7 +127,7 @@ public:
 
   std::vector<Value> apply(const Lambda& f, std::vector<Value> args, const Env& captured) const {
     assert(args.size() == f.params.size());
-    Env env(&captured);
+    Env env(captured, f.activation_id);
     for (size_t i = 0; i < args.size(); ++i) env.bind(f.params[i].var, std::move(args[i]));
     return eval_body(f.body, env);
   }
@@ -177,8 +225,6 @@ public:
               for (size_t d = 2; d < a.shape.size(); ++d) inner *= a.shape[d];
               for (int64_t i = 0; i < r; ++i) {
                 for (int64_t j = 0; j < c; ++j) {
-                  ArrayVal cell = row_view(a, i);
-                  // copy a[i,j,...] to out[j,i,...]
                   for (int64_t k = 0; k < inner; ++k) {
                     const int64_t src = (i * c + j) * inner + k;
                     const int64_t dst = (j * r + i) * inner + k;
@@ -188,7 +234,6 @@ public:
                       case ScalarType::Bool: out.set_b8(dst, a.get_i64(src) != 0); break;
                     }
                   }
-                  (void)cell;
                 }
               }
               return {out};
@@ -352,12 +397,22 @@ public:
       off += i * rows;
     }
     Value v = eval_atom(o.v, env);
+    uint64_t count = 1;
     if (is_array(v)) {
       const ArrayVal& src = as_array(v);
-      for (int64_t k = 0; k < src.elems(); ++k) atomic_add_f64(a, off + k, src.get_f64(k));
-    } else {
+      count = static_cast<uint64_t>(src.elems());
+      if (acc.atomic) {
+        for (int64_t k = 0; k < src.elems(); ++k) atomic_add_f64(a, off + k, src.get_f64(k));
+      } else {
+        for (int64_t k = 0; k < src.elems(); ++k) plain_add_f64(a, off + k, src.get_f64(k));
+      }
+    } else if (acc.atomic) {
       atomic_add_f64(a, off, as_f64(v));
+    } else {
+      plain_add_f64(a, off, as_f64(v));
     }
+    (acc.atomic ? stats_->atomic_updates : stats_->privatized_updates)
+        .fetch_add(count, std::memory_order_relaxed);
     return acc;
   }
 
@@ -366,11 +421,13 @@ public:
     std::vector<Value> state;
     state.reserve(o.init.size());
     for (const auto& a : o.init) state.push_back(eval_atom(a, env));
+    // One frame per loop, reused across iterations: params are rebound each
+    // round and body bindings simply overwrite last round's slots.
     if (o.while_cond) {
       for (;;) {
         std::vector<Value> c = apply(*o.while_cond, state, env);
         if (!as_bool(c[0])) break;
-        Env it_env(&env);
+        Env it_env(env, o.activation_id);
         for (size_t k = 0; k < o.params.size(); ++k)
           it_env.bind(o.params[k].var, std::move(state[k]));
         state = eval_body(*o.body, it_env);
@@ -378,9 +435,10 @@ public:
       return state;
     }
     const int64_t n = as_i64(eval_atom(o.count, env));
+    if (n <= 0) return state;
+    Env it_env(env, o.activation_id);
     for (int64_t i = 0; i < n; ++i) {
-      Env it_env(&env);
-      it_env.bind(o.idx, i);
+      if (o.idx.valid()) it_env.bind(o.idx, i);
       for (size_t k = 0; k < o.params.size(); ++k)
         it_env.bind(o.params[k].var, std::move(state[k]));
       state = eval_body(*o.body, it_env);
@@ -419,13 +477,13 @@ public:
     // General path: evaluate element 0 to learn result shapes.
     std::vector<Value> outs(f.rets.size());
     std::vector<ArrayVal> out_arrays(f.rets.size());
-    auto elem_args = [&](int64_t i) {
+    auto elem_args = [&](int64_t i, const std::vector<Value>& accs) {
       std::vector<Value> args;
       args.reserve(f.params.size());
       size_t ai = 0, ci = 0;
       for (size_t k = 0; k < f.params.size(); ++k) {
         if (f.params[k].type.is_acc) {
-          args.push_back(acc_args[ci++]);
+          args.push_back(accs[ci++]);
         } else {
           const ArrayVal& a = inputs[ai++];
           if (a.rank() == 1) {
@@ -450,17 +508,53 @@ public:
       }
     };
     if (n == 0) {
+      // Threaded accumulators pass through untouched (the lambda never ran);
+      // they are returned in parameter order, the paper's threading
+      // convention for accumulator results.
+      size_t ci = 0;
       for (size_t r = 0; r < f.rets.size(); ++r) {
-        if (f.rets[r].is_acc) continue;
+        if (f.rets[r].is_acc) {
+          if (ci < acc_args.size()) outs[r] = acc_args[ci++];
+          continue;
+        }
         std::vector<int64_t> shp{0};
         for (int d = 0; d < f.rets[r].rank; ++d) shp.push_back(0);
         out_arrays[r] = ArrayVal::alloc(f.rets[r].elem, std::move(shp));
       }
     } else {
-      std::vector<Value> first = apply(f, elem_args(0), env);
+      const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
+      const bool nested = support::ThreadPool::in_parallel_region();
+      const bool fanout = opts_.parallel && threads > 1 && n > opts_.grain && !nested;
+      // Accumulator atomicity for this launch: a fanned-out launch must use
+      // atomic updates on every shared accumulator (even one privatized by an
+      // enclosing sequential launch), while a launch that provably runs on
+      // this thread alone can use plain adds throughout.
+      std::vector<Value> base_accs = acc_args;
+      for (auto& a : base_accs) {
+        if (!is_acc(a)) continue;
+        AccVal av = as_acc(a);
+        if (fanout) {
+          av.atomic = true;
+        } else if (!nested && opts_.privatize_accs) {
+          av.atomic = false;
+        }
+        a = av;
+      }
+
+      std::vector<Value> first = apply(f, elem_args(0, base_accs), env);
       for (size_t r = 0; r < f.rets.size(); ++r) {
         if (f.rets[r].is_acc) {
+          // Return the caller's accumulator value (original atomicity), not
+          // the launch-local flagged copy the lambda threaded through.
           outs[r] = first[r];
+          if (is_acc(first[r])) {
+            for (const auto& a : acc_args) {
+              if (is_acc(a) && as_acc(a).arr.buf == as_acc(first[r]).arr.buf) {
+                outs[r] = a;
+                break;
+              }
+            }
+          }
           continue;
         }
         std::vector<int64_t> shp{n};
@@ -476,16 +570,66 @@ public:
         }
       }
       store_result(0, first);
-      const auto body = [&](int64_t lo, int64_t hi) {
-        for (int64_t i = std::max<int64_t>(lo, 1); i < hi; ++i) {
-          std::vector<Value> vals = apply(f, elem_args(i), env);
-          store_result(i, vals);
+
+      // Accumulator privatization: small accumulators get per-chunk private
+      // zero-initialized copies updated with plain adds, tree-merged into the
+      // destination after the launch; the rest stay atomic.
+      std::vector<size_t> priv;
+      const int64_t chunks =
+          fanout ? std::min<int64_t>(threads, (n + opts_.grain - 1) / opts_.grain) : 1;
+      if (fanout && opts_.privatize_accs && n >= opts_.privatize_min_iters) {
+        int64_t budget = opts_.privatize_budget;
+        for (size_t j = 0; j < base_accs.size(); ++j) {
+          if (!is_acc(base_accs[j])) continue;
+          const ArrayVal& a = as_acc(base_accs[j]).arr;
+          if (a.elem != ScalarType::F64) continue;
+          const int64_t cost = a.elems() * chunks;
+          if (cost <= budget) {
+            budget -= cost;
+            priv.push_back(j);
+          }
         }
-      };
-      if (opts_.parallel) {
-        support::parallel_for(n, opts_.grain, body);
+      }
+      if (priv.empty()) {
+        const auto body = [&](int64_t lo, int64_t hi) {
+          for (int64_t i = std::max<int64_t>(lo, 1); i < hi; ++i) {
+            std::vector<Value> vals = apply(f, elem_args(i, base_accs), env);
+            store_result(i, vals);
+          }
+        };
+        if (opts_.parallel) {
+          support::parallel_for(n, opts_.grain, body);
+        } else {
+          body(0, n);
+        }
       } else {
-        body(0, n);
+        stats_->privatized_launches.fetch_add(1, std::memory_order_relaxed);
+        std::vector<std::vector<Value>> chunk_accs(static_cast<size_t>(chunks), base_accs);
+        std::vector<std::vector<ArrayVal>> priv_bufs(priv.size());
+        for (size_t pj = 0; pj < priv.size(); ++pj) {
+          const ArrayVal& dst = as_acc(base_accs[priv[pj]]).arr;
+          priv_bufs[pj].reserve(static_cast<size_t>(chunks));
+          for (int64_t c = 0; c < chunks; ++c) {
+            ArrayVal buf = ArrayVal::alloc(ScalarType::F64, dst.shape);
+            chunk_accs[static_cast<size_t>(c)][priv[pj]] = AccVal{buf, /*atomic=*/false};
+            priv_bufs[pj].push_back(std::move(buf));
+          }
+        }
+        const int64_t per = (n + chunks - 1) / chunks;
+        support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+          for (int64_t c = clo; c < chi; ++c) {
+            const int64_t lo = std::max<int64_t>(c * per, 1);
+            const int64_t hi = std::min(n, (c + 1) * per);
+            for (int64_t i = lo; i < hi; ++i) {
+              std::vector<Value> vals = apply(f, elem_args(i, chunk_accs[static_cast<size_t>(c)]), env);
+              store_result(i, vals);
+            }
+          }
+        });
+        for (size_t pj = 0; pj < priv.size(); ++pj) {
+          ArrayVal dst = as_acc(base_accs[priv[pj]]).arr;
+          merge_private(priv_bufs[pj], dst, opts_.grain);
+        }
       }
     }
     for (size_t r = 0; r < f.rets.size(); ++r) {
@@ -499,26 +643,38 @@ public:
     for (const auto& a : inputs) {
       if (a.rank() != 1) return std::nullopt;
     }
-    auto kopt = compile_kernel(*o.f);
-    if (!kopt) return std::nullopt;
-    static thread_local std::vector<Kernel> keep;  // keep compiled kernels alive per launch
-    keep.clear();
-    keep.push_back(std::move(*kopt));
-    const Kernel& k = keep.back();
+    // The kernel is owned by the process-wide cache (immortal entries) or,
+    // with caching disabled, by the launch itself — either way it outlives
+    // every use, including launches from nested maps.
+    const Kernel* k = nullptr;
+    std::shared_ptr<const Kernel> owned;
+    if (opts_.use_kernel_cache) {
+      bool hit = false;
+      k = KernelCache::global().get(o.f, &hit);
+      (hit ? stats_->kernel_cache_hits : stats_->kernel_cache_misses)
+          .fetch_add(1, std::memory_order_relaxed);
+      if (!k) return std::nullopt;
+    } else {
+      auto kopt = compile_kernel(*o.f);
+      if (!kopt) return std::nullopt;
+      owned = std::make_shared<const Kernel>(std::move(*kopt));
+      k = owned.get();
+    }
     KernelLaunch L;
-    L.k = &k;
+    L.k = k;
+    L.owned = std::move(owned);
     L.inputs = inputs;
-    for (ir::Var v : k.free_scalars) {
+    for (ir::Var v : k->free_scalars) {
       const Value& val = env.lookup(v);
       if (is_array(val) || is_acc(val)) return std::nullopt;
       L.free_scalar_vals.push_back(as_f64(val));
     }
-    for (ir::Var v : k.free_arrays) {
+    for (ir::Var v : k->free_arrays) {
       const Value& val = env.lookup(v);
       if (!is_array(val)) return std::nullopt;
       L.free_array_vals.push_back(as_array(val));
     }
-    for (const auto& ab : k.accs) {
+    for (const auto& ab : k->accs) {
       Value val;
       if (ab.param_index >= 0) {
         val = env.lookup(o.args[static_cast<size_t>(ab.param_index)]);
@@ -536,12 +692,84 @@ public:
                                 const Env& env) const {
     const Kernel& k = *L.k;
     for (ScalarType t : k.out_elems) L.outputs.push_back(ArrayVal::alloc(t, {n}));
-    const auto body = [&](int64_t lo, int64_t hi) { L.run(lo, hi); };
-    if (opts_.parallel) {
-      support::parallel_for(n, opts_.grain, body);
+
+    const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
+    const bool nested = support::ThreadPool::in_parallel_region();
+    const bool fanout = opts_.parallel && threads > 1 && n > opts_.grain && !nested;
+    const size_t naccs = k.accs.size();
+    auto updates_of = [&](size_t s) {
+      return static_cast<uint64_t>(k.acc_upd_counts[s]) * static_cast<uint64_t>(n);
+    };
+
+    if (!fanout) {
+      // The whole launch runs on the calling thread. Outside any parallel
+      // region no other worker can race on the accumulators, so updates can
+      // be plain adds straight into the destination.
+      if (naccs > 0) {
+        const bool direct = !nested && opts_.privatize_accs;
+        if (direct) L.acc_atomic.assign(naccs, 0);
+        for (size_t s = 0; s < naccs; ++s) {
+          (direct ? stats_->privatized_updates : stats_->atomic_updates)
+              .fetch_add(updates_of(s), std::memory_order_relaxed);
+        }
+      }
+      if (opts_.parallel) {
+        support::parallel_for(n, opts_.grain, [&](int64_t lo, int64_t hi) { L.run(lo, hi); });
+      } else {
+        L.run(0, n);
+      }
     } else {
-      body(0, n);
+      const int64_t chunks = std::min<int64_t>(threads, (n + opts_.grain - 1) / opts_.grain);
+      std::vector<uint8_t> priv(naccs, 0);
+      bool any_priv = false;
+      if (opts_.privatize_accs && n >= opts_.privatize_min_iters) {
+        int64_t budget = opts_.privatize_budget;
+        for (size_t s = 0; s < naccs; ++s) {
+          if (k.acc_upd_counts[s] == 0) continue;
+          const int64_t cost = L.acc_array_vals[s].elems() * chunks;
+          if (cost <= budget) {
+            budget -= cost;
+            priv[s] = 1;
+            any_priv = true;
+          }
+        }
+      }
+      for (size_t s = 0; s < naccs; ++s) {
+        if (k.acc_upd_counts[s] == 0) continue;
+        (priv[s] ? stats_->privatized_updates : stats_->atomic_updates)
+            .fetch_add(updates_of(s), std::memory_order_relaxed);
+      }
+      if (!any_priv) {
+        support::parallel_for(n, opts_.grain, [&](int64_t lo, int64_t hi) { L.run(lo, hi); });
+      } else {
+        stats_->privatized_launches.fetch_add(1, std::memory_order_relaxed);
+        std::vector<uint8_t> atomic_flags(naccs);
+        for (size_t s = 0; s < naccs; ++s) atomic_flags[s] = priv[s] ? 0 : 1;
+        std::vector<KernelLaunch> launches(static_cast<size_t>(chunks), L);
+        std::vector<std::vector<ArrayVal>> priv_bufs(naccs);
+        for (size_t s = 0; s < naccs; ++s) {
+          if (!priv[s]) continue;
+          priv_bufs[s].reserve(static_cast<size_t>(chunks));
+          for (int64_t c = 0; c < chunks; ++c) {
+            ArrayVal buf = ArrayVal::alloc(ScalarType::F64, L.acc_array_vals[s].shape);
+            launches[static_cast<size_t>(c)].acc_array_vals[s] = buf;
+            priv_bufs[s].push_back(std::move(buf));
+          }
+        }
+        const int64_t per = (n + chunks - 1) / chunks;
+        support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+          for (int64_t c = clo; c < chi; ++c) {
+            auto& Lc = launches[static_cast<size_t>(c)];
+            Lc.acc_atomic = atomic_flags;
+            Lc.run(c * per, std::min(n, (c + 1) * per));
+          }
+        });
+        for (size_t s = 0; s < naccs; ++s) {
+          if (priv[s]) merge_private(priv_bufs[s], L.acc_array_vals[s], opts_.grain);
+        }
+      }
     }
+
     std::vector<Value> outs;
     size_t oi = 0;
     for (size_t r = 0; r < f.rets.size(); ++r) {
@@ -820,17 +1048,19 @@ public:
 private:
   InterpOptions opts_;
   InterpStats* stats_;
-  const ir::Module& mod_;
 };
 
 } // namespace
 
 std::vector<Value> Interp::run(const ir::Prog& p, const std::vector<Value>& args) const {
   if (args.size() != p.fn.params.size()) die("argument count mismatch");
-  EvalCtx ctx(*this, *p.mod);
-  Env env;
-  for (size_t i = 0; i < args.size(); ++i) env.bind(p.fn.params[i].var, args[i]);
-  return ctx.eval_body(p.fn.body, env);
+  // Slot-resolve (cached process-wide): the interpreter evaluates the
+  // alpha-renamed clone, whose variables index flat frames.
+  std::shared_ptr<const ResolvedProg> rp = ProgCache::global().get(p);
+  EvalCtx ctx(*this);
+  Env env(*rp, rp->root_activation);
+  for (size_t i = 0; i < args.size(); ++i) env.bind(rp->fn.params[i].var, args[i]);
+  return ctx.eval_body(rp->fn.body, env);
 }
 
 std::vector<Value> run_prog(const ir::Prog& p, const std::vector<Value>& args,

@@ -2,11 +2,16 @@
 
 // Parallel interpreter for npad IR: the execution substrate standing in for
 // the paper's GPU backend. SOACs execute on the global thread pool; scalar
-// map lambdas take the kernel-compiled fast path (runtime/kernel.hpp);
-// accumulators lower to atomic adds.
+// map lambdas take the kernel-compiled fast path (runtime/kernel.hpp), with
+// compiled kernels cached process-wide (runtime/kernel_cache.hpp); variable
+// environments are slot-resolved flat frames (runtime/resolve.hpp); and
+// accumulator updates are privatized into per-worker buffers when profitable,
+// falling back to atomic adds. See src/runtime/README.md.
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "ir/ast.hpp"
@@ -15,17 +20,42 @@
 namespace npad::rt {
 
 struct InterpOptions {
-  bool parallel = true;      // use the thread pool for SOACs
-  bool use_kernels = true;   // enable the kernel-compiled map fast path
-  int64_t grain = 2048;      // minimum elements per parallel chunk
+  bool parallel = true;         // use the thread pool for SOACs
+  bool use_kernels = true;      // enable the kernel-compiled map fast path
+  bool use_kernel_cache = true; // reuse compiled kernels across launches
+  bool privatize_accs = true;   // per-worker accumulator buffers + merge
+  int64_t grain = 2048;         // minimum elements per parallel chunk
+  // Privatization threshold: an accumulator is privatized only while the
+  // total private footprint of the launch (sum over privatized accumulators
+  // of elems x chunks) stays within this many f64 elements.
+  int64_t privatize_budget = int64_t{1} << 22;
+  // Minimum map extent before privatization is considered; smaller launches
+  // keep atomic updates (contention is bounded by the extent anyway).
+  int64_t privatize_min_iters = 4096;
 };
 
 struct InterpStats {
-  std::atomic<uint64_t> kernel_maps{0};    // maps run through compiled kernels
-  std::atomic<uint64_t> general_maps{0};   // maps run through the interpreter
-};
+  std::atomic<uint64_t> kernel_maps{0};          // maps run through compiled kernels
+  std::atomic<uint64_t> general_maps{0};         // maps run through the interpreter
+  std::atomic<uint64_t> kernel_cache_hits{0};    // launches that skipped compilation
+  std::atomic<uint64_t> kernel_cache_misses{0};  // launches that compiled (or analyzed)
+  std::atomic<uint64_t> privatized_updates{0};   // non-atomic accumulator updates
+  std::atomic<uint64_t> atomic_updates{0};       // atomic RMW accumulator updates
+  std::atomic<uint64_t> privatized_launches{0};  // launches that privatized >=1 acc
 
-class Env;
+  // Snapshot for machine-readable reporting (bench JSON).
+  std::map<std::string, uint64_t> counters() const {
+    return {
+        {"kernel_maps", kernel_maps.load()},
+        {"general_maps", general_maps.load()},
+        {"kernel_cache_hits", kernel_cache_hits.load()},
+        {"kernel_cache_misses", kernel_cache_misses.load()},
+        {"privatized_updates", privatized_updates.load()},
+        {"atomic_updates", atomic_updates.load()},
+        {"privatized_launches", privatized_launches.load()},
+    };
+  }
+};
 
 class Interp {
 public:

@@ -68,6 +68,10 @@ public:
       k_.ret_acc_slot.push_back(-1);
     }
     k_.num_regs = next_reg_;
+    k_.acc_upd_counts.assign(k_.accs.size(), 0);
+    for (const auto& in : k_.instrs) {
+      if (in.op == KOp::UpdAcc) ++k_.acc_upd_counts[static_cast<size_t>(in.slot)];
+    }
     return std::move(k_);
   }
 
@@ -303,7 +307,12 @@ void KernelLaunch::run(int64_t lo, int64_t hi) const {
         }
         case KOp::UpdAcc: {
           ArrayVal& a = const_cast<ArrayVal&>(acc_array_vals[static_cast<size_t>(in.slot)]);
-          atomic_add_f64(a, flat_index(a, r, in.idx, in.nidx), r[in.a]);
+          const int64_t at = flat_index(a, r, in.idx, in.nidx);
+          if (acc_atomic.empty() || acc_atomic[static_cast<size_t>(in.slot)]) {
+            atomic_add_f64(a, at, r[in.a]);
+          } else {
+            plain_add_f64(a, at, r[in.a]);
+          }
           break;
         }
         case KOp::StoreOut: {

@@ -54,6 +54,7 @@ struct Kernel {
   std::vector<int32_t> free_scalar_regs;
   std::vector<ir::Var> free_arrays;      // gather sources
   std::vector<AccBinding> accs;          // accumulator targets
+  std::vector<int32_t> acc_upd_counts;   // UpdAcc instructions per acc slot
   std::vector<int32_t> ret_acc_slot;     // per lambda result: acc slot or -1
   std::vector<ScalarType> out_elems;     // one per scalar output
   size_t num_inputs = 0;                 // element-wise inputs (non-acc args)
@@ -63,11 +64,20 @@ struct Kernel {
 std::optional<Kernel> compile_kernel(const ir::Lambda& f);
 
 // Bound kernel ready to run: free variables resolved against an environment.
+// `k` points either into the process-wide kernel cache (immortal entries,
+// runtime/kernel_cache.hpp) or at `owned` when caching is disabled — either
+// way the kernel cannot outlive the launch.
 struct KernelLaunch {
   const Kernel* k = nullptr;
+  std::shared_ptr<const Kernel> owned;  // set when the launch owns its kernel
   std::vector<double> free_scalar_vals;
   std::vector<ArrayVal> free_array_vals;
   std::vector<ArrayVal> acc_array_vals;
+  // Per acc slot: nonzero = atomic RMW updates (default); zero = plain adds,
+  // valid when the slot's backing array is private to one executing thread
+  // (privatized accumulators, or a launch that provably runs sequentially).
+  // Empty means all-atomic.
+  std::vector<uint8_t> acc_atomic;
   std::vector<ArrayVal> inputs;   // rank-1, one per element input
   std::vector<ArrayVal> outputs;  // rank-1, one per scalar output
 

@@ -1,0 +1,76 @@
+#include "runtime/kernel_cache.hpp"
+
+#include <mutex>
+
+#include "ir/analysis.hpp"
+
+namespace npad::rt {
+
+KernelCache& KernelCache::global() {
+  static KernelCache cache;
+  return cache;
+}
+
+size_t KernelCache::size() const {
+  std::shared_lock lk(mu_);
+  return by_sig_.size();
+}
+
+const Kernel* KernelCache::get(const ir::LambdaPtr& f, bool* was_hit) {
+  {
+    std::shared_lock lk(mu_);
+    auto it = by_ptr_.find(f.get());
+    if (it != by_ptr_.end()) {
+      if (was_hit) *was_hit = true;
+      return it->second;
+    }
+  }
+
+  // Unknown pointer: try to alias a structurally identical entry.
+  std::vector<uint64_t> sig = ir::structural_sig(*f);
+  const uint64_t h = ir::structural_hash(sig);
+  {
+    std::unique_lock lk(mu_);
+    auto pit = by_ptr_.find(f.get());  // raced with another thread?
+    if (pit != by_ptr_.end()) {
+      if (was_hit) *was_hit = true;
+      return pit->second;
+    }
+    auto [lo, hi] = by_sig_.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second.sig == sig) {
+        const Kernel* k = kernel_of(it->second);
+        by_ptr_.emplace(f.get(), k);
+        pinned_.push_back(f);
+        if (was_hit) *was_hit = true;  // compilation was skipped
+        return k;
+      }
+    }
+  }
+
+  // Compile outside the lock; on a race the first insert wins.
+  auto compiled = std::make_unique<const std::optional<Kernel>>(compile_kernel(*f));
+  std::unique_lock lk(mu_);
+  auto pit = by_ptr_.find(f.get());
+  if (pit != by_ptr_.end()) {
+    if (was_hit) *was_hit = true;
+    return pit->second;
+  }
+  auto [lo, hi] = by_sig_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second.sig == sig) {
+      const Kernel* k = kernel_of(it->second);
+      by_ptr_.emplace(f.get(), k);
+      pinned_.push_back(f);
+      if (was_hit) *was_hit = true;
+      return k;
+    }
+  }
+  auto it = by_sig_.emplace(h, Entry{std::move(sig), f, std::move(compiled)});
+  const Kernel* k = kernel_of(it->second);
+  by_ptr_.emplace(f.get(), k);
+  if (was_hit) *was_hit = false;
+  return k;
+}
+
+} // namespace npad::rt

@@ -1,0 +1,158 @@
+#include "runtime/resolve.hpp"
+
+#include <cassert>
+#include <mutex>
+
+#include "ir/analysis.hpp"
+#include "ir/visit.hpp"
+
+namespace npad::rt {
+
+namespace {
+
+using namespace ir;
+
+// Walks an alpha-renamed function and assigns every binding a slot in its
+// enclosing activation. Activations are opened at the function root, at each
+// lambda, and at each loop body; if-branch bodies (and any other nested
+// bodies) share the enclosing activation's frame — their binding ids are
+// unique after renaming, so slots never collide.
+class Resolver {
+public:
+  explicit Resolver(ResolvedProg& rp) : rp_(rp) {}
+
+  void run() {
+    rp_.slots.assign(rp_.mod->num_vars(), SlotRef{});
+    rp_.root_activation = push_activation();
+    for (const auto& p : rp_.fn.params) bind(p.var);
+    body(rp_.fn.body);
+    pop_activation();
+  }
+
+private:
+  struct Act {
+    uint32_t id = 0;
+    uint32_t next_slot = 0;
+  };
+
+  uint32_t push_activation() {
+    const auto id = static_cast<uint32_t>(rp_.activations.size());
+    rp_.activations.push_back(ActivationInfo{static_cast<uint32_t>(stack_.size()), 0});
+    stack_.push_back(Act{id, 0});
+    return id;
+  }
+
+  void pop_activation() {
+    rp_.activations[stack_.back().id].num_slots = stack_.back().next_slot;
+    stack_.pop_back();
+  }
+
+  void bind(Var v) {
+    assert(v.valid() && v.id < rp_.slots.size());
+    assert(!rp_.slots[v.id].valid() && "binding id not unique after alpha-renaming");
+    rp_.slots[v.id] =
+        SlotRef{rp_.activations[stack_.back().id].level, stack_.back().next_slot++};
+  }
+
+  void lambda(const Lambda& l) {
+    l.activation_id = push_activation();
+    for (const auto& p : l.params) bind(p.var);
+    body(l.body);
+    pop_activation();
+  }
+
+  void body(const Body& b) {
+    for (const auto& st : b.stms) {
+      exp(st.e);
+      for (Var v : st.vars) bind(v);
+    }
+  }
+
+  void exp(const Exp& e) {
+    std::visit(Overload{
+                   [&](const OpIf& o) {
+                     body(*o.tb);
+                     body(*o.fb);
+                   },
+                   [&](const OpLoop& o) {
+                     if (o.while_cond) lambda(*o.while_cond);
+                     o.activation_id = push_activation();
+                     for (const auto& p : o.params) bind(p.var);
+                     if (o.idx.valid()) bind(o.idx);
+                     body(*o.body);
+                     pop_activation();
+                   },
+                   [&](const OpMap& o) { lambda(*o.f); },
+                   [&](const OpReduce& o) { lambda(*o.op); },
+                   [&](const OpScan& o) { lambda(*o.op); },
+                   [&](const OpHist& o) { lambda(*o.op); },
+                   [&](const OpWithAcc& o) { lambda(*o.f); },
+                   [&](const auto&) {},
+               },
+               e);
+  }
+
+  ResolvedProg& rp_;
+  std::vector<Act> stack_;
+};
+
+} // namespace
+
+std::shared_ptr<const ResolvedProg> resolve_prog(const ir::Prog& p) {
+  auto rp = std::make_shared<ResolvedProg>();
+  // Clone into a private module copy: Cloner::bind allocates fresh ids there,
+  // and the original module stays untouched (it may be shared by callers).
+  rp->mod = std::make_shared<ir::Module>(*p.mod);
+  ir::Cloner c(*rp->mod, /*refresh=*/true);
+  ir::Subst s;
+  rp->fn.name = p.fn.name;
+  rp->fn.rets = p.fn.rets;
+  rp->fn.params.reserve(p.fn.params.size());
+  for (const auto& pr : p.fn.params) {
+    rp->fn.params.push_back(ir::Param{c.bind_in(pr.var, s), pr.type});
+  }
+  rp->fn.body = c.body(p.fn.body, std::move(s));
+  Resolver(*rp).run();
+  return rp;
+}
+
+ProgCache& ProgCache::global() {
+  static ProgCache cache;
+  return cache;
+}
+
+size_t ProgCache::size() const {
+  std::shared_lock lk(mu_);
+  return by_sig_.size();
+}
+
+std::shared_ptr<const ResolvedProg> ProgCache::get(const ir::Prog& p, bool* was_hit) {
+  std::vector<uint64_t> sig = ir::structural_sig(p.fn);
+  const uint64_t h = ir::structural_hash(sig);
+  {
+    std::shared_lock lk(mu_);
+    auto [lo, hi] = by_sig_.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second.sig == sig) {
+        if (was_hit) *was_hit = true;
+        return it->second.rp;
+      }
+    }
+  }
+  // Resolve outside the lock; a racing thread may do the same work, but the
+  // first insert wins and the duplicate is discarded.
+  auto rp = resolve_prog(p);
+  std::unique_lock lk(mu_);
+  auto [lo, hi] = by_sig_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second.sig == sig) {
+      if (was_hit) *was_hit = true;
+      return it->second.rp;
+    }
+  }
+  by_sig_.emplace(h, Entry{std::move(sig), rp});
+  if (was_hit) *was_hit = false;
+  return rp;
+}
+
+} // namespace npad::rt

@@ -96,9 +96,12 @@ struct ArrayVal {
   void set_b8(int64_t i, bool v) { buf->b8()[offset + i] = v ? 1 : 0; }
 };
 
-// Accumulator: write-only view of an array; updates are atomic adds (F64).
+// Accumulator: write-only view of an array; updates are adds (F64). When
+// `atomic` is false the backing array is private to one executing thread
+// (a privatized per-worker copy) and updates may be plain stores.
 struct AccVal {
   ArrayVal arr;
+  bool atomic = true;
 };
 
 using Value = std::variant<double, int64_t, bool, ArrayVal, AccVal>;
@@ -217,6 +220,9 @@ inline void atomic_add_f64(ArrayVal& a, int64_t i, double v) {
   std::atomic_ref<double> ref(a.buf->f64()[a.offset + i]);
   ref.fetch_add(v, std::memory_order_relaxed);
 }
+
+// Non-atomic a[i] += v; only valid when `a` is private to this thread.
+inline void plain_add_f64(ArrayVal& a, int64_t i, double v) { a.buf->f64()[a.offset + i] += v; }
 
 // ------------------------------------------------- host data conversion ----
 

@@ -3,7 +3,8 @@
 // A small fixed-size thread pool with blocking parallel-for, used as the
 // execution substrate for the parallel SOAC runtime. Nested parallel regions
 // run sequentially on the worker that encounters them (the "flattening-lite"
-// policy described in DESIGN.md §3.8): only the outermost level fans out.
+// policy described in src/runtime/README.md, "Scheduling"): only the
+// outermost level fans out.
 
 #include <condition_variable>
 #include <cstdint>
