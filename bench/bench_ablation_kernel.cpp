@@ -70,6 +70,8 @@ int main(int argc, char** argv) {
   rt::Interp slow({.parallel = true, .use_kernels = false, .grain = 2048});
   rt::Interp nocache(
       {.parallel = true, .use_kernels = true, .use_kernel_cache = false, .grain = 2048});
+  rt::Interp scalar_lanes(
+      {.parallel = true, .use_kernels = true, .kernel_lanes = 1, .grain = 2048});
 
   auto reg = [&](const char* name, std::function<void()> fn) {
     benchmark::RegisterBenchmark(name, [fn](benchmark::State& st) {
@@ -82,6 +84,10 @@ int main(int argc, char** argv) {
   reg("grad/interp", [&] { benchmark::DoNotOptimize(slow.run(grad_p, gargs)); });
   reg("repeat/cache", [&] { benchmark::DoNotOptimize(fast.run(rep_p, rep_args)); });
   reg("repeat/nocache", [&] { benchmark::DoNotOptimize(nocache.run(rep_p, rep_args)); });
+  // Lane-width ablation: the same kernels at W=1 (scalar machine) vs the
+  // default batched width.
+  reg("obj/kernels-w1", [&] { benchmark::DoNotOptimize(scalar_lanes.run(obj_p, args)); });
+  reg("grad/kernels-w1", [&] { benchmark::DoNotOptimize(scalar_lanes.run(grad_p, gargs)); });
 
   auto col = bench::run_benchmarks(argc, argv);
 
@@ -95,6 +101,12 @@ int main(int argc, char** argv) {
   t.add_row({"repeated map x256 (cache vs recompile)", support::Table::fmt(col.ms("repeat/cache")),
              support::Table::fmt(col.ms("repeat/nocache")),
              bench::ratio(col.ms("repeat/nocache"), col.ms("repeat/cache"))});
+  t.add_row({"GMM objective (W=8 vs W=1 lanes)", support::Table::fmt(col.ms("obj/kernels")),
+             support::Table::fmt(col.ms("obj/kernels-w1")),
+             bench::ratio(col.ms("obj/kernels-w1"), col.ms("obj/kernels"))});
+  t.add_row({"GMM gradient (W=8 vs W=1 lanes)", support::Table::fmt(col.ms("grad/kernels")),
+             support::Table::fmt(col.ms("grad/kernels-w1")),
+             bench::ratio(col.ms("grad/kernels-w1"), col.ms("grad/kernels"))});
   std::cout << "\nAblation B: kernel-compiled scalar maps and the kernel cache\n";
   t.print();
 

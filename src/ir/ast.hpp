@@ -165,7 +165,16 @@ struct OpLoop {
 // accumulator-typed lambda results collapse back to a single accumulator —
 // the paper's "implicit conversion between accumulators and arrays of
 // accumulators" (§5.4).
-struct OpMap { LambdaPtr f; std::vector<Var> args; };
+struct OpMap {
+  LambdaPtr f;
+  std::vector<Var> args;
+  // Annotation written by opt::fuse_maps: number of producer maps folded into
+  // this one (0 for unfused maps). Not part of the structural signature; the
+  // runtime adds it to InterpStats::fused_maps per launch. Every pass that
+  // rebuilds OpMap must carry it: ir/visit.hpp (Cloner), opt/simplify.cpp,
+  // opt/accopt.cpp, opt/loopopt.cpp, opt/fuse.cpp.
+  uint32_t fused = 0;
+};
 struct OpReduce { LambdaPtr op; std::vector<Atom> neutral; std::vector<Var> args; };
 struct OpScan { LambdaPtr op; std::vector<Atom> neutral; std::vector<Var> args; };
 // reduce_by_index dest op ne inds vals (§5.1.2); out-of-range bins ignored.

@@ -1,0 +1,237 @@
+#include "opt/fuse.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/analysis.hpp"
+#include "ir/visit.hpp"
+
+namespace npad::opt {
+
+namespace {
+
+using namespace ir;
+
+class Fuser {
+public:
+  Fuser(Module& mod, FuseStats& stats) : mod_(mod), stats_(stats) {}
+
+  Body body(const Body& in) {
+    Body cur;
+    cur.result = in.result;
+    cur.stms.reserve(in.stms.size());
+    // Fuse inside nested scopes first, then at this level to a fixpoint so
+    // chains collapse transitively.
+    for (const auto& st : in.stms) {
+      Stm ns = st;
+      ns.e = rewrite_nested(st.e);
+      cur.stms.push_back(std::move(ns));
+    }
+    while (fuse_once(cur)) {
+    }
+    return cur;
+  }
+
+private:
+  LambdaPtr sub_lambda(const LambdaPtr& l) {
+    if (!l) return nullptr;
+    Lambda nl = *l;
+    nl.body = body(l->body);
+    return make_lambda(std::move(nl));
+  }
+
+  Exp rewrite_nested(const Exp& e) {
+    return std::visit(
+        Overload{
+            [&](const OpIf& o) -> Exp {
+              return OpIf{o.c, make_body(body(*o.tb)), make_body(body(*o.fb))};
+            },
+            [&](const OpLoop& o) -> Exp {
+              OpLoop n = o;
+              n.body = make_body(body(*o.body));
+              n.while_cond = sub_lambda(o.while_cond);
+              return n;
+            },
+            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f), o.args, o.fused}; },
+            [&](const OpReduce& o) -> Exp { return OpReduce{sub_lambda(o.op), o.neutral, o.args}; },
+            [&](const OpScan& o) -> Exp { return OpScan{sub_lambda(o.op), o.neutral, o.args}; },
+            [&](const OpHist& o) -> Exp {
+              return OpHist{sub_lambda(o.op), o.neutral, o.dest, o.inds, o.vals};
+            },
+            [&](const OpWithAcc& o) -> Exp { return OpWithAcc{o.arrs, sub_lambda(o.f)}; },
+            [&](const auto& o) -> Exp { return o; },
+        },
+        e);
+  }
+
+  // A lambda is a fusable producer when it threads no accumulators: its
+  // computation is purely per-element, so it can be replayed inside the
+  // consumer at the same iteration index.
+  static bool pure_elementwise(const Lambda& f) {
+    for (const auto& p : f.params) {
+      if (p.type.is_acc) return false;
+    }
+    for (const auto& t : f.rets) {
+      if (t.is_acc) return false;
+    }
+    return true;
+  }
+
+  // True when `e` (or any statement nested inside it, at any depth) consumes
+  // an array in `needed` via an in-place-mutating construct.
+  static bool consumes_needed(const Exp& e, const std::unordered_set<uint32_t>& needed) {
+    bool bad = false;
+    std::visit(Overload{
+                   [&](const OpUpdate& o) { bad = needed.count(o.arr.id) > 0; },
+                   [&](const OpScatter& o) { bad = needed.count(o.dest.id) > 0; },
+                   [&](const OpHist& o) { bad = needed.count(o.dest.id) > 0; },
+                   [&](const OpWithAcc& o) {
+                     for (Var a : o.arrs) bad = bad || needed.count(a.id) > 0;
+                   },
+                   [&](const auto&) {},
+               },
+               e);
+    if (bad) return true;
+    for_each_nested(e, [&](const NestedScope& s) {
+      for (const auto& st : s.body->stms) bad = bad || consumes_needed(st.e, needed);
+    });
+    return bad;
+  }
+
+  // One fusion step over `b`; returns true when a producer was folded in.
+  // The bind/use tables are recomputed per step — quadratic in the length of
+  // a fusable chain, accepted because real chains (vjp adjoint plumbing) are
+  // a handful of maps while table reuse across mutations is easy to get
+  // subtly wrong.
+  bool fuse_once(Body& b) {
+    // Binding multiplicity (shadowed ids are never fused) and use counts.
+    // free_vars() deduplicates per nested scope, but any nonzero extra use
+    // already disqualifies exclusivity, so dedup does not matter here.
+    std::unordered_map<uint32_t, int> bind_count;
+    for (const auto& st : b.stms) {
+      for (Var v : st.vars) ++bind_count[v.id];
+    }
+    std::unordered_map<uint32_t, int> uses;
+    for (const auto& st : b.stms) {
+      for_each_atom(st.e, [&](const Atom& a) {
+        if (a.is_var()) ++uses[a.var().id];
+      });
+      for_each_nested(st.e, [&](const NestedScope& s) {
+        for (Var v : free_vars(*s.body, s.bound)) ++uses[v.id];
+      });
+    }
+    for (const auto& a : b.result) {
+      if (a.is_var()) ++uses[a.var().id];
+    }
+
+    for (size_t j = 0; j < b.stms.size(); ++j) {
+      const auto* cons = std::get_if<OpMap>(&b.stms[j].e);
+      if (cons == nullptr) continue;
+      for (Var v : cons->args) {
+        if (bind_count[v.id] != 1) continue;
+        // The producer's result must be used only as argument positions of
+        // this consumer (no gathers from it inside the lambda, no other
+        // statement, no body result).
+        int occurrences = 0;
+        for (Var a : cons->args) occurrences += a == v ? 1 : 0;
+        if (uses[v.id] != occurrences) continue;
+        // Locate the producing statement.
+        size_t i = b.stms.size();
+        for (size_t s = 0; s < j; ++s) {
+          if (b.stms[s].vars.size() == 1 && b.stms[s].vars[0] == v) {
+            i = s;
+            break;
+          }
+        }
+        if (i == b.stms.size()) continue;
+        const auto* prod = std::get_if<OpMap>(&b.stms[i].e);
+        if (prod == nullptr || prod->args.empty()) continue;
+        if (!pure_elementwise(*prod->f)) continue;
+        // Everything the producer references must still mean the same thing
+        // at the consumer: no statement in between may re-bind its arguments
+        // or its lambda's free variables, and none may consume one of them —
+        // update/scatter/hist/withacc mutate their array's buffer in place
+        // when it is uniquely owned, so deferring the producer's reads past
+        // such a statement would observe post-mutation data. (Pure renames
+        // that alias a needed array are collapsed by simplify's copy
+        // propagation before fusion runs in the pipeline.)
+        std::unordered_set<uint32_t> needed;
+        for (Var a : prod->args) needed.insert(a.id);
+        for (Var fv : free_vars(*prod->f)) needed.insert(fv.id);
+        bool blocked = false;
+        for (size_t s = i + 1; s < j && !blocked; ++s) {
+          for (Var bound : b.stms[s].vars) blocked = blocked || needed.count(bound.id) > 0;
+          blocked = blocked || consumes_needed(b.stms[s].e, needed);
+        }
+        if (blocked) continue;
+
+        fuse_pair(b, i, j, v);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Folds producer statement `i` (binding `v`) into consumer map `j`.
+  void fuse_pair(Body& b, size_t i, size_t j, Var v) {
+    const OpMap prod = std::get<OpMap>(b.stms[i].e);
+    const OpMap cons = std::get<OpMap>(b.stms[j].e);
+
+    Lambda fused;
+    std::vector<Var> fargs;
+    std::vector<Atom> prod_param_atoms;
+    for (size_t k = 0; k < prod.args.size(); ++k) {
+      Var p = mod_.fresh(mod_.name(prod.f->params[k].var));
+      fused.params.push_back(Param{p, prod.f->params[k].type});
+      fargs.push_back(prod.args[k]);
+      prod_param_atoms.push_back(Atom(p));
+    }
+    auto [stms1, res1] = inline_lambda(mod_, *prod.f, prod_param_atoms);
+    Atom fused_elem = res1[0];
+    if (fused_elem.is_const()) {
+      // Bind the constant so array/binding positions in the consumer body
+      // can still be substituted by a variable.
+      Var t = mod_.fresh("fe");
+      stms1.push_back(stm1(t, prod.f->rets[0], OpAtom{fused_elem}));
+      fused_elem = Atom(t);
+    }
+    std::vector<Atom> cons_args;
+    for (size_t k = 0; k < cons.args.size(); ++k) {
+      if (cons.args[k] == v) {
+        cons_args.push_back(fused_elem);
+        continue;
+      }
+      Var p = mod_.fresh(mod_.name(cons.f->params[k].var));
+      fused.params.push_back(Param{p, cons.f->params[k].type});
+      fargs.push_back(cons.args[k]);
+      cons_args.push_back(Atom(p));
+    }
+    auto [stms2, res2] = inline_lambda(mod_, *cons.f, cons_args);
+    fused.body.stms = std::move(stms1);
+    fused.body.stms.insert(fused.body.stms.end(), std::make_move_iterator(stms2.begin()),
+                           std::make_move_iterator(stms2.end()));
+    fused.body.result = std::move(res2);
+    fused.rets = cons.f->rets;
+
+    b.stms[j].e = OpMap{make_lambda(std::move(fused)), std::move(fargs),
+                        prod.fused + cons.fused + 1};
+    b.stms.erase(b.stms.begin() + static_cast<long>(i));
+    ++stats_.fused_maps;
+  }
+
+  Module& mod_;
+  FuseStats& stats_;
+};
+
+} // namespace
+
+Prog fuse_maps(const Prog& p, FuseStats* stats) {
+  FuseStats local;
+  FuseStats& st = stats != nullptr ? *stats : local;
+  Prog out = p;
+  Fuser f(*out.mod, st);
+  out.fn.body = f.body(p.fn.body);
+  return out;
+}
+
+} // namespace npad::opt

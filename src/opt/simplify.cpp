@@ -66,7 +66,7 @@ private:
               n.while_cond = prune_lambda(o.while_cond);
               return n;
             },
-            [&](const OpMap& o) -> Exp { return OpMap{prune_lambda(o.f), o.args}; },
+            [&](const OpMap& o) -> Exp { return OpMap{prune_lambda(o.f), o.args, o.fused}; },
             [&](const OpReduce& o) -> Exp {
               return OpReduce{prune_lambda(o.op), o.neutral, o.args};
             },
@@ -155,7 +155,7 @@ private:
               }
               return n;
             },
-            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f, env), o.args}; },
+            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f, env), o.args, o.fused}; },
             [&](const OpReduce& o) -> Exp {
               return OpReduce{sub_lambda(o.op, env), o.neutral, o.args};
             },

@@ -1,0 +1,81 @@
+#pragma once
+
+// Process-wide, thread-safe, size-bucketed pool of raw buffer storage.
+//
+// Every `Buffer` allocation (runtime/value.hpp) acquires its storage here and
+// returns it on destruction. Blocks are bucketed by power-of-two byte size;
+// an acquire pops a block from the matching bucket (a *hit* — no malloc, no
+// page faults, warm cache lines) or falls back to the heap (a *miss*). The
+// pool is bounded: each bucket keeps a fixed number of blocks and the total
+// retained footprint is capped, so long-running drivers cannot hoard memory.
+//
+// Locking is sharded per bucket, so concurrent workers allocating different
+// sizes never contend, and same-size contention is a short push/pop critical
+// section. Under AddressSanitizer retained blocks are poisoned while they
+// sit in the pool, so a stale view into a released buffer still traps even
+// though the memory was never returned to the system allocator.
+//
+// The zero-fill policy lives with the caller: `Buffer::make` clears the
+// requested range after acquiring, while `Buffer::make_uninit` hands the
+// recycled block back as-is for buffers that are provably fully overwritten
+// (kernel outputs) — eliminating the memset that used to accompany every
+// fresh intermediate.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace npad::rt {
+
+class BufferPool {
+public:
+  // Smallest pooled block; requests below this round up to it.
+  static constexpr size_t kMinBytes = 64;
+  // Largest pooled block; bigger requests bypass the pool entirely.
+  static constexpr size_t kMaxBytes = size_t{1} << 30;
+  // Retention bounds: per-bucket block count and total retained bytes.
+  static constexpr size_t kMaxPerBucket = 16;
+  static constexpr size_t kMaxRetainedBytes = size_t{256} << 20;
+
+  // Leaked singleton: never destroyed, so buffers freed during static
+  // teardown can still return their storage safely.
+  static BufferPool& global();
+
+  // Returns a block of capacity >= `bytes` (bucket-rounded, reported via
+  // `cap_bytes`). `hit` is set when the block was recycled from the pool.
+  void* acquire(size_t bytes, size_t* cap_bytes, bool* hit);
+
+  // Returns a block obtained from acquire(); retains it for reuse when within
+  // bounds, frees it otherwise.
+  void release(void* p, size_t cap_bytes) noexcept;
+
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t retained_bytes = 0;
+  };
+  Counters counters() const;
+
+  // Frees every retained block (diagnostics/tests).
+  void trim();
+
+private:
+  BufferPool();
+
+  static constexpr size_t kNumBuckets = 32;
+  static size_t bucket_of(size_t bytes);
+
+  struct Bucket {
+    std::mutex mu;
+    std::vector<void*> blocks;
+  };
+
+  Bucket buckets_[kNumBuckets];
+  std::atomic<size_t> retained_bytes_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace npad::rt

@@ -446,9 +446,21 @@ public:
     return state;
   }
 
+  // Launch-buffer allocation with pool accounting: buffers for kernel
+  // outputs and map results are fully overwritten by the launch, so they take
+  // the uninitialized path; privatized accumulators need the zero-fill.
+  ArrayVal alloc_launch_buf(ScalarType t, std::vector<int64_t> shp, bool uninit) const {
+    bool hit = false;
+    ArrayVal a = uninit ? ArrayVal::alloc_uninit(t, std::move(shp), &hit)
+                        : ArrayVal::alloc(t, std::move(shp), &hit);
+    (hit ? stats_->pool_hits : stats_->pool_misses).fetch_add(1, std::memory_order_relaxed);
+    return a;
+  }
+
   // ----------------------------------------------------------------- map ---
   std::vector<Value> eval_map(const OpMap& o, Env& env) const {
     const Lambda& f = *o.f;
+    if (o.fused > 0) stats_->fused_maps.fetch_add(o.fused, std::memory_order_relaxed);
     // Element inputs (non-acc) and threaded accumulator args.
     std::vector<ArrayVal> inputs;
     std::vector<Value> acc_args;
@@ -561,12 +573,12 @@ public:
         if (is_array(first[r])) {
           const auto& a = as_array(first[r]);
           shp.insert(shp.end(), a.shape.begin(), a.shape.end());
-          out_arrays[r] = ArrayVal::alloc(a.elem, std::move(shp));
+          out_arrays[r] = alloc_launch_buf(a.elem, std::move(shp), /*uninit=*/true);
         } else {
           ScalarType t = std::holds_alternative<double>(first[r])    ? ScalarType::F64
                          : std::holds_alternative<int64_t>(first[r]) ? ScalarType::I64
                                                                      : ScalarType::Bool;
-          out_arrays[r] = ArrayVal::alloc(t, std::move(shp));
+          out_arrays[r] = alloc_launch_buf(t, std::move(shp), /*uninit=*/true);
         }
       }
       store_result(0, first);
@@ -610,7 +622,7 @@ public:
           const ArrayVal& dst = as_acc(base_accs[priv[pj]]).arr;
           priv_bufs[pj].reserve(static_cast<size_t>(chunks));
           for (int64_t c = 0; c < chunks; ++c) {
-            ArrayVal buf = ArrayVal::alloc(ScalarType::F64, dst.shape);
+            ArrayVal buf = alloc_launch_buf(ScalarType::F64, dst.shape, /*uninit=*/false);
             chunk_accs[static_cast<size_t>(c)][priv[pj]] = AccVal{buf, /*atomic=*/false};
             priv_bufs[pj].push_back(std::move(buf));
           }
@@ -691,7 +703,13 @@ public:
   std::vector<Value> run_kernel(KernelLaunch& L, const Lambda& f, const OpMap& o, int64_t n,
                                 const Env& env) const {
     const Kernel& k = *L.k;
-    for (ScalarType t : k.out_elems) L.outputs.push_back(ArrayVal::alloc(t, {n}));
+    // Kernel outputs are fully overwritten (every iteration stores its
+    // element), so they take the uninitialized pooled-allocation path.
+    for (ScalarType t : k.out_elems) {
+      L.outputs.push_back(alloc_launch_buf(t, {n}, /*uninit=*/true));
+    }
+    L.lanes = std::max(1, opts_.kernel_lanes);
+    L.batched_spans = &stats_->batched_launches;
 
     const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
     const bool nested = support::ThreadPool::in_parallel_region();
@@ -751,7 +769,8 @@ public:
           if (!priv[s]) continue;
           priv_bufs[s].reserve(static_cast<size_t>(chunks));
           for (int64_t c = 0; c < chunks; ++c) {
-            ArrayVal buf = ArrayVal::alloc(ScalarType::F64, L.acc_array_vals[s].shape);
+            ArrayVal buf = alloc_launch_buf(ScalarType::F64, L.acc_array_vals[s].shape,
+                                            /*uninit=*/false);
             launches[static_cast<size_t>(c)].acc_array_vals[s] = buf;
             priv_bufs[s].push_back(std::move(buf));
           }

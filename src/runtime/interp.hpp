@@ -24,6 +24,10 @@ struct InterpOptions {
   bool use_kernels = true;      // enable the kernel-compiled map fast path
   bool use_kernel_cache = true; // reuse compiled kernels across launches
   bool privatize_accs = true;   // per-worker accumulator buffers + merge
+  // Kernel lane width W: compiled maps execute in batches of W iterations
+  // over an SoA register file (amortized dispatch, contiguous element
+  // loads/stores), with a scalar tail loop. 1 = scalar execution.
+  int kernel_lanes = 8;
   int64_t grain = 2048;         // minimum elements per parallel chunk
   // Privatization threshold: an accumulator is privatized only while the
   // total private footprint of the launch (sum over privatized accumulators
@@ -42,6 +46,10 @@ struct InterpStats {
   std::atomic<uint64_t> privatized_updates{0};   // non-atomic accumulator updates
   std::atomic<uint64_t> atomic_updates{0};       // atomic RMW accumulator updates
   std::atomic<uint64_t> privatized_launches{0};  // launches that privatized >=1 acc
+  std::atomic<uint64_t> pool_hits{0};            // launch buffers recycled from the pool
+  std::atomic<uint64_t> pool_misses{0};          // launch buffers freshly heap-allocated
+  std::atomic<uint64_t> fused_maps{0};           // producer maps eliminated by fusion (per launch)
+  std::atomic<uint64_t> batched_launches{0};     // kernel spans that ran >=1 full lane batch
 
   // Snapshot for machine-readable reporting (bench JSON).
   std::map<std::string, uint64_t> counters() const {
@@ -53,6 +61,10 @@ struct InterpStats {
         {"privatized_updates", privatized_updates.load()},
         {"atomic_updates", atomic_updates.load()},
         {"privatized_launches", privatized_launches.load()},
+        {"pool_hits", pool_hits.load()},
+        {"pool_misses", pool_misses.load()},
+        {"fused_maps", fused_maps.load()},
+        {"batched_launches", batched_launches.load()},
     };
   }
 };

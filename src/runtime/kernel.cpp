@@ -1,6 +1,7 @@
 #include "runtime/kernel.hpp"
 
 #include <cmath>
+#include <type_traits>
 #include <unordered_map>
 
 #include "ir/visit.hpp"
@@ -239,6 +240,157 @@ inline int64_t flat_index(const ArrayVal& a, const double* regs, const int32_t* 
   return off;
 }
 
+// Per-lane variant over the SoA register file (regs[reg*W + lane]).
+inline int64_t flat_index_lane(const ArrayVal& a, const double* regs, int W, int l,
+                               const int32_t* idx, int32_t nidx) {
+  int64_t off = 0;
+  int64_t stride = 1;
+  for (int32_t d = nidx - 1; d >= 0; --d) {
+    const auto i = static_cast<int64_t>(regs[idx[d] * W + l]);
+    off += i * stride;
+    stride *= a.shape[static_cast<size_t>(d)];
+  }
+  return off;
+}
+
+// Executes full batches of W iterations over a structure-of-arrays register
+// file: register r's lane l lives at regs[r*W + l]. The per-instruction
+// dispatch runs once per batch; each case loops over the W lanes, so the
+// switch cost is amortized W-fold and the lane loops are trivially
+// vectorizable. `WT` is either std::integral_constant<int, W> (compile-time
+// trip counts for the common widths) or plain int (any width).
+// Requires (hi - lo) % W == 0; the caller runs a scalar tail loop.
+template <class WT>
+void run_batched(const KernelLaunch& L, int64_t lo, int64_t hi, WT width) {
+  const int W = width;
+  const Kernel& k = *L.k;
+  std::vector<double> regs(static_cast<size_t>(k.num_regs) * static_cast<size_t>(W), 0.0);
+  double* r = regs.data();
+  // Iteration-invariant registers (each register has a single writer): free
+  // scalars and constants broadcast once, outside the batch loop.
+  for (size_t i = 0; i < k.free_scalar_regs.size(); ++i) {
+    for (int l = 0; l < W; ++l) r[k.free_scalar_regs[i] * W + l] = L.free_scalar_vals[i];
+  }
+  for (const auto& in : k.instrs) {
+    if (in.op == KOp::ConstF) {
+      for (int l = 0; l < W; ++l) r[in.dst * W + l] = in.imm;
+    }
+  }
+  for (int64_t base = lo; base < hi; base += W) {
+    for (const auto& in : k.instrs) {
+      double* d = r + static_cast<int64_t>(in.dst) * W;
+      const double* a = in.a >= 0 ? r + static_cast<int64_t>(in.a) * W : nullptr;
+      const double* b = in.b >= 0 ? r + static_cast<int64_t>(in.b) * W : nullptr;
+      const double* c = in.c >= 0 ? r + static_cast<int64_t>(in.c) * W : nullptr;
+      switch (in.op) {
+        case KOp::ConstF: break;  // broadcast in the preamble
+        case KOp::Mov: for (int l = 0; l < W; ++l) d[l] = a[l]; break;
+        case KOp::Add: for (int l = 0; l < W; ++l) d[l] = a[l] + b[l]; break;
+        case KOp::Sub: for (int l = 0; l < W; ++l) d[l] = a[l] - b[l]; break;
+        case KOp::Mul: for (int l = 0; l < W; ++l) d[l] = a[l] * b[l]; break;
+        case KOp::Div: for (int l = 0; l < W; ++l) d[l] = a[l] / b[l]; break;
+        case KOp::IDiv:
+          for (int l = 0; l < W; ++l) {
+            const auto x = static_cast<int64_t>(a[l]), y = static_cast<int64_t>(b[l]);
+            d[l] = static_cast<double>(y == 0 ? 0 : x / y);
+          }
+          break;
+        case KOp::Pow: for (int l = 0; l < W; ++l) d[l] = std::pow(a[l], b[l]); break;
+        case KOp::Min: for (int l = 0; l < W; ++l) d[l] = std::min(a[l], b[l]); break;
+        case KOp::Max: for (int l = 0; l < W; ++l) d[l] = std::max(a[l], b[l]); break;
+        case KOp::Mod:
+          for (int l = 0; l < W; ++l) {
+            const auto x = static_cast<int64_t>(a[l]), y = static_cast<int64_t>(b[l]);
+            d[l] = static_cast<double>(y == 0 ? 0 : x % y);
+          }
+          break;
+        case KOp::Eq: for (int l = 0; l < W; ++l) d[l] = a[l] == b[l] ? 1.0 : 0.0; break;
+        case KOp::Ne: for (int l = 0; l < W; ++l) d[l] = a[l] != b[l] ? 1.0 : 0.0; break;
+        case KOp::Lt: for (int l = 0; l < W; ++l) d[l] = a[l] < b[l] ? 1.0 : 0.0; break;
+        case KOp::Le: for (int l = 0; l < W; ++l) d[l] = a[l] <= b[l] ? 1.0 : 0.0; break;
+        case KOp::Gt: for (int l = 0; l < W; ++l) d[l] = a[l] > b[l] ? 1.0 : 0.0; break;
+        case KOp::Ge: for (int l = 0; l < W; ++l) d[l] = a[l] >= b[l] ? 1.0 : 0.0; break;
+        case KOp::And:
+          for (int l = 0; l < W; ++l) d[l] = (a[l] != 0.0 && b[l] != 0.0) ? 1.0 : 0.0;
+          break;
+        case KOp::Or:
+          for (int l = 0; l < W; ++l) d[l] = (a[l] != 0.0 || b[l] != 0.0) ? 1.0 : 0.0;
+          break;
+        case KOp::Neg: for (int l = 0; l < W; ++l) d[l] = -a[l]; break;
+        case KOp::Exp: for (int l = 0; l < W; ++l) d[l] = std::exp(a[l]); break;
+        case KOp::Log: for (int l = 0; l < W; ++l) d[l] = std::log(a[l]); break;
+        case KOp::Sqrt: for (int l = 0; l < W; ++l) d[l] = std::sqrt(a[l]); break;
+        case KOp::Sin: for (int l = 0; l < W; ++l) d[l] = std::sin(a[l]); break;
+        case KOp::Cos: for (int l = 0; l < W; ++l) d[l] = std::cos(a[l]); break;
+        case KOp::Tanh: for (int l = 0; l < W; ++l) d[l] = std::tanh(a[l]); break;
+        case KOp::Abs: for (int l = 0; l < W; ++l) d[l] = std::fabs(a[l]); break;
+        case KOp::Sign:
+          for (int l = 0; l < W; ++l) d[l] = a[l] > 0 ? 1.0 : (a[l] < 0 ? -1.0 : 0.0);
+          break;
+        case KOp::LGamma: for (int l = 0; l < W; ++l) d[l] = std::lgamma(a[l]); break;
+        case KOp::Digamma: for (int l = 0; l < W; ++l) d[l] = digamma(a[l]); break;
+        case KOp::Not: for (int l = 0; l < W; ++l) d[l] = a[l] == 0.0 ? 1.0 : 0.0; break;
+        case KOp::Trunc: for (int l = 0; l < W; ++l) d[l] = std::trunc(a[l]); break;
+        case KOp::Select:
+          for (int l = 0; l < W; ++l) d[l] = a[l] != 0.0 ? b[l] : c[l];
+          break;
+        case KOp::LoadElem: {
+          const ArrayVal& arr = L.inputs[static_cast<size_t>(in.slot)];
+          if (arr.elem == ScalarType::F64) {  // contiguous strip
+            const double* src = arr.buf->f64() + arr.offset + base;
+            for (int l = 0; l < W; ++l) d[l] = src[l];
+          } else {
+            for (int l = 0; l < W; ++l) d[l] = arr.get_f64(base + l);
+          }
+          break;
+        }
+        case KOp::Gather: {
+          const ArrayVal& arr = L.free_array_vals[static_cast<size_t>(in.slot)];
+          for (int l = 0; l < W; ++l) {
+            d[l] = arr.get_f64(flat_index_lane(arr, r, W, l, in.idx, in.nidx));
+          }
+          break;
+        }
+        case KOp::UpdAcc: {
+          auto& arr = const_cast<ArrayVal&>(L.acc_array_vals[static_cast<size_t>(in.slot)]);
+          const bool atomic =
+              L.acc_atomic.empty() || L.acc_atomic[static_cast<size_t>(in.slot)] != 0;
+          for (int l = 0; l < W; ++l) {
+            const int64_t at = flat_index_lane(arr, r, W, l, in.idx, in.nidx);
+            if (atomic) {
+              atomic_add_f64(arr, at, a[l]);
+            } else {
+              plain_add_f64(arr, at, a[l]);
+            }
+          }
+          break;
+        }
+        case KOp::StoreOut: {
+          auto& o = const_cast<ArrayVal&>(L.outputs[static_cast<size_t>(in.slot)]);
+          switch (o.elem) {
+            case ScalarType::F64: {  // contiguous strip
+              double* dst = o.buf->f64() + o.offset + base;
+              for (int l = 0; l < W; ++l) dst[l] = a[l];
+              break;
+            }
+            case ScalarType::I64: {
+              int64_t* dst = o.buf->i64() + o.offset + base;
+              for (int l = 0; l < W; ++l) dst[l] = static_cast<int64_t>(a[l]);
+              break;
+            }
+            case ScalarType::Bool: {
+              uint8_t* dst = o.buf->b8() + o.offset + base;
+              for (int l = 0; l < W; ++l) dst[l] = a[l] != 0.0 ? 1 : 0;
+              break;
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
 } // namespace
 
 std::optional<Kernel> compile_kernel(const ir::Lambda& f) {
@@ -246,87 +398,23 @@ std::optional<Kernel> compile_kernel(const ir::Lambda& f) {
 }
 
 void KernelLaunch::run(int64_t lo, int64_t hi) const {
-  std::vector<double> regs(static_cast<size_t>(k->num_regs), 0.0);
-  for (size_t i = 0; i < k->free_scalar_regs.size(); ++i) {
-    regs[static_cast<size_t>(k->free_scalar_regs[i])] = free_scalar_vals[i];
-  }
-  for (int64_t it = lo; it < hi; ++it) {
-    for (const auto& in : k->instrs) {
-      double* r = regs.data();
-      switch (in.op) {
-        case KOp::ConstF: r[in.dst] = in.imm; break;
-        case KOp::Mov: r[in.dst] = r[in.a]; break;
-        case KOp::Add: r[in.dst] = r[in.a] + r[in.b]; break;
-        case KOp::Sub: r[in.dst] = r[in.a] - r[in.b]; break;
-        case KOp::Mul: r[in.dst] = r[in.a] * r[in.b]; break;
-        case KOp::Div: r[in.dst] = r[in.a] / r[in.b]; break;
-        case KOp::IDiv: {
-          const auto x = static_cast<int64_t>(r[in.a]), y = static_cast<int64_t>(r[in.b]);
-          r[in.dst] = static_cast<double>(y == 0 ? 0 : x / y);
-          break;
-        }
-        case KOp::Pow: r[in.dst] = std::pow(r[in.a], r[in.b]); break;
-        case KOp::Min: r[in.dst] = std::min(r[in.a], r[in.b]); break;
-        case KOp::Max: r[in.dst] = std::max(r[in.a], r[in.b]); break;
-        case KOp::Mod: {
-          const auto x = static_cast<int64_t>(r[in.a]), y = static_cast<int64_t>(r[in.b]);
-          r[in.dst] = static_cast<double>(y == 0 ? 0 : x % y);
-          break;
-        }
-        case KOp::Eq: r[in.dst] = r[in.a] == r[in.b] ? 1.0 : 0.0; break;
-        case KOp::Ne: r[in.dst] = r[in.a] != r[in.b] ? 1.0 : 0.0; break;
-        case KOp::Lt: r[in.dst] = r[in.a] < r[in.b] ? 1.0 : 0.0; break;
-        case KOp::Le: r[in.dst] = r[in.a] <= r[in.b] ? 1.0 : 0.0; break;
-        case KOp::Gt: r[in.dst] = r[in.a] > r[in.b] ? 1.0 : 0.0; break;
-        case KOp::Ge: r[in.dst] = r[in.a] >= r[in.b] ? 1.0 : 0.0; break;
-        case KOp::And: r[in.dst] = (r[in.a] != 0.0 && r[in.b] != 0.0) ? 1.0 : 0.0; break;
-        case KOp::Or: r[in.dst] = (r[in.a] != 0.0 || r[in.b] != 0.0) ? 1.0 : 0.0; break;
-        case KOp::Neg: r[in.dst] = -r[in.a]; break;
-        case KOp::Exp: r[in.dst] = std::exp(r[in.a]); break;
-        case KOp::Log: r[in.dst] = std::log(r[in.a]); break;
-        case KOp::Sqrt: r[in.dst] = std::sqrt(r[in.a]); break;
-        case KOp::Sin: r[in.dst] = std::sin(r[in.a]); break;
-        case KOp::Cos: r[in.dst] = std::cos(r[in.a]); break;
-        case KOp::Tanh: r[in.dst] = std::tanh(r[in.a]); break;
-        case KOp::Abs: r[in.dst] = std::fabs(r[in.a]); break;
-        case KOp::Sign: r[in.dst] = r[in.a] > 0 ? 1.0 : (r[in.a] < 0 ? -1.0 : 0.0); break;
-        case KOp::LGamma: r[in.dst] = std::lgamma(r[in.a]); break;
-        case KOp::Digamma: r[in.dst] = digamma(r[in.a]); break;
-        case KOp::Not: r[in.dst] = r[in.a] == 0.0 ? 1.0 : 0.0; break;
-        case KOp::Trunc: r[in.dst] = std::trunc(r[in.a]); break;
-        case KOp::Select: r[in.dst] = r[in.a] != 0.0 ? r[in.b] : r[in.c]; break;
-        case KOp::LoadElem: {
-          const ArrayVal& a = inputs[static_cast<size_t>(in.slot)];
-          r[in.dst] = a.get_f64(it);
-          break;
-        }
-        case KOp::Gather: {
-          const ArrayVal& a = free_array_vals[static_cast<size_t>(in.slot)];
-          r[in.dst] = a.get_f64(flat_index(a, r, in.idx, in.nidx));
-          break;
-        }
-        case KOp::UpdAcc: {
-          ArrayVal& a = const_cast<ArrayVal&>(acc_array_vals[static_cast<size_t>(in.slot)]);
-          const int64_t at = flat_index(a, r, in.idx, in.nidx);
-          if (acc_atomic.empty() || acc_atomic[static_cast<size_t>(in.slot)]) {
-            atomic_add_f64(a, at, r[in.a]);
-          } else {
-            plain_add_f64(a, at, r[in.a]);
-          }
-          break;
-        }
-        case KOp::StoreOut: {
-          ArrayVal& o = const_cast<ArrayVal&>(outputs[static_cast<size_t>(in.slot)]);
-          switch (o.elem) {
-            case ScalarType::F64: o.set_f64(it, r[in.a]); break;
-            case ScalarType::I64: o.set_i64(it, static_cast<int64_t>(r[in.a])); break;
-            case ScalarType::Bool: o.set_b8(it, r[in.a] != 0.0); break;
-          }
-          break;
-        }
-      }
+  const int W = lanes;
+  if (W > 1 && hi - lo >= W) {
+    if (batched_spans != nullptr) batched_spans->fetch_add(1, std::memory_order_relaxed);
+    // Full W-wide batches, then a scalar tail loop for the remainder.
+    const int64_t full = lo + ((hi - lo) / W) * W;
+    switch (W) {
+      case 4: run_batched(*this, lo, full, std::integral_constant<int, 4>{}); break;
+      case 8: run_batched(*this, lo, full, std::integral_constant<int, 8>{}); break;
+      case 16: run_batched(*this, lo, full, std::integral_constant<int, 16>{}); break;
+      default: run_batched(*this, lo, full, W); break;
     }
+    lo = full;
   }
+  // Scalar machine (W = 1) and the tail loop: the batched engine with a
+  // compile-time lane count of one — a single opcode switch serves both, so
+  // the two paths cannot diverge.
+  if (lo < hi) run_batched(*this, lo, hi, std::integral_constant<int, 1>{});
 }
 
 } // namespace npad::rt

@@ -11,6 +11,7 @@
 // full indexing into free arrays, and upd_acc side effects. Everything else
 // falls back to the general interpreter.
 
+#include <atomic>
 #include <optional>
 #include <vector>
 
@@ -80,6 +81,17 @@ struct KernelLaunch {
   std::vector<uint8_t> acc_atomic;
   std::vector<ArrayVal> inputs;   // rank-1, one per element input
   std::vector<ArrayVal> outputs;  // rank-1, one per scalar output
+  // Lane width W: iterations execute in batches of W over a structure-of-
+  // arrays register file (regs[reg*W + lane]), amortizing the per-instruction
+  // dispatch across the batch and turning LoadElem/StoreOut into contiguous
+  // strip accesses. 1 = the scalar machine; a scalar tail loop covers the
+  // remainder of non-divisible extents (InterpOptions::kernel_lanes).
+  int32_t lanes = 1;
+  // When set, incremented once per run() span that executes at least one
+  // full W-wide batch — the accurate signal behind
+  // InterpStats::batched_launches (a span split too finely by the scheduler
+  // runs scalar and is not counted).
+  std::atomic<uint64_t>* batched_spans = nullptr;
 
   // Executes iterations [lo, hi).
   void run(int64_t lo, int64_t hi) const;

@@ -18,29 +18,40 @@ namespace npad::rt {
 
 using ir::ScalarType;
 
+inline size_t scalar_bytes(ScalarType t) { return t == ScalarType::Bool ? 1 : 8; }
+
+// Raw typed storage. Allocation is routed through the process-wide
+// size-bucketed buffer pool (runtime/buffer_pool.hpp): freed buffers return
+// their storage to the pool, and `make_uninit` skips the zero-fill for
+// buffers that are provably fully overwritten (kernel outputs).
 struct Buffer {
-  std::variant<std::vector<double>, std::vector<int64_t>, std::vector<uint8_t>> data;
+  void* raw = nullptr;      // owned storage (pool bucket or heap block)
+  size_t elems = 0;         // element count
+  size_t cap_bytes = 0;     // actual allocation size (bucket-rounded)
+  ScalarType type = ScalarType::F64;
 
-  static std::shared_ptr<Buffer> make(ScalarType t, size_t n) {
-    auto b = std::make_shared<Buffer>();
-    switch (t) {
-      case ScalarType::F64: b->data = std::vector<double>(n, 0.0); break;
-      case ScalarType::I64: b->data = std::vector<int64_t>(n, 0); break;
-      case ScalarType::Bool: b->data = std::vector<uint8_t>(n, 0); break;
-    }
-    return b;
-  }
+  Buffer() = default;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  ~Buffer();  // returns storage to the pool (buffer_pool.cpp)
 
-  size_t size() const {
-    return std::visit([](const auto& v) { return v.size(); }, data);
-  }
+  // Zero-filled allocation. `pool_hit`, when non-null, reports whether the
+  // storage was recycled from the pool (for InterpStats accounting).
+  static std::shared_ptr<Buffer> make(ScalarType t, size_t n, bool* pool_hit = nullptr);
+  // Uninitialized allocation: contents are unspecified. Only valid when every
+  // element is overwritten before it is read.
+  static std::shared_ptr<Buffer> make_uninit(ScalarType t, size_t n, bool* pool_hit = nullptr);
 
-  double* f64() { return std::get<std::vector<double>>(data).data(); }
-  const double* f64() const { return std::get<std::vector<double>>(data).data(); }
-  int64_t* i64() { return std::get<std::vector<int64_t>>(data).data(); }
-  const int64_t* i64() const { return std::get<std::vector<int64_t>>(data).data(); }
-  uint8_t* b8() { return std::get<std::vector<uint8_t>>(data).data(); }
-  const uint8_t* b8() const { return std::get<std::vector<uint8_t>>(data).data(); }
+  size_t size() const { return elems; }
+
+  // Typed accessors assert the buffer's element type in debug builds — the
+  // loud-failure guard the old std::variant storage provided for free.
+  double* f64() { assert(type == ScalarType::F64); return static_cast<double*>(raw); }
+  const double* f64() const { assert(type == ScalarType::F64); return static_cast<const double*>(raw); }
+  int64_t* i64() { assert(type == ScalarType::I64); return static_cast<int64_t*>(raw); }
+  const int64_t* i64() const { assert(type == ScalarType::I64); return static_cast<const int64_t*>(raw); }
+  uint8_t* b8() { assert(type == ScalarType::Bool); return static_cast<uint8_t*>(raw); }
+  const uint8_t* b8() const { assert(type == ScalarType::Bool); return static_cast<const uint8_t*>(raw); }
 };
 
 using BufferPtr = std::shared_ptr<Buffer>;
@@ -59,14 +70,25 @@ struct ArrayVal {
   int64_t outer() const { return shape.empty() ? 0 : shape[0]; }
   int64_t row_elems() const {
     assert(!shape.empty());
-    return elems() / (shape[0] == 0 ? 1 : shape[0]);
+    if (shape[0] == 0) return 0;  // empty array: no rows, no row extent
+    return elems() / shape[0];
   }
 
-  static ArrayVal alloc(ScalarType t, std::vector<int64_t> shp) {
+  static ArrayVal alloc(ScalarType t, std::vector<int64_t> shp, bool* pool_hit = nullptr) {
     ArrayVal a;
     a.elem = t;
     a.shape = std::move(shp);
-    a.buf = Buffer::make(t, static_cast<size_t>(a.elems()));
+    a.buf = Buffer::make(t, static_cast<size_t>(a.elems()), pool_hit);
+    return a;
+  }
+
+  // Uninitialized allocation; only for arrays whose every element is written
+  // before being read (e.g. kernel launch outputs).
+  static ArrayVal alloc_uninit(ScalarType t, std::vector<int64_t> shp, bool* pool_hit = nullptr) {
+    ArrayVal a;
+    a.elem = t;
+    a.shape = std::move(shp);
+    a.buf = Buffer::make_uninit(t, static_cast<size_t>(a.elems()), pool_hit);
     return a;
   }
 

@@ -41,7 +41,7 @@ void ThreadPool::worker_loop() {
       t = queue_.back();
       queue_.pop_back();
     }
-    (*t.body)(t.lo, t.hi);
+    t.body(t.lo, t.hi);
     {
       std::lock_guard lk(mu_);
       if (--outstanding_ == 0) cv_done_.notify_all();
@@ -49,8 +49,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(int64_t n, int64_t grain,
-                              const std::function<void(int64_t, int64_t)>& body) {
+void ThreadPool::parallel_for(int64_t n, int64_t grain, ForBody body) {
   if (n <= 0) return;
   grain = std::max<int64_t>(1, grain);
   const auto threads = static_cast<int64_t>(thread_count());
@@ -64,7 +63,7 @@ void ThreadPool::parallel_for(int64_t n, int64_t grain,
   {
     std::lock_guard lk(mu_);
     for (int64_t lo = 0; lo < n; lo += chunk) {
-      queue_.push_back(Task{&body, lo, std::min(lo + chunk, n)});
+      queue_.push_back(Task{body, lo, std::min(lo + chunk, n)});
       ++outstanding_;
     }
   }
@@ -74,7 +73,7 @@ void ThreadPool::parallel_for(int64_t n, int64_t grain,
   for (;;) {
     Task t;
     if (!pop_task(t)) break;
-    (*t.body)(t.lo, t.hi);
+    t.body(t.lo, t.hi);
     std::lock_guard lk(mu_);
     if (--outstanding_ == 0) cv_done_.notify_all();
   }
@@ -102,7 +101,7 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void parallel_for(int64_t n, int64_t grain, const std::function<void(int64_t, int64_t)>& body) {
+void parallel_for(int64_t n, int64_t grain, ThreadPool::ForBody body) {
   ThreadPool::global().parallel_for(n, grain, body);
 }
 

@@ -8,12 +8,44 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace npad::support {
+
+// A non-owning, non-allocating reference to a callable — the hot-path
+// replacement for std::function in parallel_for. Two words (object pointer +
+// trampoline), trivially copyable, never heap-allocates. The referenced
+// callable must outlive every invocation; parallel_for blocks until all
+// chunks finish, so stack lambdas at the call site are always safe.
+template <class Sig>
+class function_ref;
+
+template <class R, class... Args>
+class function_ref<R(Args...)> {
+public:
+  function_ref() = default;
+
+  template <class F,
+            class = std::enable_if_t<!std::is_same_v<std::remove_cvref_t<F>, function_ref>>>
+  function_ref(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::add_pointer_t<std::remove_reference_t<F>>>(obj))(
+              static_cast<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const noexcept { return call_ != nullptr; }
+
+  R operator()(Args... args) const { return call_(obj_, static_cast<Args>(args)...); }
+
+private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
 
 class ThreadPool {
 public:
@@ -26,10 +58,14 @@ public:
 
   unsigned thread_count() const noexcept { return static_cast<unsigned>(workers_.size()) + 1; }
 
+  using ForBody = function_ref<void(int64_t, int64_t)>;
+
   // Runs body(lo, hi) over [0, n) split into chunks of at least `grain`
   // elements. Blocks until all chunks complete. The calling thread also
   // executes chunks. Re-entrant calls (from inside a chunk) run inline.
-  void parallel_for(int64_t n, int64_t grain, const std::function<void(int64_t, int64_t)>& body);
+  // `body` is a non-owning reference: no per-launch allocation or type
+  // erasure through std::function on this hot path.
+  void parallel_for(int64_t n, int64_t grain, ForBody body);
 
   // True when the current thread is already executing inside a parallel_for.
   static bool in_parallel_region() noexcept;
@@ -39,7 +75,7 @@ public:
 
 private:
   struct Task {
-    const std::function<void(int64_t, int64_t)>* body = nullptr;
+    ForBody body;
     int64_t lo = 0, hi = 0;
   };
 
@@ -56,6 +92,6 @@ private:
 };
 
 // Convenience wrapper over the global pool.
-void parallel_for(int64_t n, int64_t grain, const std::function<void(int64_t, int64_t)>& body);
+void parallel_for(int64_t n, int64_t grain, ThreadPool::ForBody body);
 
 } // namespace npad::support

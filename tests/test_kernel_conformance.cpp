@@ -64,17 +64,22 @@ TEST_P(KernelBinOp, KernelMatchesInterpreter) {
   Var out = b.map1(std::move(f), {xs, ys});
   Prog p = pb.finish({Atom(out)});
   typecheck(p);
-  std::vector<Value> args = {rt::make_f64_array(rng.normal_vec(64), {64}),
-                             rt::make_f64_array(rng.normal_vec(64), {64})};
-  rt::Interp fast({.parallel = false, .use_kernels = true});
+  // 67 is deliberately not a multiple of the lane width: the batched machine
+  // must agree through both its full batches and its scalar tail loop.
+  std::vector<Value> args = {rt::make_f64_array(rng.normal_vec(67), {67}),
+                             rt::make_f64_array(rng.normal_vec(67), {67})};
   rt::Interp slow({.parallel = false, .use_kernels = false});
-  auto r1 = rt::to_f64_vec(rt::as_array(fast.run(p, args)[0]));
-  auto r2 = rt::to_f64_vec(rt::as_array(slow.run(p, args)[0]));
-  ASSERT_EQ(r1.size(), r2.size()) << oc.name;
-  for (size_t i = 0; i < r1.size(); ++i) {
-    EXPECT_EQ(r1[i], r2[i]) << oc.name << " at " << i;  // bit-identical
+  auto ref = rt::to_f64_vec(rt::as_array(slow.run(p, args)[0]));
+  for (int lanes : {1, 8}) {
+    rt::Interp fast({.parallel = false, .use_kernels = true, .kernel_lanes = lanes});
+    auto r1 = rt::to_f64_vec(rt::as_array(fast.run(p, args)[0]));
+    ASSERT_EQ(r1.size(), ref.size()) << oc.name;
+    for (size_t i = 0; i < r1.size(); ++i) {
+      EXPECT_EQ(r1[i], ref[i]) << oc.name << " W=" << lanes << " at " << i;  // bit-identical
+    }
+    EXPECT_EQ(fast.stats().kernel_maps.load(), 1u) << oc.name << " did not kernelize";
+    EXPECT_EQ(fast.stats().batched_launches.load(), lanes > 1 ? 1u : 0u) << oc.name;
   }
-  EXPECT_EQ(fast.stats().kernel_maps.load(), 1u) << oc.name << " did not kernelize";
 }
 
 INSTANTIATE_TEST_SUITE_P(Ops, KernelBinOp,
@@ -153,12 +158,103 @@ TEST(KernelConformance, AccumulatorUpdatesMatch) {
         rt::make_f64_array(rng.normal_vec(static_cast<size_t>(n)), {n})};
   };
   auto args = mk_args();
-  rt::Interp fast({.parallel = false, .use_kernels = true});
   rt::Interp slow({.parallel = false, .use_kernels = false});
-  auto r1 = rt::to_f64_vec(rt::as_array(fast.run(p, args)[0]));
   auto r2 = rt::to_f64_vec(rt::as_array(slow.run(p, args)[0]));
-  for (size_t i = 0; i < r1.size(); ++i) EXPECT_NEAR(r1[i], r2[i], 1e-12);
-  EXPECT_EQ(fast.stats().kernel_maps.load(), 1u);
+  for (int lanes : {1, 8}) {
+    rt::Interp fast({.parallel = false, .use_kernels = true, .kernel_lanes = lanes});
+    auto r1 = rt::to_f64_vec(rt::as_array(fast.run(p, args)[0]));
+    for (size_t i = 0; i < r1.size(); ++i) EXPECT_NEAR(r1[i], r2[i], 1e-12) << "W=" << lanes;
+    EXPECT_EQ(fast.stats().kernel_maps.load(), 1u);
+  }
+}
+
+// The batched machine must agree with the scalar machine across extents that
+// exercise zero batches, exactly one batch, and every tail length.
+TEST(KernelConformance, BatchedMatchesScalarAcrossSizes) {
+  for (int64_t n : {0, 1, 3, 7, 8, 9, 15, 16, 17, 64, 65, 100}) {
+    support::Rng rng(static_cast<uint64_t>(200 + n));
+    ProgBuilder pb("bt");
+    Var xs = pb.param("xs", arr_f64(1));
+    Var ys = pb.param("ys", arr_f64(1));
+    Builder& b = pb.body();
+    Var out = b.map1(b.lam({f64(), f64()},
+                           [](Builder& c, const std::vector<Var>& p) {
+                             Var t = c.mul(Atom(c.tanh(p[0])), Atom(c.exp(p[1])));
+                             Var u = c.select(Atom(c.gt(t, cf64(0.0))), Atom(c.sqrt(c.abs(t))),
+                                              Atom(c.neg(t)));
+                             return std::vector<Atom>{Atom(c.add(u, Atom(c.mul(p[0], p[1]))))};
+                           }),
+                     {xs, ys});
+    Prog p = pb.finish({Atom(out)});
+    typecheck(p);
+    std::vector<Value> args = {
+        rt::make_f64_array(rng.normal_vec(static_cast<size_t>(n)), {n}),
+        rt::make_f64_array(rng.normal_vec(static_cast<size_t>(n)), {n})};
+    rt::Interp w1({.parallel = false, .use_kernels = true, .kernel_lanes = 1});
+    rt::Interp w8({.parallel = false, .use_kernels = true, .kernel_lanes = 8});
+    auto r1 = rt::to_f64_vec(rt::as_array(w1.run(p, args)[0]));
+    auto r8 = rt::to_f64_vec(rt::as_array(w8.run(p, args)[0]));
+    ASSERT_EQ(r1.size(), r8.size()) << n;
+    for (size_t i = 0; i < r1.size(); ++i) EXPECT_EQ(r1[i], r8[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+// Launch buffers must recycle through the buffer pool: after a warm-up run
+// the same program's intermediates come from the pool, not the heap.
+TEST(KernelConformance, BufferPoolReusesLaunchBuffers) {
+  ProgBuilder pb("pool");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var a = b.map1(b.lam({f64()},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         return std::vector<Atom>{Atom(c.mul(p[0], cf64(2.0)))};
+                       }),
+                 {xs});
+  Var c2 = b.map1(b.lam({f64()},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          return std::vector<Atom>{Atom(c.add(p[0], cf64(1.0)))};
+                        }),
+                  {a});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {c2});
+  Prog p = pb.finish({Atom(s)});
+  typecheck(p);
+  support::Rng rng(11);
+  std::vector<Value> args = {rt::make_f64_array(rng.normal_vec(512), {512})};
+  rt::Interp in({.parallel = false, .use_kernels = true});
+  const double first = rt::as_f64(in.run(p, args)[0]);
+  // The first run's intermediates have been released back to the pool; the
+  // second run must recycle them.
+  const uint64_t hits_before = in.stats().pool_hits.load();
+  const double second = rt::as_f64(in.run(p, args)[0]);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(in.stats().pool_hits.load(), hits_before);
+}
+
+// Regression: maps over empty arrays (zero outer extent) must produce empty
+// results through both execution paths, and row_elems() of an empty array
+// reports zero rather than a bogus nonzero row extent.
+TEST(KernelConformance, EmptyMapLaunch) {
+  rt::ArrayVal empty2d = rt::ArrayVal::alloc(ScalarType::F64, {0, 3});
+  EXPECT_EQ(empty2d.row_elems(), 0);
+  EXPECT_EQ(empty2d.outer(), 0);
+
+  ProgBuilder pb("empty");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var out = b.map1(b.lam({f64()},
+                         [](Builder& c, const std::vector<Var>& p) {
+                           return std::vector<Atom>{Atom(c.exp(p[0]))};
+                         }),
+                   {xs});
+  Prog p = pb.finish({Atom(out)});
+  typecheck(p);
+  std::vector<Value> args = {rt::make_f64_array({}, {0})};
+  for (bool kernels : {false, true}) {
+    rt::Interp in({.parallel = false, .use_kernels = kernels});
+    auto r = in.run(p, args);
+    EXPECT_EQ(rt::as_array(r[0]).outer(), 0) << "kernels=" << kernels;
+    EXPECT_EQ(rt::to_f64_vec(rt::as_array(r[0])).size(), 0u);
+  }
 }
 
 // Parallel runtime: parallel and sequential execution must agree for

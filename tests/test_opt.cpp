@@ -12,7 +12,9 @@
 #include "ir/typecheck.hpp"
 #include "ir/visit.hpp"
 #include "opt/accopt.hpp"
+#include "opt/fuse.hpp"
 #include "opt/loopopt.hpp"
+#include "opt/pipeline.hpp"
 #include "opt/simplify.hpp"
 #include "runtime/interp.hpp"
 #include "support/rng.hpp"
@@ -245,6 +247,236 @@ TEST(AccOpt, InvariantRuleFiresAndPreservesGradient) {
   // w adjoint: dw0 = sum(xs) = 6, dw1 = 0.
   EXPECT_EQ(rt::to_f64_vec(rt::as_array(r1.back())), (std::vector<double>{6, 0}));
   EXPECT_EQ(rt::to_f64_vec(rt::as_array(r2.back())), (std::vector<double>{6, 0}));
+}
+
+// ---------------------------------------------------------------- fusion ---
+
+LambdaPtr scalar_map(Builder& b, double mulc, double addc) {
+  return b.lam({f64()}, [&](Builder& c, const std::vector<Var>& p) {
+    return std::vector<Atom>{Atom(c.add(Atom(c.mul(p[0], cf64(mulc))), cf64(addc)))};
+  });
+}
+
+TEST(Fusion, ChainFusesToSingleMap) {
+  ProgBuilder pb("chain");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var a = b.map1(scalar_map(b, 2.0, 1.0), {xs});
+  Var c = b.map1(scalar_map(b, 3.0, -0.5), {a});
+  Var d = b.map1(scalar_map(b, 0.25, 2.0), {c});
+  Prog p = pb.finish({Atom(d)});
+  typecheck(p);
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  typecheck(q);
+  EXPECT_EQ(stats.fused_maps, 2);
+  EXPECT_EQ(count_maps(q.fn.body), 1u);
+  std::vector<Value> args = {make_f64_array({1, 2, 3, 4}, {4})};
+  rt::Interp in({.parallel = false});
+  auto r1 = rt::to_f64_vec(rt::as_array(rt::run_prog(p, args)[0]));
+  auto r2 = rt::to_f64_vec(rt::as_array(in.run(q, args)[0]));
+  EXPECT_EQ(r1, r2);
+  // The runtime reports the eliminated producers via the fused annotation.
+  EXPECT_EQ(in.stats().fused_maps.load(), 2u);
+}
+
+TEST(Fusion, MultiInputConsumerFusesAndKeepsOtherArgs) {
+  // ys = map f xs; zs = map (\y w -> y*w) ys ws — fused map must take xs, ws.
+  ProgBuilder pb("mi");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var ws = pb.param("ws", arr_f64(1));
+  Builder& b = pb.body();
+  Var ys = b.map1(scalar_map(b, 2.0, 0.0), {xs});
+  Var zs = b.map1(b.lam({f64(), f64()},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          return std::vector<Atom>{Atom(c.mul(p[0], p[1]))};
+                        }),
+                  {ys, ws});
+  Prog p = pb.finish({Atom(zs)});
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  typecheck(q);
+  EXPECT_EQ(stats.fused_maps, 1);
+  EXPECT_EQ(count_maps(q.fn.body), 1u);
+  std::vector<Value> args = {make_f64_array({1, 2, 3}, {3}), make_f64_array({4, 5, 6}, {3})};
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(rt::run_prog(p, args)[0])),
+            rt::to_f64_vec(rt::as_array(rt::run_prog(q, args)[0])));
+}
+
+TEST(Fusion, NonElementwiseConsumerNotFused) {
+  // The producer result is gathered at arbitrary indices (free in the
+  // consumer lambda, not an element argument): fusion must not fire.
+  ProgBuilder pb("gather");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var ys = b.map1(scalar_map(b, 2.0, 0.0), {xs});
+  Var is = b.iota(ci64(4));
+  Var zs = b.map1(b.lam({i64()},
+                        [&](Builder& c, const std::vector<Var>& p) {
+                          return std::vector<Atom>{Atom(c.index(ys, {Atom(p[0])}))};
+                        }),
+                  {is});
+  Prog p = pb.finish({Atom(zs)});
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  typecheck(q);
+  EXPECT_EQ(stats.fused_maps, 0);
+  EXPECT_EQ(count_maps(q.fn.body), 2u);
+}
+
+TEST(Fusion, ResultUsedTwiceNotFused) {
+  // ys feeds a map AND the body result: the intermediate must stay.
+  ProgBuilder pb("twice");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var ys = b.map1(scalar_map(b, 2.0, 0.0), {xs});
+  Var zs = b.map1(scalar_map(b, 3.0, 0.0), {ys});
+  Prog p = pb.finish({Atom(ys), Atom(zs)});
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  EXPECT_EQ(stats.fused_maps, 0);
+  EXPECT_EQ(count_maps(q.fn.body), 2u);
+}
+
+TEST(Fusion, InPlaceConsumptionInGapBlocksFusion) {
+  // Regression: the producer gathers from X, a later statement consumes X
+  // via update (mutating the buffer in place when uniquely owned), and the
+  // consumer map follows. Fusing would defer the X[0] read past the update
+  // and observe 100.0 instead of the original value.
+  ProgBuilder pb("gapupd");
+  Var bigx = pb.param("X", arr_f64(1));
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var ys = b.map1(b.lam({f64()},
+                        [&](Builder& c, const std::vector<Var>& p) {
+                          Var x0 = c.index(bigx, {ci64(0)});
+                          return std::vector<Atom>{Atom(c.mul(p[0], Atom(x0)))};
+                        }),
+                  {xs});
+  Var x2 = b.update(bigx, {ci64(0)}, cf64(100.0));
+  Var zs = b.map1(b.lam({f64()},
+                        [&](Builder& c, const std::vector<Var>& p) {
+                          Var v = c.index(x2, {ci64(0)});
+                          return std::vector<Atom>{Atom(c.add(p[0], Atom(v)))};
+                        }),
+                  {ys});
+  Prog p = pb.finish({Atom(zs)});
+  typecheck(p);
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  typecheck(q);
+  EXPECT_EQ(stats.fused_maps, 0);
+  std::vector<Value> args = {make_f64_array({5.0}, {1}), make_f64_array({1, 2, 3}, {3})};
+  auto r1 = rt::to_f64_vec(rt::as_array(rt::run_prog(p, args)[0]));
+  auto r2 = rt::to_f64_vec(rt::as_array(rt::run_prog(q, args)[0]));
+  EXPECT_EQ(r1, (std::vector<double>{105, 110, 115}));
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(Fusion, ProducerArgConsumedInGapBlocksFusion) {
+  // Same hazard on the producer's element argument: xs is consumed by an
+  // update between producer and consumer.
+  ProgBuilder pb("gapargs");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var ys = b.map1(scalar_map(b, 2.0, 0.0), {xs});
+  Var xs2 = b.update(xs, {ci64(0)}, cf64(-1.0));
+  Var zs = b.map1(scalar_map(b, 3.0, 0.0), {ys});
+  Var s2 = b.reduce1(b.add_op(), cf64(0.0), {xs2});
+  Prog p = pb.finish({Atom(zs), Atom(s2)});
+  typecheck(p);
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  EXPECT_EQ(stats.fused_maps, 0);
+  std::vector<Value> args = {make_f64_array({1, 2, 3}, {3})};
+  auto r1 = rt::run_prog(p, args);
+  auto r2 = rt::run_prog(q, args);
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(r1[0])), rt::to_f64_vec(rt::as_array(r2[0])));
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(r1[0])), (std::vector<double>{6, 12, 18}));
+}
+
+TEST(Fusion, AccumulatorThreadingPreserved) {
+  // The consumer threads an accumulator; fusing its producer must keep the
+  // acc updates (and their values) intact.
+  ProgBuilder pb("accfuse");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var is = pb.param("is", arr(ScalarType::I64, 1));
+  Var vs = pb.param("vs", arr_f64(1));
+  Builder& b = pb.body();
+  auto outs = b.withacc({dest}, [&](Builder& c, const std::vector<Var>& accs) {
+    Var doubled = c.map1(c.lam({f64()},
+                               [](Builder& cc, const std::vector<Var>& p) {
+                                 return std::vector<Atom>{Atom(cc.mul(p[0], cf64(2.0)))};
+                               }),
+                         {vs});
+    LambdaPtr f = c.lam({i64(), f64(), acc_of(arr_f64(1))},
+                        [](Builder& cc, const std::vector<Var>& p) {
+                          Var a2 = cc.upd_acc(p[2], {Atom(p[0])}, Atom(p[1]));
+                          return std::vector<Atom>{Atom(a2)};
+                        });
+    return std::vector<Atom>{Atom(c.map(f, {is, doubled, accs[0]})[0])};
+  });
+  Prog p = pb.finish({Atom(outs[0])});
+  typecheck(p);
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  typecheck(q);
+  EXPECT_EQ(stats.fused_maps, 1);
+  std::vector<Value> args = {make_f64_array({0, 0, 0}, {3}),
+                             make_i64_array({0, 2, 0, 1}, {4}),
+                             make_f64_array({1, 2, 3, 4}, {4})};
+  auto r1 = rt::to_f64_vec(rt::as_array(rt::run_prog(p, args)[0]));
+  auto r2 = rt::to_f64_vec(rt::as_array(rt::run_prog(q, args)[0]));
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r2, (std::vector<double>{8, 8, 4}));
+}
+
+TEST(Fusion, PipelinetogglesFusion) {
+  ProgBuilder pb("pl");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var a = b.map1(scalar_map(b, 2.0, 1.0), {xs});
+  Var c = b.map1(scalar_map(b, 3.0, 0.0), {a});
+  Prog p = pb.finish({Atom(c)});
+  opt::PipelineStats st_on, st_off;
+  Prog fused = opt::optimize(p, {.fuse_maps = true}, &st_on);
+  Prog unfused = opt::optimize(p, {.fuse_maps = false}, &st_off);
+  EXPECT_EQ(st_on.fuse.fused_maps, 1);
+  EXPECT_EQ(st_off.fuse.fused_maps, 0);
+  EXPECT_EQ(count_maps(fused.fn.body), 1u);
+  EXPECT_EQ(count_maps(unfused.fn.body), 2u);
+  std::vector<Value> args = {make_f64_array({1, 2}, {2})};
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(rt::run_prog(fused, args)[0])),
+            rt::to_f64_vec(rt::as_array(rt::run_prog(unfused, args)[0])));
+}
+
+TEST(Fusion, VjpAdjointChainFuses) {
+  // Reverse AD of an element-wise chain emits map-of-adjoint chains; after
+  // simplify they must fuse and the gradient must be unchanged.
+  ProgBuilder pb("vchain");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var a = b.map1(b.lam({f64()},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         return std::vector<Atom>{Atom(c.tanh(p[0]))};
+                       }),
+                 {xs});
+  Var c2 = b.map1(scalar_map(b, 1.5, 0.25), {a});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {c2});
+  Prog p = pb.finish({Atom(s)});
+  Prog g = ad::vjp(p);
+  typecheck(g);
+  Prog gs = opt::simplify(g);
+  opt::FuseStats stats;
+  Prog gf = opt::fuse_maps(gs, &stats);
+  typecheck(gf);
+  EXPECT_GE(stats.fused_maps, 1);
+  EXPECT_LT(count_maps(gf.fn.body), count_maps(gs.fn.body));
+  std::vector<Value> args = {make_f64_array({0.3, -0.7, 1.2}, {3}), 1.0};
+  auto r1 = rt::to_f64_vec(rt::as_array(rt::run_prog(g, args).back()));
+  auto r2 = rt::to_f64_vec(rt::as_array(rt::run_prog(gf, args).back()));
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) EXPECT_NEAR(r1[i], r2[i], 1e-14);
 }
 
 TEST(AccOpt, LeavesNonMatchingProgramsUntouched) {

@@ -7,6 +7,7 @@
 
 #include "core/ad.hpp"
 #include "core/gradcheck.hpp"
+#include "opt/pipeline.hpp"
 #include "ir/builder.hpp"
 #include "ir/typecheck.hpp"
 #include "runtime/interp.hpp"
@@ -243,5 +244,116 @@ TEST_P(ReduceRuleAgree, SpecialVsGeneral) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReduceRuleAgree, ::testing::Range(0, 8));
+
+// ------------------------------------------------- fused-pipeline grads ----
+// Differentiated programs pushed through the full optimization pipeline
+// (simplify → accopt → map fusion) must keep their gradients: the fused vjp
+// program is checked against central finite differences of the primal.
+
+void expect_fused_gradcheck(const Prog& p, const std::vector<Value>& args,
+                            double tol = 2e-4) {
+  typecheck(p);
+  Prog g = ad::vjp(p);
+  opt::PipelineStats stats;
+  Prog gf = opt::optimize(g, {.fuse_maps = true}, &stats);
+  typecheck(gf);
+  // Run the fused reverse program: args + seed 1.0 for the scalar result.
+  std::vector<Value> gargs = args;
+  gargs.emplace_back(1.0);
+  auto res = rt::run_prog(gf, gargs);
+  auto num = ad::numeric_gradients(p, args);
+  // Gradients are the trailing results, one per differentiable parameter.
+  size_t gi = res.size() - num.size();
+  for (size_t k = 0; k < num.size(); ++k, ++gi) {
+    std::vector<double> got = rt::is_array(res[gi])
+                                  ? rt::to_f64_vec(rt::as_array(res[gi]))
+                                  : std::vector<double>{rt::as_f64(res[gi])};
+    ASSERT_EQ(got.size(), num[k].size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      const double denom = std::max(1.0, std::abs(num[k][i]));
+      EXPECT_NEAR(got[i] / denom, num[k][i] / denom, tol) << "param " << k << " elt " << i;
+    }
+  }
+}
+
+TEST(FusedPipeline, ElementwiseChainGradients) {
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var a = b.map1(b.lam({f64()},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         return std::vector<Atom>{Atom(c.tanh(p[0]))};
+                       }),
+                 {xs});
+  Var c2 = b.map1(b.lam({f64()},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          Var t = c.mul(p[0], cf64(1.7));
+                          return std::vector<Atom>{Atom(c.add(t, cf64(0.3)))};
+                        }),
+                  {a});
+  Var d = b.map1(b.lam({f64()},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         return std::vector<Atom>{Atom(c.mul(p[0], p[0]))};
+                       }),
+                 {c2});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {d});
+  Prog p = pb.finish({Atom(s)});
+  support::Rng rng(21);
+  expect_fused_gradcheck(p, {make_f64_array(rng.uniform_vec(9, -1.0, 1.0), {9})});
+}
+
+TEST(FusedPipeline, TwoInputChainGradients) {
+  // Chain where the fused consumer keeps a second element input.
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var ws = pb.param("ws", arr_f64(1));
+  Builder& b = pb.body();
+  Var e = b.map1(b.lam({f64()},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         return std::vector<Atom>{Atom(c.exp(Atom(c.mul(p[0], cf64(0.5)))))};
+                       }),
+                 {xs});
+  Var prods = b.map(b.lam({f64(), f64()},
+                          [](Builder& c, const std::vector<Var>& p) {
+                            return std::vector<Atom>{Atom(c.mul(p[0], p[1]))};
+                          }),
+                    {e, ws})[0];
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {prods});
+  Prog p = pb.finish({Atom(s)});
+  support::Rng rng(22);
+  expect_fused_gradcheck(p, {make_f64_array(rng.uniform_vec(7, -1.0, 1.0), {7}),
+                             make_f64_array(rng.uniform_vec(7, -1.0, 1.0), {7})});
+}
+
+TEST(FusedPipeline, FusedVjpMatchesUnfusedExactly) {
+  // The fused and unfused reverse programs compute the same sums in the same
+  // per-element order, so gradients should agree to the last ulp per element.
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var a = b.map1(b.lam({f64()},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         return std::vector<Atom>{Atom(c.sin(p[0]))};
+                       }),
+                 {xs});
+  Var c2 = b.map1(b.lam({f64()},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          return std::vector<Atom>{Atom(c.mul(p[0], cf64(2.0)))};
+                        }),
+                  {a});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {c2});
+  Prog p = pb.finish({Atom(s)});
+  Prog g = ad::vjp(p);
+  opt::PipelineStats stats;
+  Prog gf = opt::optimize(g, {.fuse_maps = true}, &stats);
+  Prog gu = opt::optimize(g, {.fuse_maps = false});
+  support::Rng rng(23);
+  std::vector<Value> gargs = {make_f64_array(rng.uniform_vec(33, -2.0, 2.0), {33}), 1.0};
+  auto rf = rt::to_f64_vec(rt::as_array(rt::run_prog(gf, gargs).back()));
+  auto ru = rt::to_f64_vec(rt::as_array(rt::run_prog(gu, gargs).back()));
+  EXPECT_GE(stats.fuse.fused_maps, 1);
+  ASSERT_EQ(rf.size(), ru.size());
+  for (size_t i = 0; i < rf.size(); ++i) EXPECT_NEAR(rf[i], ru[i], 1e-13) << i;
+}
 
 } // namespace
