@@ -120,8 +120,14 @@ public:
                    [&](const OpIf& o) { ifexp(b, st, o); },
                    [&](const OpLoop& o) { loop(b, st, o); },
                    [&](const OpMap& o) { map(b, st, o); },
-                   [&](const OpReduce& o) { red_scan(b, st, o.op, o.neutral, o.args, false); },
-                   [&](const OpScan& o) { red_scan(b, st, o.op, o.neutral, o.args, true); },
+                   [&](const OpReduce& o) {
+                     if (o.pre) throw ADError("jvp: differentiate before redomap fusion");
+                     red_scan(b, st, o.op, o.neutral, o.args, false);
+                   },
+                   [&](const OpScan& o) {
+                     if (o.pre) throw ADError("jvp: differentiate before redomap fusion");
+                     red_scan(b, st, o.op, o.neutral, o.args, true);
+                   },
                    [&](const OpHist& o) { hist(b, st, o); },
                    [&](const OpScatter& o) {
                      emit_primal(b, st);
@@ -358,8 +364,8 @@ private:
     for (size_t i : dargs) rres.push_back(tan_atom(cb, res[i]));
     lop.body = Body{cb.take_stms(), std::move(rres)};
     for (const auto& a : lop.body.result) lop.rets.push_back(tm_.at(a));
-    Exp e = is_scan ? Exp(OpScan{make_lambda(std::move(lop)), nne, nargs})
-                    : Exp(OpReduce{make_lambda(std::move(lop)), nne, nargs});
+    Exp e = is_scan ? Exp(OpScan{make_lambda(std::move(lop)), nne, nargs, nullptr, 0})
+                    : Exp(OpReduce{make_lambda(std::move(lop)), nne, nargs, nullptr, 0});
     bind_combined(b, st, Stm{{}, {}, std::move(e)});
   }
 

@@ -686,6 +686,7 @@ public:
   // -------------------------------------------------------------- reduce --
 
   void rev_reduce(Builder& b, AdjMap& adj, const Stm& st, const OpReduce& o) {
+    if (o.pre) throw ADError("vjp: redomap must be fused after differentiation, not before");
     auto yo = out_adj(adj, st, 0);
     if (o.args.size() != 1) {
       if (!yo && !out_adj_any(adj, st)) return;
@@ -826,6 +827,7 @@ public:
   // ---------------------------------------------------------------- scan --
 
   void rev_scan(Builder& b, AdjMap& adj, const Stm& st, const OpScan& o) {
+    if (o.pre) throw ADError("vjp: redomap must be fused after differentiation, not before");
     auto yo = out_adj(adj, st, 0);
     if (o.args.size() != 1) {
       if (!out_adj_any(adj, st)) return;

@@ -122,10 +122,14 @@ inline void collect_exp(const Exp& e, TypeMap& tm) {
                  [&](const OpReduce& o) {
                    if (o.op)
                      for (const auto& p : o.op->params) tm.bind(p.var, p.type);
+                   if (o.pre)
+                     for (const auto& p : o.pre->params) tm.bind(p.var, p.type);
                  },
                  [&](const OpScan& o) {
                    if (o.op)
                      for (const auto& p : o.op->params) tm.bind(p.var, p.type);
+                   if (o.pre)
+                     for (const auto& p : o.pre->params) tm.bind(p.var, p.type);
                  },
                  [&](const OpHist& o) {
                    if (o.op)
@@ -335,12 +339,19 @@ private:
             },
             [&](const OpReduce& o) {
               lambda(*o.op);
+              // The redomap pre-lambda is semantic (it maps the elements the
+              // fold sees) and must distinguish signatures; `fused` is a
+              // stats-only annotation and stays out, as with OpMap::fused.
+              t(0x17u, o.pre != nullptr);
+              if (o.pre) lambda(*o.pre);
               for (const auto& n : o.neutral) atom(n);
               t(0x16u, o.args.size());
               for (Var v : o.args) use(v);
             },
             [&](const OpScan& o) {
               lambda(*o.op);
+              t(0x17u, o.pre != nullptr);
+              if (o.pre) lambda(*o.pre);
               for (const auto& n : o.neutral) atom(n);
               t(0x16u, o.args.size());
               for (Var v : o.args) use(v);

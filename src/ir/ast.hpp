@@ -175,8 +175,32 @@ struct OpMap {
   // opt/accopt.cpp, opt/loopopt.cpp, opt/fuse.cpp.
   uint32_t fused = 0;
 };
-struct OpReduce { LambdaPtr op; std::vector<Atom> neutral; std::vector<Var> args; };
-struct OpScan { LambdaPtr op; std::vector<Atom> neutral; std::vector<Var> args; };
+// reduce/scan op ne xs1..xsk, optionally in *redomap* form: when `pre` is
+// set the element-wise pre-lambda maps the elements of `args` (its params
+// match args positionally) and its results feed the fold operator — the
+// paper's map-fused reduction, produced by opt::fuse_maps folding producer
+// maps into reduce/scan consumers so the intermediate array never exists.
+// Invariants (ir/typecheck.cpp): op has 2k params for k fold results; with
+// pre, args.size() == pre->params.size() and pre->rets.size() == k;
+// without pre, args.size() == k.
+// `fused` mirrors OpMap::fused: number of producer maps folded in, not part
+// of the structural signature; the runtime adds it to
+// InterpStats::fused_reduces / fused_scans per launch. Every pass that
+// rebuilds these ops must carry both fields (same list as OpMap::fused).
+struct OpReduce {
+  LambdaPtr op;
+  std::vector<Atom> neutral;
+  std::vector<Var> args;
+  LambdaPtr pre;      // optional redomap pre-lambda
+  uint32_t fused = 0;
+};
+struct OpScan {
+  LambdaPtr op;
+  std::vector<Atom> neutral;
+  std::vector<Var> args;
+  LambdaPtr pre;      // optional redomap pre-lambda
+  uint32_t fused = 0;
+};
 // reduce_by_index dest op ne inds vals (§5.1.2); out-of-range bins ignored.
 struct OpHist { LambdaPtr op; Atom neutral; Var dest; Var inds; Var vals; };
 // scatter dest inds vals (§5.3); duplicate indices unsupported (as paper).

@@ -269,7 +269,7 @@ public:
   std::vector<Var> reduce(LambdaPtr op, const std::vector<Atom>& ne,
                           const std::vector<Var>& args, std::string_view nm = "red") {
     std::vector<Type> rets = op->rets;
-    return emit_multi(OpReduce{std::move(op), ne, args}, rets, nm);
+    return emit_multi(OpReduce{std::move(op), ne, args, nullptr, 0}, rets, nm);
   }
 
   Var reduce1(LambdaPtr op, Atom ne, const std::vector<Var>& args, std::string_view nm = "red") {
@@ -280,7 +280,7 @@ public:
                         std::string_view nm = "scan") {
     std::vector<Type> rets;
     for (const auto& t : op->rets) rets.push_back(lift(t));
-    return emit_multi(OpScan{std::move(op), ne, args}, rets, nm);
+    return emit_multi(OpScan{std::move(op), ne, args, nullptr, 0}, rets, nm);
   }
 
   Var scan1(LambdaPtr op, Atom ne, const std::vector<Var>& args, std::string_view nm = "scan") {

@@ -199,20 +199,30 @@ public:
               vars(o.args);
             },
             [&](const OpReduce& o) {
-              os_ << "reduce ";
+              os_ << (o.pre ? "redomap " : "reduce ");
               lambda(*o.op, d);
+              if (o.pre) {
+                os_ << " ";
+                lambda(*o.pre, d);
+              }
               os_ << " ";
               atoms(o.neutral);
               os_ << " ";
               vars(o.args);
+              if (o.fused > 0) os_ << " @fused(" << o.fused << ")";
             },
             [&](const OpScan& o) {
-              os_ << "scan ";
+              os_ << (o.pre ? "scanomap " : "scan ");
               lambda(*o.op, d);
+              if (o.pre) {
+                os_ << " ";
+                lambda(*o.pre, d);
+              }
               os_ << " ";
               atoms(o.neutral);
               os_ << " ";
               vars(o.args);
+              if (o.fused > 0) os_ << " @fused(" << o.fused << ")";
             },
             [&](const OpHist& o) {
               os_ << "reduce_by_index ";

@@ -201,8 +201,12 @@ public:
               for (auto& t : bt) rets.push_back(t.is_acc ? t : lift(t));
               return rets;
             },
-            [&](const OpReduce& o) -> std::vector<Type> { return red_scan(sc, o.op, o.neutral, o.args, false); },
-            [&](const OpScan& o) -> std::vector<Type> { return red_scan(sc, o.op, o.neutral, o.args, true); },
+            [&](const OpReduce& o) -> std::vector<Type> {
+              return red_scan(sc, o.op, o.pre, o.neutral, o.args, false);
+            },
+            [&](const OpScan& o) -> std::vector<Type> {
+              return red_scan(sc, o.op, o.pre, o.neutral, o.args, true);
+            },
             [&](const OpHist& o) -> std::vector<Type> {
               Type td = at(sc, o.dest), ti = at(sc, o.inds), tv = at(sc, o.vals);
               expect(td.rank >= 1 && !td.is_acc, "hist dest must be array");
@@ -252,17 +256,38 @@ public:
         e);
   }
 
-  std::vector<Type> red_scan(const Scope& sc, const LambdaPtr& op,
+  // Plain form: k args feed a 2k-ary fold directly. Redomap form (`pre`
+  // set): args match pre's params element-wise and pre's k' results feed a
+  // 2k'-ary fold — the fold element types come from pre's return types, not
+  // from the args.
+  std::vector<Type> red_scan(const Scope& sc, const LambdaPtr& op, const LambdaPtr& pre,
                              const std::vector<Atom>& neutral, const std::vector<Var>& args,
                              bool is_scan) {
-    const size_t k = args.size();
+    std::vector<Type> elems;  // fold element types (= pre rets or arg elems)
+    if (pre) {
+      expect(pre->params.size() == args.size(), "redomap pre arity mismatch");
+      Scope psc = sc;
+      for (size_t i = 0; i < args.size(); ++i) {
+        Type ta = at(sc, args[i]);
+        expect(ta.rank >= 1 && !ta.is_acc, "reduce/scan arg must be array");
+        expect(pre->params[i].type == elem_of(ta), "redomap pre param type mismatch");
+        psc[pre->params[i].var.id] = pre->params[i].type;
+      }
+      elems = body_types(psc, pre->body);
+      for (const auto& t : elems) expect(!t.is_acc, "redomap pre must not yield accumulators");
+    } else {
+      for (size_t i = 0; i < args.size(); ++i) {
+        Type ta = at(sc, args[i]);
+        expect(ta.rank >= 1 && !ta.is_acc, "reduce/scan arg must be array");
+        elems.push_back(elem_of(ta));
+      }
+    }
+    const size_t k = elems.size();
     expect(op && op->params.size() == 2 * k, "reduce/scan op arity must be 2k");
     expect(neutral.size() == k, "reduce/scan neutral arity mismatch");
     Scope inner = sc;
     for (size_t i = 0; i < k; ++i) {
-      Type ta = at(sc, args[i]);
-      expect(ta.rank >= 1 && !ta.is_acc, "reduce/scan arg must be array");
-      Type et = elem_of(ta);
+      Type et = elems[i];
       expect(op->params[i].type == et && op->params[k + i].type == et,
              "reduce/scan op param type mismatch");
       expect(at(sc, neutral[i]) == et, "reduce/scan neutral type mismatch");
@@ -273,8 +298,8 @@ public:
     expect(bt.size() == k, "reduce/scan op must return k values");
     std::vector<Type> rets;
     for (size_t i = 0; i < k; ++i) {
-      expect(bt[i] == elem_of(at(sc, args[i])), "reduce/scan op result type mismatch");
-      rets.push_back(is_scan ? at(sc, args[i]) : bt[i]);
+      expect(bt[i] == elems[i], "reduce/scan op result type mismatch");
+      rets.push_back(is_scan ? lift(bt[i]) : bt[i]);
     }
     return rets;
   }

@@ -82,8 +82,8 @@ void for_each_nested(const Exp& e, Fn&& fn) {
             if (o.while_cond) lam(o.while_cond);
           },
           [&](const OpMap& o) { lam(o.f); },
-          [&](const OpReduce& o) { lam(o.op); },
-          [&](const OpScan& o) { lam(o.op); },
+          [&](const OpReduce& o) { lam(o.op); lam(o.pre); },
+          [&](const OpScan& o) { lam(o.op); lam(o.pre); },
           [&](const OpHist& o) { lam(o.op); },
           [&](const OpWithAcc& o) { lam(o.f); },
           [&](const auto&) {},
@@ -210,8 +210,12 @@ public:
               return n;
             },
             [&](const OpMap& o) -> Exp { return OpMap{L(o.f), VS(o.args), o.fused}; },
-            [&](const OpReduce& o) -> Exp { return OpReduce{L(o.op), AS(o.neutral), VS(o.args)}; },
-            [&](const OpScan& o) -> Exp { return OpScan{L(o.op), AS(o.neutral), VS(o.args)}; },
+            [&](const OpReduce& o) -> Exp {
+              return OpReduce{L(o.op), AS(o.neutral), VS(o.args), L(o.pre), o.fused};
+            },
+            [&](const OpScan& o) -> Exp {
+              return OpScan{L(o.op), AS(o.neutral), VS(o.args), L(o.pre), o.fused};
+            },
             [&](const OpHist& o) -> Exp {
               return OpHist{L(o.op), A(o.neutral), V(o.dest), V(o.inds), V(o.vals)};
             },

@@ -57,9 +57,11 @@ private:
             },
             [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f), o.args, o.fused}; },
             [&](const OpReduce& o) -> Exp {
-              return OpReduce{sub_lambda(o.op), o.neutral, o.args};
+              return OpReduce{sub_lambda(o.op), o.neutral, o.args, sub_lambda(o.pre), o.fused};
             },
-            [&](const OpScan& o) -> Exp { return OpScan{sub_lambda(o.op), o.neutral, o.args}; },
+            [&](const OpScan& o) -> Exp {
+              return OpScan{sub_lambda(o.op), o.neutral, o.args, sub_lambda(o.pre), o.fused};
+            },
             [&](const OpHist& o) -> Exp {
               return OpHist{sub_lambda(o.op), o.neutral, o.dest, o.inds, o.vals};
             },

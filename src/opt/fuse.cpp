@@ -27,9 +27,48 @@ public:
       ns.e = rewrite_nested(st.e);
       cur.stms.push_back(std::move(ns));
     }
+    redirect_lengths(cur);
     while (fuse_once(cur)) {
     }
     return cur;
+  }
+
+  // length(map f xs..) == length(xs): redirects length statements from a
+  // map's result to the map's first array argument, so a measured producer
+  // can still fuse into its one real consumer. The reverse-mode reduce rule
+  // emits exactly this shape — the adjoint replicate needs the reduce
+  // argument's extent — and without the redirect every vjp adjoint chain
+  // ending in a reduce would keep its intermediate alive just to measure it.
+  void redirect_lengths(Body& b) {
+    std::unordered_map<uint32_t, int> bind_count;
+    for (const auto& st : b.stms) {
+      for (Var v : st.vars) ++bind_count[v.id];
+    }
+    std::unordered_map<uint32_t, Var> len_src;
+    for (const auto& st : b.stms) {
+      const auto* mp = std::get_if<OpMap>(&st.e);
+      if (mp == nullptr || st.vars.size() != 1 || bind_count[st.vars[0].id] != 1) continue;
+      for (size_t i = 0; i < mp->args.size(); ++i) {
+        if (mp->f->params[i].type.is_acc) continue;
+        // The source must not be shadowed anywhere in this body: a unique
+        // (or param) binding is the one the map itself read.
+        if (bind_count[mp->args[i].id] <= 1) len_src[st.vars[0].id] = mp->args[i];
+        break;
+      }
+    }
+    if (len_src.empty()) return;
+    for (auto& st : b.stms) {
+      auto* ln = std::get_if<OpLength>(&st.e);
+      if (ln == nullptr) continue;
+      // Chase map-of-map chains to the root argument so every intermediate
+      // of the chain stays single-consumer (cycles are impossible: each
+      // source is bound strictly before its map).
+      auto it = len_src.find(ln->arr.id);
+      while (it != len_src.end()) {
+        ln->arr = it->second;
+        it = len_src.find(ln->arr.id);
+      }
+    }
   }
 
 private:
@@ -53,8 +92,12 @@ private:
               return n;
             },
             [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f), o.args, o.fused}; },
-            [&](const OpReduce& o) -> Exp { return OpReduce{sub_lambda(o.op), o.neutral, o.args}; },
-            [&](const OpScan& o) -> Exp { return OpScan{sub_lambda(o.op), o.neutral, o.args}; },
+            [&](const OpReduce& o) -> Exp {
+              return OpReduce{sub_lambda(o.op), o.neutral, o.args, sub_lambda(o.pre), o.fused};
+            },
+            [&](const OpScan& o) -> Exp {
+              return OpScan{sub_lambda(o.op), o.neutral, o.args, sub_lambda(o.pre), o.fused};
+            },
             [&](const OpHist& o) -> Exp {
               return OpHist{sub_lambda(o.op), o.neutral, o.dest, o.inds, o.vals};
             },
@@ -125,15 +168,23 @@ private:
     }
 
     for (size_t j = 0; j < b.stms.size(); ++j) {
-      const auto* cons = std::get_if<OpMap>(&b.stms[j].e);
-      if (cons == nullptr) continue;
-      for (Var v : cons->args) {
+      // Consumers: maps (classic fusion) and reduce/scan (redomap form —
+      // the producer folds into the consumer's element-wise pre-lambda).
+      const auto* cmap = std::get_if<OpMap>(&b.stms[j].e);
+      const auto* cred = std::get_if<OpReduce>(&b.stms[j].e);
+      const auto* cscan = std::get_if<OpScan>(&b.stms[j].e);
+      const std::vector<Var>* cargs = cmap   ? &cmap->args
+                                     : cred  ? &cred->args
+                                     : cscan ? &cscan->args
+                                             : nullptr;
+      if (cargs == nullptr) continue;
+      for (Var v : *cargs) {
         if (bind_count[v.id] != 1) continue;
         // The producer's result must be used only as argument positions of
         // this consumer (no gathers from it inside the lambda, no other
         // statement, no body result).
         int occurrences = 0;
-        for (Var a : cons->args) occurrences += a == v ? 1 : 0;
+        for (Var a : *cargs) occurrences += a == v ? 1 : 0;
         if (uses[v.id] != occurrences) continue;
         // Locate the producing statement.
         size_t i = b.stms.size();
@@ -165,18 +216,25 @@ private:
         }
         if (blocked) continue;
 
-        fuse_pair(b, i, j, v);
+        if (cmap) {
+          fuse_pair(b, i, j, v);
+        } else {
+          fuse_red_pair(b, i, j, v);
+        }
         return true;
       }
     }
     return false;
   }
 
-  // Folds producer statement `i` (binding `v`) into consumer map `j`.
-  void fuse_pair(Body& b, size_t i, size_t j, Var v) {
-    const OpMap prod = std::get<OpMap>(b.stms[i].e);
-    const OpMap cons = std::get<OpMap>(b.stms[j].e);
-
+  // Folds producer map `prod` into the element-wise consumer lambda `f`
+  // applied over `cargs`, substituting every occurrence of `v` (the
+  // producer's result) by the producer's computed element. Shared by map
+  // consumers (f = the consumer map's lambda) and reduce/scan consumers
+  // (f = the redomap pre-lambda). Returns the fused lambda and its new
+  // argument list (producer inputs spliced in place of v).
+  std::pair<LambdaPtr, std::vector<Var>> fuse_into(const OpMap& prod, const Lambda& f,
+                                                   const std::vector<Var>& cargs, Var v) {
     Lambda fused;
     std::vector<Var> fargs;
     std::vector<Atom> prod_param_atoms;
@@ -196,27 +254,71 @@ private:
       fused_elem = Atom(t);
     }
     std::vector<Atom> cons_args;
-    for (size_t k = 0; k < cons.args.size(); ++k) {
-      if (cons.args[k] == v) {
+    for (size_t k = 0; k < cargs.size(); ++k) {
+      if (cargs[k] == v) {
         cons_args.push_back(fused_elem);
         continue;
       }
-      Var p = mod_.fresh(mod_.name(cons.f->params[k].var));
-      fused.params.push_back(Param{p, cons.f->params[k].type});
-      fargs.push_back(cons.args[k]);
+      Var p = mod_.fresh(mod_.name(f.params[k].var));
+      fused.params.push_back(Param{p, f.params[k].type});
+      fargs.push_back(cargs[k]);
       cons_args.push_back(Atom(p));
     }
-    auto [stms2, res2] = inline_lambda(mod_, *cons.f, cons_args);
+    auto [stms2, res2] = inline_lambda(mod_, f, cons_args);
     fused.body.stms = std::move(stms1);
     fused.body.stms.insert(fused.body.stms.end(), std::make_move_iterator(stms2.begin()),
                            std::make_move_iterator(stms2.end()));
     fused.body.result = std::move(res2);
-    fused.rets = cons.f->rets;
+    fused.rets = f.rets;
+    return {make_lambda(std::move(fused)), std::move(fargs)};
+  }
 
-    b.stms[j].e = OpMap{make_lambda(std::move(fused)), std::move(fargs),
-                        prod.fused + cons.fused + 1};
+  // Folds producer statement `i` (binding `v`) into consumer map `j`.
+  void fuse_pair(Body& b, size_t i, size_t j, Var v) {
+    const OpMap prod = std::get<OpMap>(b.stms[i].e);
+    const OpMap cons = std::get<OpMap>(b.stms[j].e);
+    auto [fused, fargs] = fuse_into(prod, *cons.f, cons.args, v);
+    b.stms[j].e = OpMap{std::move(fused), std::move(fargs), prod.fused + cons.fused + 1};
     b.stms.erase(b.stms.begin() + static_cast<long>(i));
     ++stats_.fused_maps;
+  }
+
+  // The trivial pre-lambda a plain reduce/scan starts from before producers
+  // fold in: \e1..ek -> (e1..ek) with the fold operator's element param
+  // types (op params k..2k-1, which typecheck pins to the arg element
+  // types).
+  Lambda identity_pre(const Lambda& op) {
+    const size_t k = op.params.size() / 2;
+    Lambda id;
+    for (size_t i = 0; i < k; ++i) {
+      Var p = mod_.fresh("e");
+      id.params.push_back(Param{p, op.params[k + i].type});
+      id.body.result.push_back(Atom(p));
+      id.rets.push_back(op.params[k + i].type);
+    }
+    return id;
+  }
+
+  // Folds producer statement `i` (binding `v`) into reduce/scan consumer
+  // `j`: the producer disappears into the consumer's pre-lambda (created
+  // from the identity on first fusion), turning the consumer into redomap
+  // form — the intermediate array is never materialized.
+  void fuse_red_pair(Body& b, size_t i, size_t j, Var v) {
+    const OpMap prod = std::get<OpMap>(b.stms[i].e);
+    if (const auto* red = std::get_if<OpReduce>(&b.stms[j].e)) {
+      const Lambda pre = red->pre ? *red->pre : identity_pre(*red->op);
+      auto [npre, nargs] = fuse_into(prod, pre, red->args, v);
+      b.stms[j].e = OpReduce{red->op, red->neutral, std::move(nargs), std::move(npre),
+                             prod.fused + red->fused + 1};
+    } else {
+      const auto& sc = std::get<OpScan>(b.stms[j].e);
+      const Lambda pre = sc.pre ? *sc.pre : identity_pre(*sc.op);
+      auto [npre, nargs] = fuse_into(prod, pre, sc.args, v);
+      b.stms[j].e = OpScan{sc.op, sc.neutral, std::move(nargs), std::move(npre),
+                           prod.fused + sc.fused + 1};
+    }
+    b.stms.erase(b.stms.begin() + static_cast<long>(i));
+    ++stats_.fused_redomaps;
   }
 
   Module& mod_;

@@ -1,29 +1,39 @@
 #pragma once
 
-// Producer→consumer map fusion: when a map's result is consumed only
-// element-wise — i.e. exclusively as an argument of one later map over the
-// same iteration space — the two lambdas are fused into a single map and the
-// intermediate array is never materialized. Chains fuse transitively
-// (a 3-map element-wise chain becomes one map), including the
+// Producer→consumer fusion: when a map's result is consumed only
+// element-wise — exclusively as an argument of one later map, reduce, or
+// scan over the same iteration space — the producer is folded into the
+// consumer and the intermediate array is never materialized. Chains fuse
+// transitively (a 3-map element-wise chain becomes one map), including the
 // zeros/elementwise-add adjoint map chains emitted by core/vjp.cpp.
+//
+// Map consumers fuse lambda-into-lambda as before. Reduce/scan consumers
+// take the *redomap* form: the producer folds into the consumer's optional
+// element-wise pre-lambda (OpReduce::pre / OpScan::pre, created from the
+// identity on first fusion), so reduce(+, map(f, xs)) — the dominant
+// pattern in vjp adjoints that contract a gradient — runs load→map→fold in
+// one pass with no intermediate. Redomap pre-lambdas are themselves fusion
+// consumers, so whole map chains feeding a reduction collapse.
 //
 // A producer is fusable when it binds a single result, its lambda threads no
 // accumulators, and every use of the result is an argument position of the
-// one consumer map. The consumer may thread accumulators; its threading is
-// preserved verbatim in the fused lambda. Anything else — results consumed
-// by reduce/index/length, gathered at arbitrary indices (the result appears
-// free in the consumer lambda), used twice by different statements, or
-// re-bound in between — is left alone.
+// one consumer. The consumer map may thread accumulators; its threading is
+// preserved verbatim in the fused lambda. Anything else — results gathered
+// at arbitrary indices (the result appears free in the consumer lambda),
+// used twice by different statements, or re-bound in between — is left
+// alone.
 //
-// Fused maps carry an `OpMap::fused` annotation (the number of producers
-// folded in) which the runtime adds to InterpStats::fused_maps per launch.
+// Fused consumers carry a `fused` annotation (the number of producers folded
+// in) which the runtime adds to InterpStats::fused_maps /
+// fused_reduces / fused_scans per launch.
 
 #include "ir/ast.hpp"
 
 namespace npad::opt {
 
 struct FuseStats {
-  int fused_maps = 0;  // producer maps eliminated
+  int fused_maps = 0;      // producer maps folded into consumer maps
+  int fused_redomaps = 0;  // producer maps folded into reduce/scan consumers
 };
 
 ir::Prog fuse_maps(const ir::Prog& p, FuseStats* stats = nullptr);

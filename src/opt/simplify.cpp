@@ -68,9 +68,12 @@ private:
             },
             [&](const OpMap& o) -> Exp { return OpMap{prune_lambda(o.f), o.args, o.fused}; },
             [&](const OpReduce& o) -> Exp {
-              return OpReduce{prune_lambda(o.op), o.neutral, o.args};
+              return OpReduce{prune_lambda(o.op), o.neutral, o.args, prune_lambda(o.pre),
+                              o.fused};
             },
-            [&](const OpScan& o) -> Exp { return OpScan{prune_lambda(o.op), o.neutral, o.args}; },
+            [&](const OpScan& o) -> Exp {
+              return OpScan{prune_lambda(o.op), o.neutral, o.args, prune_lambda(o.pre), o.fused};
+            },
             [&](const OpHist& o) -> Exp {
               return OpHist{prune_lambda(o.op), o.neutral, o.dest, o.inds, o.vals};
             },
@@ -157,10 +160,12 @@ private:
             },
             [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f, env), o.args, o.fused}; },
             [&](const OpReduce& o) -> Exp {
-              return OpReduce{sub_lambda(o.op, env), o.neutral, o.args};
+              return OpReduce{sub_lambda(o.op, env), o.neutral, o.args, sub_lambda(o.pre, env),
+                              o.fused};
             },
             [&](const OpScan& o) -> Exp {
-              return OpScan{sub_lambda(o.op, env), o.neutral, o.args};
+              return OpScan{sub_lambda(o.op, env), o.neutral, o.args, sub_lambda(o.pre, env),
+                            o.fused};
             },
             [&](const OpHist& o) -> Exp {
               return OpHist{sub_lambda(o.op, env), o.neutral, o.dest, o.inds, o.vals};

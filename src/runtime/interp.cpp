@@ -29,6 +29,24 @@ double digamma_approx(double x) {
 
 [[noreturn]] void die(const std::string& msg) { throw std::runtime_error("interp: " + msg); }
 
+// The recognized-binop fast paths of reduce, scan and hist share one combine
+// helper (previously three copies of the same switch). Only the four
+// operators with useful scalar identities are combinable; everything else
+// goes through the kernel or general paths.
+inline bool combinable_f64(BinOp op) {
+  return op == BinOp::Add || op == BinOp::Mul || op == BinOp::Min || op == BinOp::Max;
+}
+
+inline double combine_f64(BinOp op, double a, double b) {
+  switch (op) {
+    case BinOp::Add: return a + b;
+    case BinOp::Mul: return a * b;
+    case BinOp::Min: return std::min(a, b);
+    case BinOp::Max: return std::max(a, b);
+    default: return a + b;  // unreachable for combinable_f64 operators
+  }
+}
+
 // Tree-merges per-chunk private accumulator buffers (pairwise, levels in
 // parallel when the pool allows), then adds the surviving buffer into the
 // destination element-parallel.
@@ -808,54 +826,178 @@ public:
   }
 
   // -------------------------------------------------------------- reduce ---
+  //
+  // Three tiers, fastest first:
+  //  1. hand-rolled loop for a plain single rank-1 f64 reduce with a
+  //     combinable operator (no VM dispatch beats the register machine);
+  //  2. compiled reduction kernel — arbitrary kernelizable scalar fold
+  //     bodies, with a redomap pre-lambda compiled into the same program so
+  //     fused reduce(op, map(f, xs)) runs load→map→fold in one batched
+  //     loop with zero intermediate arrays;
+  //  3. the general interpreter (now also the redomap fallback: the
+  //     pre-lambda is applied per element before the fold).
+
+  // Binds a reduction/scan kernel's free variables against the environment;
+  // nullopt when a free variable has the wrong shape. Reduction kernels are
+  // acc-free by construction (runtime/kernel.cpp).
+  std::optional<KernelLaunch> bind_reduce_launch(const Kernel* k,
+                                                 const std::vector<ArrayVal>& inputs,
+                                                 const std::vector<Value>& neutral,
+                                                 std::shared_ptr<const Kernel> owned,
+                                                 const Env& env) const {
+    if (k == nullptr || inputs.size() != k->num_inputs) return std::nullopt;
+    KernelLaunch L;
+    L.k = k;
+    L.owned = std::move(owned);
+    L.inputs = inputs;
+    for (ir::Var v : k->free_scalars) {
+      const Value& val = env.lookup(v);
+      if (is_array(val) || is_acc(val)) return std::nullopt;
+      L.free_scalar_vals.push_back(as_f64(val));
+    }
+    for (ir::Var v : k->free_arrays) {
+      const Value& val = env.lookup(v);
+      if (!is_array(val)) return std::nullopt;
+      L.free_array_vals.push_back(as_array(val));
+    }
+    L.red_neutral.reserve(neutral.size());
+    for (const auto& v : neutral) {
+      if (is_array(v) || is_acc(v)) return std::nullopt;
+      L.red_neutral.push_back(as_f64(v));
+    }
+    L.lanes = std::max(1, opts_.kernel_lanes);
+    L.batched_spans = &stats_->batched_launches;
+    return L;
+  }
+
+  // Looks up / compiles the reduction kernel for (op, pre, scan) through the
+  // process-wide cache (or privately when caching is off).
+  const Kernel* reduce_kernel_for(const LambdaPtr& op, const LambdaPtr& pre, bool scan,
+                                  std::shared_ptr<const Kernel>& owned) const {
+    if (opts_.use_kernel_cache) {
+      bool hit = false;
+      const Kernel* k = KernelCache::global().get_reduce(op, pre, scan, &hit);
+      (hit ? stats_->kernel_cache_hits : stats_->kernel_cache_misses)
+          .fetch_add(1, std::memory_order_relaxed);
+      return k;
+    }
+    auto kopt = compile_reduce_kernel(*op, pre.get(), scan);
+    if (!kopt) return nullptr;
+    owned = std::make_shared<const Kernel>(std::move(*kopt));
+    return owned.get();
+  }
+
+  // Converts a kernel partial back to a typed scalar Value.
+  static Value partial_value(ScalarType t, double v) {
+    switch (t) {
+      case ScalarType::F64: return v;
+      case ScalarType::I64: return static_cast<int64_t>(v);
+      case ScalarType::Bool: return v != 0.0;
+    }
+    return v;
+  }
+
   std::vector<Value> eval_reduce(const OpReduce& o, Env& env) const {
     const Lambda& op = *o.op;
-    const size_t k = o.args.size();
     std::vector<ArrayVal> arrs;
-    arrs.reserve(k);
+    arrs.reserve(o.args.size());
     for (auto v : o.args) arrs.push_back(as_array(env.lookup(v)));
     const int64_t n = arrs[0].outer();
+    for (const auto& a : arrs) {
+      if (a.outer() != n) die("reduce arguments of unequal length");
+    }
     std::vector<Value> neutral;
     for (const auto& a : o.neutral) neutral.push_back(eval_atom(a, env));
+    if (o.fused > 0) stats_->fused_reduces.fetch_add(o.fused, std::memory_order_relaxed);
 
+    const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
+    const bool fanout = opts_.parallel && n >= 2 * opts_.grain && threads > 1 &&
+                        !support::ThreadPool::in_parallel_region();
+    const int64_t chunks =
+        fanout ? std::min<int64_t>(threads, (n + opts_.grain - 1) / opts_.grain) : 1;
+    const int64_t per = (n + chunks - 1) / chunks;
+
+    // Tier 1: the hand-rolled combinable-binop loop already runs at memory
+    // speed; do not route it through the register machine.
+    const std::optional<BinOp> plain_bop =
+        o.pre ? std::optional<BinOp>{} : recognize_binop(op);
+    const bool hand_fast = plain_bop && combinable_f64(*plain_bop) && o.args.size() == 1 &&
+                           arrs[0].rank() == 1 && arrs[0].elem == ScalarType::F64;
+
+    // Tier 2: compiled reduction kernel.
+    bool rank1 = true;
+    for (const auto& a : arrs) rank1 = rank1 && a.rank() == 1;
+    if (opts_.use_kernels && !hand_fast && rank1) {
+      std::shared_ptr<const Kernel> owned;
+      const Kernel* k = reduce_kernel_for(o.op, o.pre, /*scan=*/false, owned);
+      if (auto L = bind_reduce_launch(k, arrs, neutral, std::move(owned), env)) {
+        stats_->kernel_reduces.fetch_add(1, std::memory_order_relaxed);
+        const size_t nred = k->reds.size();
+        std::vector<double> partials = L->red_neutral;
+        if (chunks <= 1) {
+          L->run_reduce(0, n, partials.data());
+        } else {
+          std::vector<std::vector<double>> cp(static_cast<size_t>(chunks), partials);
+          support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+            for (int64_t c = clo; c < chi; ++c) {
+              L->run_reduce(c * per, std::min(n, (c + 1) * per),
+                            cp[static_cast<size_t>(c)].data());
+            }
+          });
+          // Chunk partials tree-merge pairwise through the fold subprogram,
+          // the same shape as merge_private — but each partial is only k
+          // scalars, so the merge runs on the calling thread.
+          for (size_t stride = 1; stride < cp.size(); stride *= 2) {
+            for (size_t i = 0; i + stride < cp.size(); i += 2 * stride) {
+              L->combine_partials(cp[i].data(), cp[i + stride].data());
+            }
+          }
+          partials = std::move(cp[0]);
+        }
+        std::vector<Value> outs;
+        outs.reserve(nred);
+        for (size_t j = 0; j < nred; ++j) {
+          outs.push_back(partial_value(op.rets[j].elem, partials[j]));
+        }
+        return outs;
+      }
+    }
+
+    // Tier 3: general interpreter fold (and tier 1's hand loop per chunk).
+    stats_->general_reduces.fetch_add(1, std::memory_order_relaxed);
     auto elem = [&](size_t j, int64_t i) -> Value {
       const ArrayVal& a = arrs[j];
       if (a.rank() == 1) return scalar_value(a.elem, a, i);
       return row_view(a, i);
     };
     auto fold_range = [&](int64_t lo, int64_t hi, std::vector<Value> acc) {
-      // Fast path: single f64 array with a recognized scalar operator.
-      if (k == 1 && arrs[0].rank() == 1 && arrs[0].elem == ScalarType::F64) {
-        if (auto bop = recognize_binop(op)) {
-          double acc0 = as_f64(acc[0]);
-          const double* p = arrs[0].buf->f64() + arrs[0].offset;
-          switch (*bop) {
-            case BinOp::Add: for (int64_t i = lo; i < hi; ++i) acc0 += p[i]; break;
-            case BinOp::Mul: for (int64_t i = lo; i < hi; ++i) acc0 *= p[i]; break;
-            case BinOp::Min: for (int64_t i = lo; i < hi; ++i) acc0 = std::min(acc0, p[i]); break;
-            case BinOp::Max: for (int64_t i = lo; i < hi; ++i) acc0 = std::max(acc0, p[i]); break;
-            default: goto general;
-          }
-          acc[0] = acc0;
-          return acc;
-        }
+      if (hand_fast) {
+        double acc0 = as_f64(acc[0]);
+        const double* p = arrs[0].buf->f64() + arrs[0].offset;
+        for (int64_t i = lo; i < hi; ++i) acc0 = combine_f64(*plain_bop, acc0, p[i]);
+        acc[0] = acc0;
+        return acc;
       }
-    general:
       for (int64_t i = lo; i < hi; ++i) {
-        std::vector<Value> args = acc;
-        for (size_t j = 0; j < k; ++j) args.push_back(elem(j, i));
+        // Move the accumulator through the argument list (no per-iteration
+        // vector copy) and reserve the full fold arity once per iteration.
+        std::vector<Value> args = std::move(acc);
+        args.reserve(op.params.size());
+        if (o.pre) {
+          std::vector<Value> pargs;
+          pargs.reserve(arrs.size());
+          for (size_t j = 0; j < arrs.size(); ++j) pargs.push_back(elem(j, i));
+          std::vector<Value> es = apply(*o.pre, std::move(pargs), env);
+          for (auto& e : es) args.push_back(std::move(e));
+        } else {
+          for (size_t j = 0; j < arrs.size(); ++j) args.push_back(elem(j, i));
+        }
         acc = apply(op, std::move(args), env);
       }
       return acc;
     };
 
-    const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
-    if (!opts_.parallel || n < 2 * opts_.grain || threads == 1 ||
-        support::ThreadPool::in_parallel_region()) {
-      return fold_range(0, n, neutral);
-    }
-    const int64_t chunks = std::min<int64_t>(threads, (n + opts_.grain - 1) / opts_.grain);
-    const int64_t per = (n + chunks - 1) / chunks;
+    if (chunks <= 1) return fold_range(0, n, std::move(neutral));
     std::vector<std::vector<Value>> partial(static_cast<size_t>(chunks));
     support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
       for (int64_t c = clo; c < chi; ++c) {
@@ -873,87 +1015,187 @@ public:
   }
 
   // ---------------------------------------------------------------- scan ---
+  //
+  // Same tiering as eval_reduce. The blocked three-phase structure is shared:
+  // phase 1 scans each chunk sequentially (seeded with the neutral element)
+  // and records its carry, phase 2 prefix-folds the carries, phase 3
+  // rescales every non-first chunk by its prefix. The kernel tier runs
+  // phases 1 and 3 through the compiled program (phase 1 is the full
+  // program on the strictly sequential scalar engine; phase 3 re-enters the
+  // fold subprogram per element), so fused scan-of-map never materializes
+  // the mapped intermediate either.
   std::vector<Value> eval_scan(const OpScan& o, Env& env) const {
     const Lambda& op = *o.op;
-    const size_t k = o.args.size();
     std::vector<ArrayVal> arrs;
+    arrs.reserve(o.args.size());
     for (auto v : o.args) arrs.push_back(as_array(env.lookup(v)));
     const int64_t n = arrs[0].outer();
-    std::vector<ArrayVal> outs;
-    for (size_t j = 0; j < k; ++j) outs.push_back(ArrayVal::alloc(arrs[j].elem, arrs[j].shape));
+    for (const auto& a : arrs) {
+      if (a.outer() != n) die("scan arguments of unequal length");
+    }
+    std::vector<Value> neutral;
+    for (const auto& a : o.neutral) neutral.push_back(eval_atom(a, env));
+    const size_t kres = neutral.size();  // fold results (= outputs)
+    if (o.fused > 0) stats_->fused_scans.fetch_add(o.fused, std::memory_order_relaxed);
 
-    // Fast path: single f64 rank-1 array with recognized operator, parallel
-    // three-phase blocked scan.
-    if (k == 1 && arrs[0].rank() == 1 && arrs[0].elem == ScalarType::F64) {
-      if (auto bop = recognize_binop(op)) {
-        const double* in = arrs[0].buf->f64() + arrs[0].offset;
-        double* out = outs[0].buf->f64();
-        auto combine = [&](double a, double b) {
-          switch (*bop) {
-            case BinOp::Add: return a + b;
-            case BinOp::Mul: return a * b;
-            case BinOp::Min: return std::min(a, b);
-            case BinOp::Max: return std::max(a, b);
-            default: return a + b;
-          }
-        };
-        if (*bop == BinOp::Add || *bop == BinOp::Mul || *bop == BinOp::Min ||
-            *bop == BinOp::Max) {
-          const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
-          if (opts_.parallel && threads > 1 && n >= 4 * opts_.grain &&
-              !support::ThreadPool::in_parallel_region()) {
-            const int64_t chunks = std::min<int64_t>(threads, (n + opts_.grain - 1) / opts_.grain);
-            const int64_t per = (n + chunks - 1) / chunks;
-            std::vector<double> sums(static_cast<size_t>(chunks));
-            support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
-              for (int64_t c = clo; c < chi; ++c) {
-                const int64_t lo = c * per, hi = std::min(n, lo + per);
-                double acc = in[lo];
-                out[lo] = acc;
-                for (int64_t i = lo + 1; i < hi; ++i) {
-                  acc = combine(acc, in[i]);
-                  out[i] = acc;
-                }
-                sums[static_cast<size_t>(c)] = acc;
-              }
-            });
-            std::vector<double> pre(static_cast<size_t>(chunks));
-            double run = as_f64(eval_atom(o.neutral[0], env));
-            for (int64_t c = 0; c < chunks; ++c) {
-              pre[static_cast<size_t>(c)] = run;
-              run = combine(run, sums[static_cast<size_t>(c)]);
+    const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
+    const bool blocked = opts_.parallel && threads > 1 && n >= 4 * opts_.grain &&
+                         !support::ThreadPool::in_parallel_region();
+    const int64_t chunks =
+        blocked ? std::min<int64_t>(threads, (n + opts_.grain - 1) / opts_.grain) : 1;
+    const int64_t per = (n + chunks - 1) / chunks;
+
+    // Tier 1: hand-rolled blocked scan for a single rank-1 f64 array with a
+    // combinable operator. Every element of the output is written, so the
+    // launch buffer takes the uninitialized pooled-allocation path.
+    const std::optional<BinOp> plain_bop =
+        o.pre ? std::optional<BinOp>{} : recognize_binop(op);
+    if (plain_bop && combinable_f64(*plain_bop) && o.args.size() == 1 &&
+        arrs[0].rank() == 1 && arrs[0].elem == ScalarType::F64) {
+      stats_->general_scans.fetch_add(1, std::memory_order_relaxed);
+      ArrayVal outv = alloc_launch_buf(ScalarType::F64, {n}, /*uninit=*/true);
+      const double* in = arrs[0].buf->f64() + arrs[0].offset;
+      double* out = outv.buf->f64();
+      const BinOp bop = *plain_bop;
+      if (blocked) {
+        std::vector<double> sums(static_cast<size_t>(chunks));
+        support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+          for (int64_t c = clo; c < chi; ++c) {
+            const int64_t lo = c * per, hi = std::min(n, lo + per);
+            if (lo >= hi) {  // empty trailing chunk (tiny grain): contribute ne
+              sums[static_cast<size_t>(c)] = as_f64(neutral[0]);
+              continue;
             }
-            support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
-              for (int64_t c = clo; c < chi; ++c) {
-                if (c == 0) continue;
-                const int64_t lo = c * per, hi = std::min(n, lo + per);
-                const double p = pre[static_cast<size_t>(c)];
-                for (int64_t i = lo; i < hi; ++i) out[i] = combine(p, out[i]);
-              }
-            });
-          } else {
-            double acc = as_f64(eval_atom(o.neutral[0], env));
-            for (int64_t i = 0; i < n; ++i) {
-              acc = combine(acc, in[i]);
+            double acc = in[lo];
+            out[lo] = acc;
+            for (int64_t i = lo + 1; i < hi; ++i) {
+              acc = combine_f64(bop, acc, in[i]);
               out[i] = acc;
             }
+            sums[static_cast<size_t>(c)] = acc;
           }
-          return {outs[0]};
+        });
+        std::vector<double> pre(static_cast<size_t>(chunks));
+        double run = as_f64(neutral[0]);
+        for (int64_t c = 0; c < chunks; ++c) {
+          pre[static_cast<size_t>(c)] = run;
+          run = combine_f64(bop, run, sums[static_cast<size_t>(c)]);
         }
+        support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+          for (int64_t c = clo; c < chi; ++c) {
+            if (c == 0) continue;
+            const int64_t lo = c * per, hi = std::min(n, lo + per);
+            const double p = pre[static_cast<size_t>(c)];
+            for (int64_t i = lo; i < hi; ++i) out[i] = combine_f64(bop, p, out[i]);
+          }
+        });
+      } else {
+        double acc = as_f64(neutral[0]);
+        for (int64_t i = 0; i < n; ++i) {
+          acc = combine_f64(bop, acc, in[i]);
+          out[i] = acc;
+        }
+      }
+      return {outv};
+    }
+
+    // Tier 2: compiled scan kernel (phase 1 + phase 3 on the register
+    // machine; strictly sequential per chunk — scans are order-dependent).
+    bool rank1 = true;
+    for (const auto& a : arrs) rank1 = rank1 && a.rank() == 1;
+    if (opts_.use_kernels && rank1) {
+      std::shared_ptr<const Kernel> owned;
+      const Kernel* k = reduce_kernel_for(o.op, o.pre, /*scan=*/true, owned);
+      if (auto L = bind_reduce_launch(k, arrs, neutral, std::move(owned), env)) {
+        stats_->kernel_scans.fetch_add(1, std::memory_order_relaxed);
+        for (ScalarType t : k->out_elems) {
+          L->outputs.push_back(alloc_launch_buf(t, {n}, /*uninit=*/true));
+        }
+        if (chunks <= 1) {
+          std::vector<double> carry = L->red_neutral;
+          L->run_scan_chunk(0, n, carry.data());
+        } else {
+          std::vector<std::vector<double>> carries(static_cast<size_t>(chunks),
+                                                   L->red_neutral);
+          support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+            for (int64_t c = clo; c < chi; ++c) {
+              L->run_scan_chunk(c * per, std::min(n, (c + 1) * per),
+                                carries[static_cast<size_t>(c)].data());
+            }
+          });
+          std::vector<std::vector<double>> prefixes(static_cast<size_t>(chunks));
+          std::vector<double> run = L->red_neutral;
+          for (int64_t c = 0; c < chunks; ++c) {
+            prefixes[static_cast<size_t>(c)] = run;
+            L->combine_partials(run.data(), carries[static_cast<size_t>(c)].data());
+          }
+          support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+            for (int64_t c = clo; c < chi; ++c) {
+              if (c == 0) continue;  // chunk 0 already started from neutral
+              L->scan_rescale(c * per, std::min(n, (c + 1) * per),
+                              prefixes[static_cast<size_t>(c)].data());
+            }
+          });
+        }
+        std::vector<Value> res;
+        for (auto& a : L->outputs) res.push_back(a);
+        return res;
       }
     }
 
-    // General sequential scan.
-    std::vector<Value> acc;
-    for (const auto& a : o.neutral) acc.push_back(eval_atom(a, env));
+    // Tier 3: general sequential scan (redomap fallback applies the
+    // pre-lambda per element). Output buffers are allocated from the first
+    // computed accumulator — with a pre-lambda the result types need not
+    // match the argument types — and are fully overwritten, so they take
+    // the uninitialized pooled path.
+    stats_->general_scans.fetch_add(1, std::memory_order_relaxed);
+    std::vector<ArrayVal> outs(kres);
+    if (n == 0) {
+      for (size_t j = 0; j < kres; ++j) {
+        if (!o.pre) {
+          // Plain form: the output mirrors the argument's shape (inner
+          // extents included) even when empty.
+          outs[j] = ArrayVal::alloc(arrs[j].elem, arrs[j].shape);
+          continue;
+        }
+        // Redomap form: the fold-result inner extents are unobservable with
+        // no elements; zero them.
+        std::vector<int64_t> shp{0};
+        for (int d = 0; d < op.rets[j].rank; ++d) shp.push_back(0);
+        outs[j] = ArrayVal::alloc(op.rets[j].elem, std::move(shp));
+      }
+    }
+    std::vector<Value> acc = std::move(neutral);
     for (int64_t i = 0; i < n; ++i) {
-      std::vector<Value> args = acc;
-      for (size_t j = 0; j < k; ++j) {
-        const ArrayVal& a = arrs[j];
-        args.push_back(a.rank() == 1 ? scalar_value(a.elem, a, i) : Value(row_view(a, i)));
+      std::vector<Value> args = std::move(acc);
+      args.reserve(op.params.size());
+      if (o.pre) {
+        std::vector<Value> pargs;
+        pargs.reserve(arrs.size());
+        for (size_t j = 0; j < arrs.size(); ++j) {
+          const ArrayVal& a = arrs[j];
+          pargs.push_back(a.rank() == 1 ? scalar_value(a.elem, a, i) : Value(row_view(a, i)));
+        }
+        std::vector<Value> es = apply(*o.pre, std::move(pargs), env);
+        for (auto& e : es) args.push_back(std::move(e));
+      } else {
+        for (size_t j = 0; j < arrs.size(); ++j) {
+          const ArrayVal& a = arrs[j];
+          args.push_back(a.rank() == 1 ? scalar_value(a.elem, a, i) : Value(row_view(a, i)));
+        }
       }
       acc = apply(op, std::move(args), env);
-      for (size_t j = 0; j < k; ++j) {
+      for (size_t j = 0; j < kres; ++j) {
+        if (i == 0) {
+          std::vector<int64_t> shp{n};
+          if (is_array(acc[j])) {
+            const auto& a = as_array(acc[j]);
+            shp.insert(shp.end(), a.shape.begin(), a.shape.end());
+            outs[j] = alloc_launch_buf(a.elem, std::move(shp), /*uninit=*/true);
+          } else {
+            outs[j] = alloc_launch_buf(op.rets[j].elem, std::move(shp), /*uninit=*/true);
+          }
+        }
         if (is_array(acc[j])) {
           copy_into(outs[j], i * as_array(acc[j]).elems(), as_array(acc[j]));
         } else {
@@ -977,24 +1219,17 @@ public:
     const int64_t m = dest.outer();
     const int64_t row = dest.rank() > 1 ? dest.row_elems() : 1;
 
-    // Fast path: scalar f64 bins with recognized operator.
+    // Fast path: scalar f64 bins with a combinable operator (the shared
+    // combine_f64 helper; non-combinable recognized binops such as Sub fall
+    // through to the general path instead of being silently treated as Add).
     auto bop = recognize_binop(op);
-    if (bop && dest.rank() == 1 && dest.elem == ScalarType::F64 &&
+    if (bop && combinable_f64(*bop) && dest.rank() == 1 && dest.elem == ScalarType::F64 &&
         vals.elem == ScalarType::F64) {
       double* d = dest.buf->f64() + dest.offset;
-      auto combine = [&](double a, double b) {
-        switch (*bop) {
-          case BinOp::Add: return a + b;
-          case BinOp::Mul: return a * b;
-          case BinOp::Min: return std::min(a, b);
-          case BinOp::Max: return std::max(a, b);
-          default: return a + b;
-        }
-      };
       for (int64_t i = 0; i < n; ++i) {
         const int64_t b = inds.get_i64(i);
         if (b < 0 || b >= m) continue;
-        d[b] = combine(d[b], vals.get_f64(i));
+        d[b] = combine_f64(*bop, d[b], vals.get_f64(i));
       }
       return dest;
     }

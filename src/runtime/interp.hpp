@@ -50,6 +50,12 @@ struct InterpStats {
   std::atomic<uint64_t> pool_misses{0};          // launch buffers freshly heap-allocated
   std::atomic<uint64_t> fused_maps{0};           // producer maps eliminated by fusion (per launch)
   std::atomic<uint64_t> batched_launches{0};     // kernel spans that ran >=1 full lane batch
+  std::atomic<uint64_t> kernel_reduces{0};       // reduces run through compiled kernels
+  std::atomic<uint64_t> general_reduces{0};      // reduces run through the interpreter
+  std::atomic<uint64_t> fused_reduces{0};        // producer maps folded into reduce launches
+  std::atomic<uint64_t> kernel_scans{0};         // scans run through compiled kernels
+  std::atomic<uint64_t> general_scans{0};        // scans run through the interpreter
+  std::atomic<uint64_t> fused_scans{0};          // producer maps folded into scan launches
 
   // Snapshot for machine-readable reporting (bench JSON).
   std::map<std::string, uint64_t> counters() const {
@@ -65,6 +71,12 @@ struct InterpStats {
         {"pool_misses", pool_misses.load()},
         {"fused_maps", fused_maps.load()},
         {"batched_launches", batched_launches.load()},
+        {"kernel_reduces", kernel_reduces.load()},
+        {"general_reduces", general_reduces.load()},
+        {"fused_reduces", fused_reduces.load()},
+        {"kernel_scans", kernel_scans.load()},
+        {"general_scans", general_scans.load()},
+        {"fused_scans", fused_scans.load()},
     };
   }
 };

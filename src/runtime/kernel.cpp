@@ -30,6 +30,127 @@ class KernelBuilder {
 public:
   explicit KernelBuilder(const Lambda& f) : f_(f) {}
 
+  // Reduction form: f_ is the fold operator (2k scalar params -> k scalar
+  // results, acc-free), `pre` the optional redomap pre-lambda whose results
+  // feed the fold. Layout of the emitted program:
+  //   [LoadElem inputs][pre body][Mov pre-results -> elem regs]   (redomap)
+  //   or [LoadElem -> elem regs]                                  (plain)
+  //   [fold_begin: fold body][writeback Movs -> acc regs :fold_end]
+  //   [StoreOut acc regs]                                         (scan)
+  // elem/acc registers are always fresh single-purpose registers so the
+  // fold subprogram can be re-entered standalone with seeded values.
+  std::optional<Kernel> build_reduce(const Lambda* pre, bool scan) {
+    allow_accs_ = false;
+    const Lambda& op = f_;
+    if (op.params.size() % 2 != 0) return std::nullopt;
+    const size_t k = op.params.size() / 2;
+    if (k == 0 || op.rets.size() != k || op.body.result.size() != k) return std::nullopt;
+    for (const auto& p : op.params) {
+      if (p.type.rank != 0 || p.type.is_acc) return std::nullopt;
+    }
+    for (const auto& t : op.rets) {
+      if (t.rank != 0 || t.is_acc) return std::nullopt;
+    }
+
+    std::vector<int32_t> elem_regs(k, -1);
+    if (pre != nullptr) {
+      if (pre->rets.size() != k || pre->body.result.size() != k) return std::nullopt;
+      for (const auto& t : pre->rets) {
+        if (t.rank != 0 || t.is_acc) return std::nullopt;
+      }
+      for (const auto& p : pre->params) {
+        if (p.type.rank != 0 || p.type.is_acc) return std::nullopt;
+        const int r = new_reg();
+        reg_[p.var.id] = r;
+        KInstr in;
+        in.op = KOp::LoadElem;
+        in.dst = r;
+        in.slot = static_cast<int32_t>(k_.num_inputs++);
+        k_.instrs.push_back(in);
+      }
+      for (const auto& st : pre->body.stms) {
+        if (!stm(st)) return std::nullopt;
+      }
+      // Pin each pre result into a fresh register: the fold subprogram
+      // seeds element registers directly, which must never alias a
+      // constant or another iteration-invariant register.
+      for (size_t j = 0; j < k; ++j) {
+        const int r = new_reg();
+        KInstr mv;
+        mv.op = KOp::Mov;
+        mv.dst = r;
+        mv.a = use(pre->body.result[j]);
+        k_.instrs.push_back(mv);
+        elem_regs[j] = r;
+      }
+    } else {
+      for (size_t j = 0; j < k; ++j) {
+        const int r = new_reg();
+        KInstr in;
+        in.op = KOp::LoadElem;
+        in.dst = r;
+        in.slot = static_cast<int32_t>(k_.num_inputs++);
+        k_.instrs.push_back(in);
+        elem_regs[j] = r;
+      }
+    }
+
+    // Fold: acc params get dedicated registers (the per-lane partial
+    // accumulators); elem params alias the element registers.
+    std::vector<int32_t> acc_regs(k);
+    for (size_t j = 0; j < k; ++j) {
+      acc_regs[j] = new_reg();
+      reg_[op.params[j].var.id] = acc_regs[j];
+      reg_[op.params[k + j].var.id] = elem_regs[j];
+    }
+    k_.fold_begin = k_.instrs.size();
+    for (const auto& st : op.body.stms) {
+      if (!stm(st)) return std::nullopt;
+    }
+    // Writeback acc_j <- result_j, through temporaries when k > 1 so a fold
+    // returning a permutation of its accumulators cannot clobber a
+    // not-yet-moved one.
+    std::vector<int32_t> res_regs(k);
+    for (size_t j = 0; j < k; ++j) res_regs[j] = use(op.body.result[j]);
+    if (k > 1) {
+      for (size_t j = 0; j < k; ++j) {
+        const int t = new_reg();
+        KInstr mv;
+        mv.op = KOp::Mov;
+        mv.dst = t;
+        mv.a = res_regs[j];
+        k_.instrs.push_back(mv);
+        res_regs[j] = t;
+      }
+    }
+    for (size_t j = 0; j < k; ++j) {
+      if (res_regs[j] == acc_regs[j]) continue;
+      KInstr mv;
+      mv.op = KOp::Mov;
+      mv.dst = acc_regs[j];
+      mv.a = res_regs[j];
+      k_.instrs.push_back(mv);
+    }
+    k_.fold_end = k_.instrs.size();
+    if (scan) {
+      for (size_t j = 0; j < k; ++j) {
+        KInstr out;
+        out.op = KOp::StoreOut;
+        out.a = acc_regs[j];
+        out.slot = static_cast<int32_t>(k_.out_elems.size());
+        k_.instrs.push_back(out);
+        k_.out_elems.push_back(op.rets[j].elem);
+        k_.ret_acc_slot.push_back(-1);
+      }
+    }
+    for (size_t j = 0; j < k; ++j) {
+      k_.reds.push_back(Kernel::RedSlot{acc_regs[j], elem_regs[j]});
+    }
+    k_.num_regs = next_reg_;
+    k_.acc_upd_counts.assign(k_.accs.size(), 0);
+    return std::move(k_);
+  }
+
   std::optional<Kernel> build() {
     // Parameters: scalars become element inputs; accumulators become slots.
     int32_t param_index = 0;
@@ -194,6 +315,7 @@ private:
               return true;
             },
             [&](const OpUpdAcc& o) {
+              if (!allow_accs_) return false;  // reduction kernels are acc-free
               auto it = acc_slot_.find(o.acc.id);
               int32_t slot;
               if (it != acc_slot_.end()) {
@@ -221,6 +343,7 @@ private:
 
   const Lambda& f_;
   Kernel k_;
+  bool allow_accs_ = true;
   int next_reg_ = 0;
   std::unordered_map<uint32_t, int32_t> reg_;
   std::unordered_map<uint32_t, int32_t> arr_slot_;
@@ -253,21 +376,10 @@ inline int64_t flat_index_lane(const ArrayVal& a, const double* regs, int W, int
   return off;
 }
 
-// Executes full batches of W iterations over a structure-of-arrays register
-// file: register r's lane l lives at regs[r*W + l]. The per-instruction
-// dispatch runs once per batch; each case loops over the W lanes, so the
-// switch cost is amortized W-fold and the lane loops are trivially
-// vectorizable. `WT` is either std::integral_constant<int, W> (compile-time
-// trip counts for the common widths) or plain int (any width).
-// Requires (hi - lo) % W == 0; the caller runs a scalar tail loop.
-template <class WT>
-void run_batched(const KernelLaunch& L, int64_t lo, int64_t hi, WT width) {
-  const int W = width;
+// Broadcasts the iteration-invariant registers (each register has a single
+// writer): free scalars and constants, once per register file.
+void init_invariant(const KernelLaunch& L, double* r, int W) {
   const Kernel& k = *L.k;
-  std::vector<double> regs(static_cast<size_t>(k.num_regs) * static_cast<size_t>(W), 0.0);
-  double* r = regs.data();
-  // Iteration-invariant registers (each register has a single writer): free
-  // scalars and constants broadcast once, outside the batch loop.
   for (size_t i = 0; i < k.free_scalar_regs.size(); ++i) {
     for (int l = 0; l < W; ++l) r[k.free_scalar_regs[i] * W + l] = L.free_scalar_vals[i];
   }
@@ -276,8 +388,36 @@ void run_batched(const KernelLaunch& L, int64_t lo, int64_t hi, WT width) {
       for (int l = 0; l < W; ++l) r[in.dst * W + l] = in.imm;
     }
   }
-  for (int64_t base = lo; base < hi; base += W) {
-    for (const auto& in : k.instrs) {
+}
+
+// Executes full batches of W iterations of the instruction range [ib, ie)
+// over a structure-of-arrays register file `r` prepared by init_invariant:
+// register x's lane l lives at r[x*W + l]. The per-instruction dispatch runs
+// once per batch; each case loops over the W lanes, so the switch cost is
+// amortized W-fold and the lane loops are trivially vectorizable. `WT` is
+// either std::integral_constant<int, W> (compile-time trip counts for the
+// common widths) or plain int (any width). Register state persists across
+// calls — reduction drivers seed accumulator/element registers between
+// spans and re-enter the fold subprogram standalone.
+//
+// Lane layout (`lane_stride`):
+//  - 1 (maps, scans): lane l of a batch handles element base + l; batches
+//    advance by W; requires (hi - lo) % W == 0 (the caller runs a scalar
+//    tail loop); LoadElem/StoreOut are contiguous strips.
+//  - blk (reductions): lane l handles element base + l*blk; batches advance
+//    by 1 over [lo, lo + blk), so lane l folds the *contiguous* block
+//    [lo + l*blk, lo + (l+1)*blk). Combining lane partials in lane order
+//    then preserves element order — the fold operator only needs to be
+//    associative (the reduce contract), never commutative.
+template <class WT>
+void exec_span(const KernelLaunch& L, double* r, int64_t lo, int64_t hi, size_t ib, size_t ie,
+               WT width, int64_t lane_stride = 1) {
+  const int W = width;
+  const Kernel& k = *L.k;
+  const int64_t advance = lane_stride == 1 ? W : 1;
+  for (int64_t base = lo; base < hi; base += advance) {
+    for (size_t ii = ib; ii < ie; ++ii) {
+      const KInstr& in = k.instrs[ii];
       double* d = r + static_cast<int64_t>(in.dst) * W;
       const double* a = in.a >= 0 ? r + static_cast<int64_t>(in.a) * W : nullptr;
       const double* b = in.b >= 0 ? r + static_cast<int64_t>(in.b) * W : nullptr;
@@ -336,11 +476,18 @@ void run_batched(const KernelLaunch& L, int64_t lo, int64_t hi, WT width) {
           break;
         case KOp::LoadElem: {
           const ArrayVal& arr = L.inputs[static_cast<size_t>(in.slot)];
-          if (arr.elem == ScalarType::F64) {  // contiguous strip
+          if (lane_stride == 1 && arr.elem == ScalarType::F64) {  // contiguous strip
             const double* src = arr.buf->f64() + arr.offset + base;
             for (int l = 0; l < W; ++l) d[l] = src[l];
-          } else {
+          } else if (lane_stride == 1) {
             for (int l = 0; l < W; ++l) d[l] = arr.get_f64(base + l);
+          } else if (arr.elem == ScalarType::F64) {  // one stream per lane
+            const double* src = arr.buf->f64() + arr.offset + base;
+            for (int l = 0; l < W; ++l) d[l] = src[static_cast<int64_t>(l) * lane_stride];
+          } else {
+            for (int l = 0; l < W; ++l) {
+              d[l] = arr.get_f64(base + static_cast<int64_t>(l) * lane_stride);
+            }
           }
           break;
         }
@@ -397,6 +544,37 @@ std::optional<Kernel> compile_kernel(const ir::Lambda& f) {
   return KernelBuilder(f).build();
 }
 
+std::optional<Kernel> compile_reduce_kernel(const ir::Lambda& op, const ir::Lambda* pre,
+                                            bool scan) {
+  return KernelBuilder(op).build_reduce(pre, scan);
+}
+
+namespace {
+
+// Allocates + prepares a register file and runs the whole program over
+// [lo, hi) in W-wide batches (the map-kernel driver body).
+template <class WT>
+void run_batched(const KernelLaunch& L, int64_t lo, int64_t hi, WT width) {
+  const int W = width;
+  std::vector<double> regs(static_cast<size_t>(L.k->num_regs) * static_cast<size_t>(W), 0.0);
+  init_invariant(L, regs.data(), W);
+  exec_span(L, regs.data(), lo, hi, 0, L.k->instrs.size(), width);
+}
+
+// acc = op(acc, other) on a prepared scalar register file: seed the
+// accumulator and element registers, run the fold subprogram once.
+void combine_on(const KernelLaunch& L, double* r1, double* acc, const double* other) {
+  const Kernel& k = *L.k;
+  for (size_t j = 0; j < k.reds.size(); ++j) {
+    r1[k.reds[j].acc_reg] = acc[j];
+    r1[k.reds[j].elem_reg] = other[j];
+  }
+  exec_span(L, r1, 0, 1, k.fold_begin, k.fold_end, std::integral_constant<int, 1>{});
+  for (size_t j = 0; j < k.reds.size(); ++j) acc[j] = r1[k.reds[j].acc_reg];
+}
+
+} // namespace
+
 void KernelLaunch::run(int64_t lo, int64_t hi) const {
   const int W = lanes;
   if (W > 1 && hi - lo >= W) {
@@ -415,6 +593,94 @@ void KernelLaunch::run(int64_t lo, int64_t hi) const {
   // compile-time lane count of one — a single opcode switch serves both, so
   // the two paths cannot diverge.
   if (lo < hi) run_batched(*this, lo, hi, std::integral_constant<int, 1>{});
+}
+
+void KernelLaunch::run_reduce(int64_t lo, int64_t hi, double* partials) const {
+  const Kernel& kk = *k;
+  const size_t nred = kk.reds.size();
+  const size_t iend = kk.instrs.size();
+  // Scalar register file reused for the lane combines and the tail loop.
+  std::vector<double> r1(static_cast<size_t>(kk.num_regs), 0.0);
+  init_invariant(*this, r1.data(), 1);
+
+  int64_t cur = lo;
+  const int W = lanes;
+  if (W > 1 && hi - lo >= W) {
+    if (batched_spans != nullptr) batched_spans->fetch_add(1, std::memory_order_relaxed);
+    std::vector<double> regs(static_cast<size_t>(kk.num_regs) * static_cast<size_t>(W), 0.0);
+    init_invariant(*this, regs.data(), W);
+    // Every lane starts at the neutral element and folds one contiguous
+    // block of blk elements (lane_stride mode of exec_span); the caller's
+    // carry-in plus the lane partials are then combined in block order
+    // through the fold subprogram, so element order is preserved and the
+    // fold only needs to be associative. Block boundaries still reorder
+    // float-add *grouping* relative to a single sequential fold
+    // (runtime/README.md caveat).
+    for (size_t j = 0; j < nred; ++j) {
+      for (int l = 0; l < W; ++l) regs[kk.reds[j].acc_reg * W + l] = red_neutral[j];
+    }
+    const int64_t blk = (hi - cur) / W;
+    switch (W) {
+      case 4: exec_span(*this, regs.data(), cur, cur + blk, 0, iend, std::integral_constant<int, 4>{}, blk); break;
+      case 8: exec_span(*this, regs.data(), cur, cur + blk, 0, iend, std::integral_constant<int, 8>{}, blk); break;
+      case 16: exec_span(*this, regs.data(), cur, cur + blk, 0, iend, std::integral_constant<int, 16>{}, blk); break;
+      default: exec_span(*this, regs.data(), cur, cur + blk, 0, iend, W, blk); break;
+    }
+    cur += blk * W;
+    std::vector<double> lane(nred);
+    for (int l = 0; l < W; ++l) {
+      for (size_t j = 0; j < nred; ++j) lane[j] = regs[kk.reds[j].acc_reg * W + l];
+      combine_on(*this, r1.data(), partials, lane.data());
+    }
+  }
+  if (cur < hi) {
+    // Scalar tail: continue the running partial through the full program.
+    for (size_t j = 0; j < nred; ++j) r1[kk.reds[j].acc_reg] = partials[j];
+    exec_span(*this, r1.data(), cur, hi, 0, iend, std::integral_constant<int, 1>{});
+    for (size_t j = 0; j < nred; ++j) partials[j] = r1[kk.reds[j].acc_reg];
+  }
+}
+
+void KernelLaunch::run_scan_chunk(int64_t lo, int64_t hi, double* carry) const {
+  const Kernel& kk = *k;
+  std::vector<double> r1(static_cast<size_t>(kk.num_regs), 0.0);
+  init_invariant(*this, r1.data(), 1);
+  // Scans are order-dependent: always the scalar engine, elements in order.
+  for (size_t j = 0; j < kk.reds.size(); ++j) r1[kk.reds[j].acc_reg] = carry[j];
+  if (lo < hi) {
+    exec_span(*this, r1.data(), lo, hi, 0, kk.instrs.size(), std::integral_constant<int, 1>{});
+  }
+  for (size_t j = 0; j < kk.reds.size(); ++j) carry[j] = r1[kk.reds[j].acc_reg];
+}
+
+void KernelLaunch::scan_rescale(int64_t lo, int64_t hi, const double* prefix) const {
+  const Kernel& kk = *k;
+  const size_t nred = kk.reds.size();
+  std::vector<double> r1(static_cast<size_t>(kk.num_regs), 0.0);
+  init_invariant(*this, r1.data(), 1);
+  for (int64_t i = lo; i < hi; ++i) {
+    for (size_t j = 0; j < nred; ++j) {
+      r1[kk.reds[j].acc_reg] = prefix[j];
+      r1[kk.reds[j].elem_reg] = outputs[j].get_f64(i);
+    }
+    exec_span(*this, r1.data(), 0, 1, kk.fold_begin, kk.fold_end,
+              std::integral_constant<int, 1>{});
+    for (size_t j = 0; j < nred; ++j) {
+      auto& o = const_cast<ArrayVal&>(outputs[j]);
+      const double v = r1[kk.reds[j].acc_reg];
+      switch (o.elem) {
+        case ScalarType::F64: o.set_f64(i, v); break;
+        case ScalarType::I64: o.set_i64(i, static_cast<int64_t>(v)); break;
+        case ScalarType::Bool: o.set_b8(i, v != 0.0); break;
+      }
+    }
+  }
+}
+
+void KernelLaunch::combine_partials(double* acc, const double* other) const {
+  std::vector<double> r1(static_cast<size_t>(k->num_regs), 0.0);
+  init_invariant(*this, r1.data(), 1);
+  combine_on(*this, r1.data(), acc, other);
 }
 
 } // namespace npad::rt

@@ -1,6 +1,7 @@
 #pragma once
 
-// The kernel compiler: lowers a scalar map-lambda to a small register-machine
+// The kernel compiler: lowers a scalar map-lambda — or a reduce/scan fold
+// operator plus optional redomap pre-lambda — to a small register-machine
 // program executed in a tight loop over the iteration space. This is the
 // CPU stand-in for the paper's GPU code generation — scalar intermediates
 // live in (virtual) registers rather than being fetched from a tape in
@@ -10,6 +11,12 @@
 // (or threaded accumulators) and its body consists only of scalar operations,
 // full indexing into free arrays, and upd_acc side effects. Everything else
 // falls back to the general interpreter.
+//
+// Reduction kernels (compile_reduce_kernel) additionally hold *reduction
+// registers*: per fold result, an accumulator register (a per-lane partial
+// in the batched engine) and an element register fed either by LoadElem or
+// by the redomap pre-lambda compiled into the same program — fused reduce
+// runs load→map→fold in one batched loop with no intermediate array.
 
 #include <atomic>
 #include <optional>
@@ -49,6 +56,20 @@ struct Kernel {
     int32_t param_index = -1;
   };
 
+  // Reduction register pair (reduce/scan kernels; empty for map kernels).
+  // acc_reg carries the running accumulator — one partial per lane in the
+  // SoA register file — and elem_reg carries the iteration's element (a
+  // LoadElem destination, or a fresh register the redomap pre-lambda's
+  // result is moved into). Both are guaranteed single-purpose registers, so
+  // the fold subprogram [fold_begin, fold_end) can be executed standalone
+  // by seeding them directly: that is how lane partials are combined at
+  // span end, chunk partials are merged, and blocked-scan prefixes are
+  // applied (phase 3) without re-touching the inputs.
+  struct RedSlot {
+    int32_t acc_reg = -1;
+    int32_t elem_reg = -1;
+  };
+
   std::vector<KInstr> instrs;
   int num_regs = 0;
   std::vector<ir::Var> free_scalars;     // resolved to registers at launch
@@ -59,10 +80,21 @@ struct Kernel {
   std::vector<int32_t> ret_acc_slot;     // per lambda result: acc slot or -1
   std::vector<ScalarType> out_elems;     // one per scalar output
   size_t num_inputs = 0;                 // element-wise inputs (non-acc args)
+  std::vector<RedSlot> reds;             // reduction registers (fold results)
+  size_t fold_begin = 0, fold_end = 0;   // fold-body subprogram bounds
 };
 
 // Attempts to compile `f` applied element-wise over non-acc `args`.
 std::optional<Kernel> compile_kernel(const ir::Lambda& f);
+
+// Attempts to compile the fold operator `op` (2k scalar params → k scalar
+// results; no accumulators) plus the optional redomap pre-lambda `pre`
+// (scalar params matching the launch inputs, k scalar results feeding the
+// fold) into a reduction kernel. With `scan` set, the program additionally
+// stores each iteration's updated accumulator to the outputs — the
+// sequential blocked-scan phase-1 program.
+std::optional<Kernel> compile_reduce_kernel(const ir::Lambda& op, const ir::Lambda* pre,
+                                            bool scan);
 
 // Bound kernel ready to run: free variables resolved against an environment.
 // `k` points either into the process-wide kernel cache (immortal entries,
@@ -92,9 +124,32 @@ struct KernelLaunch {
   // InterpStats::batched_launches (a span split too finely by the scheduler
   // runs scalar and is not counted).
   std::atomic<uint64_t>* batched_spans = nullptr;
+  // Reduction kernels: the fold's neutral element per reduction slot, used
+  // to seed the per-lane partial accumulators.
+  std::vector<double> red_neutral;
 
-  // Executes iterations [lo, hi).
+  // Executes iterations [lo, hi) (map kernels).
   void run(int64_t lo, int64_t hi) const;
+
+  // Reduction kernels: folds elements [lo, hi) into `partials` (seeded by
+  // the caller, normally with the neutral element). Lane widths > 1 give
+  // each lane one contiguous block of the span, accumulate per-lane
+  // partials in the SoA register file, and combine them in block order
+  // through the fold subprogram at span end — element order is preserved
+  // (associative folds suffice) but float-add grouping changes relative to
+  // a sequential fold (see runtime/README.md).
+  void run_reduce(int64_t lo, int64_t hi, double* partials) const;
+
+  // Scan kernels: sequentially scans [lo, hi), writing each updated
+  // accumulator to the outputs; `carry` is the running accumulator in/out.
+  void run_scan_chunk(int64_t lo, int64_t hi, double* carry) const;
+
+  // Scan kernels, blocked-scan phase 3: outputs[i] = op(prefix, outputs[i])
+  // for i in [lo, hi), via the fold subprogram.
+  void scan_rescale(int64_t lo, int64_t hi, const double* prefix) const;
+
+  // acc = op(acc, other) via the fold subprogram (chunk-partial merges).
+  void combine_partials(double* acc, const double* other) const;
 };
 
 } // namespace npad::rt

@@ -13,7 +13,7 @@ KernelCache& KernelCache::global() {
 
 size_t KernelCache::size() const {
   std::shared_lock lk(mu_);
-  return by_sig_.size();
+  return by_sig_.size() + by_sig_red_.size();
 }
 
 const Kernel* KernelCache::get(const ir::LambdaPtr& f, bool* was_hit) {
@@ -66,11 +66,79 @@ const Kernel* KernelCache::get(const ir::LambdaPtr& f, bool* was_hit) {
       return k;
     }
   }
-  auto it = by_sig_.emplace(h, Entry{std::move(sig), f, std::move(compiled)});
+  auto it = by_sig_.emplace(h, Entry{std::move(sig), f, nullptr, std::move(compiled)});
   const Kernel* k = kernel_of(it->second);
   by_ptr_.emplace(f.get(), k);
   if (was_hit) *was_hit = false;
   return k;
+}
+
+const Kernel* KernelCache::get_reduce(const ir::LambdaPtr& op, const ir::LambdaPtr& pre,
+                                      bool scan, bool* was_hit) {
+  const RedKey key{op.get(), pre.get(), scan};
+  {
+    std::shared_lock lk(mu_);
+    auto it = by_ptr_red_.find(key);
+    if (it != by_ptr_red_.end()) {
+      if (was_hit) *was_hit = true;
+      return it->second;
+    }
+  }
+
+  // Structural signature: form marker, fold op, then the pre-lambda when
+  // present (an absent pre is distinguished by the marker payload).
+  std::vector<uint64_t> sig;
+  sig.push_back(scan ? 0x7B00000000000000ull : 0x7A00000000000000ull);
+  ir::detail::SigBuilder b(sig);
+  b.lambda(*op);
+  sig.push_back(pre != nullptr);
+  if (pre) b.lambda(*pre);
+  const uint64_t h = ir::structural_hash(sig);
+
+  auto lookup_sig = [&]() -> std::optional<const Kernel*> {
+    auto [lo, hi] = by_sig_red_.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second.sig == sig) return kernel_of(it->second);
+    }
+    return std::nullopt;
+  };
+  {
+    std::unique_lock lk(mu_);
+    auto pit = by_ptr_red_.find(key);  // raced with another thread?
+    if (pit != by_ptr_red_.end()) {
+      if (was_hit) *was_hit = true;
+      return pit->second;
+    }
+    if (auto found = lookup_sig()) {
+      by_ptr_red_.emplace(key, *found);
+      pinned_.push_back(op);
+      if (pre) pinned_.push_back(pre);
+      if (was_hit) *was_hit = true;  // compilation was skipped
+      return *found;
+    }
+  }
+
+  // Compile outside the lock; on a race the first insert wins.
+  auto compiled = std::make_unique<const std::optional<Kernel>>(
+      compile_reduce_kernel(*op, pre.get(), scan));
+  std::unique_lock lk(mu_);
+  auto pit = by_ptr_red_.find(key);
+  if (pit != by_ptr_red_.end()) {
+    if (was_hit) *was_hit = true;
+    return pit->second;
+  }
+  if (auto found = lookup_sig()) {
+    by_ptr_red_.emplace(key, *found);
+    pinned_.push_back(op);
+    if (pre) pinned_.push_back(pre);
+    if (was_hit) *was_hit = true;
+    return *found;
+  }
+  auto it = by_sig_red_.emplace(h, Entry{std::move(sig), op, pre, std::move(compiled)});
+  const Kernel* kn = kernel_of(it->second);
+  by_ptr_red_.emplace(key, kn);
+  if (was_hit) *was_hit = false;
+  return kn;
 }
 
 } // namespace npad::rt

@@ -36,6 +36,15 @@ public:
   // whether compilation/analysis was skipped.
   const Kernel* get(const ir::LambdaPtr& f, bool* was_hit = nullptr);
 
+  // Reduction kernels: the cached kernel for fold operator `op` plus the
+  // optional redomap pre-lambda `pre` (may be null), in reduce or scan
+  // (`scan`) form. Keys combine both lambdas and the form — the same fold
+  // op compiles separately as reduce and as scan — with the same two-level
+  // pointer/structural lookup and the same immortal-entry policy as map
+  // kernels.
+  const Kernel* get_reduce(const ir::LambdaPtr& op, const ir::LambdaPtr& pre, bool scan,
+                           bool* was_hit = nullptr);
+
   // Number of distinct (structural) entries; for tests and diagnostics.
   size_t size() const;
 
@@ -43,7 +52,23 @@ private:
   struct Entry {
     std::vector<uint64_t> sig;
     ir::LambdaPtr lam;  // pinned: keeps pointer keys unambiguous
+    ir::LambdaPtr pre;  // pinned too for reduction entries (may be null)
     std::unique_ptr<const std::optional<Kernel>> kern;
+  };
+
+  // Pointer-identity key for reduction entries.
+  struct RedKey {
+    const ir::Lambda* op = nullptr;
+    const ir::Lambda* pre = nullptr;
+    bool scan = false;
+    bool operator==(const RedKey&) const = default;
+  };
+  struct RedKeyHash {
+    size_t operator()(const RedKey& k) const noexcept {
+      size_t h = std::hash<const void*>{}(k.op);
+      h ^= std::hash<const void*>{}(k.pre) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return h ^ (k.scan ? 0x85ebca6bu : 0u);
+    }
   };
 
   const Kernel* kernel_of(const Entry& e) const {
@@ -57,6 +82,10 @@ private:
   // for non-kernelizable lambdas.
   std::unordered_map<const ir::Lambda*, const Kernel*> by_ptr_;
   std::vector<ir::LambdaPtr> pinned_;  // aliases resolved via the sig path
+  // Reduction entries (separate namespace: a lambda's map kernel and fold
+  // kernel are different programs).
+  std::unordered_multimap<uint64_t, Entry> by_sig_red_;
+  std::unordered_map<RedKey, const Kernel*, RedKeyHash> by_ptr_red_;
 };
 
 } // namespace npad::rt

@@ -83,8 +83,14 @@ private:
                      pop_activation();
                    },
                    [&](const OpMap& o) { lambda(*o.f); },
-                   [&](const OpReduce& o) { lambda(*o.op); },
-                   [&](const OpScan& o) { lambda(*o.op); },
+                   [&](const OpReduce& o) {
+                     lambda(*o.op);
+                     if (o.pre) lambda(*o.pre);
+                   },
+                   [&](const OpScan& o) {
+                     lambda(*o.op);
+                     if (o.pre) lambda(*o.pre);
+                   },
                    [&](const OpHist& o) { lambda(*o.op); },
                    [&](const OpWithAcc& o) { lambda(*o.f); },
                    [&](const auto&) {},

@@ -9,6 +9,7 @@
 
 #include "ir/builder.hpp"
 #include "ir/typecheck.hpp"
+#include "opt/fuse.hpp"
 #include "runtime/interp.hpp"
 #include "support/rng.hpp"
 
@@ -287,5 +288,303 @@ TEST_P(ParallelAgree, ReduceAndScan) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, ParallelAgree,
                          ::testing::Values<int64_t>(0, 1, 7, 63, 64, 65, 1000, 4096));
+
+// ------------------------------------------- reduce/scan kernel conformance
+//
+// The compiled reduction path must agree with the general interpreter across
+// {fused, unfused} x {lanes 1, 8} x {empty, tail-sized, large} extents. The
+// fold bodies are deliberately not single recognized binops, so the old
+// hand-rolled fast path cannot mask the kernel — but they must still be
+// associative (the reduce/scan contract): lane partials and chunk partials
+// recombine through the fold body itself, exactly like the existing chunked
+// general path. Non-associative element work belongs in the redomap
+// pre-lambda, where the fused cases put it. Lane partials reorder float
+// adds, so agreement is to tolerance, not bitwise.
+
+// Addition written as two statements — associative, kernelizable, and not
+// recognize_binop, so it exercises the register machine, not the hand loop.
+LambdaPtr slow_add_op(Builder& b) {
+  return b.lam({f64(), f64()}, [](Builder& c, const std::vector<Var>& p) {
+    Var t = c.add(p[0], p[1]);
+    return std::vector<Atom>{Atom(c.mul(t, cf64(1.0)))};
+  });
+}
+
+Prog redomap_prog(bool with_map) {
+  ProgBuilder pb("rk");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  auto affine = [&](Builder& c) {
+    return c.lam({f64()}, [](Builder& cc, const std::vector<Var>& p) {
+      Var t = cc.mul(p[0], cf64(1.3));
+      return std::vector<Atom>{Atom(cc.add(t, cf64(0.2)))};
+    });
+  };
+  // Separate producers for the reduce and the scan: a producer with two
+  // consumers is (correctly) not fusable.
+  Var rin = xs, sin = xs;
+  if (with_map) {
+    rin = b.map1(affine(b), {xs});
+    sin = b.map1(affine(b), {xs});
+  }
+  Var r = b.reduce1(slow_add_op(b), cf64(0.0), {rin});
+  Var sc = b.scan1(slow_add_op(b), cf64(0.0), {sin});
+  Prog p = pb.finish({Atom(r), Atom(sc)});
+  typecheck(p);
+  return p;
+}
+
+struct RedomapCase {
+  bool fused;
+  int lanes;
+  int64_t n;
+};
+
+class RedomapConformance : public ::testing::TestWithParam<RedomapCase> {};
+
+TEST_P(RedomapConformance, KernelMatchesGeneral) {
+  const auto [fused, lanes, n] = GetParam();
+  support::Rng rng(static_cast<uint64_t>(n) * 7 + (fused ? 1 : 0));
+  Prog p = redomap_prog(/*with_map=*/true);
+  Prog run = p;
+  if (fused) {
+    opt::FuseStats fs;
+    run = opt::fuse_maps(p, &fs);
+    typecheck(run);
+    ASSERT_EQ(fs.fused_redomaps, 2);  // the producer folds into reduce AND scan
+  }
+  std::vector<Value> args = {
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -1.0, 1.0), {n})};
+  rt::Interp slow({.parallel = false, .use_kernels = false});
+  auto ref = slow.run(p, args);
+  rt::Interp fast({.parallel = false, .use_kernels = true, .kernel_lanes = lanes});
+  auto got = fast.run(run, args);
+  EXPECT_EQ(fast.stats().kernel_reduces.load(), 1u);
+  EXPECT_EQ(fast.stats().kernel_scans.load(), 1u);
+  EXPECT_EQ(fast.stats().general_reduces.load(), 0u);
+  EXPECT_EQ(fast.stats().general_scans.load(), 0u);
+  if (fused) {
+    EXPECT_EQ(fast.stats().fused_reduces.load(), 1u);
+    EXPECT_EQ(fast.stats().fused_scans.load(), 1u);
+    // The mapped intermediate is gone: no launch requests a pooled buffer
+    // for it. Only the scan's own output buffer remains.
+    EXPECT_LE(fast.stats().pool_hits.load() + fast.stats().pool_misses.load(), 1u);
+  }
+  const double tol = 1e-12 * std::max<double>(1, static_cast<double>(n));
+  EXPECT_NEAR(rt::as_f64(got[0]), rt::as_f64(ref[0]), tol);
+  auto sref = rt::to_f64_vec(rt::as_array(ref[1]));
+  auto sgot = rt::to_f64_vec(rt::as_array(got[1]));
+  ASSERT_EQ(sgot.size(), sref.size());
+  for (size_t i = 0; i < sgot.size(); ++i) EXPECT_NEAR(sgot[i], sref[i], tol) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RedomapConformance,
+    ::testing::Values(RedomapCase{false, 1, 0}, RedomapCase{false, 1, 5},
+                      RedomapCase{false, 1, 5000}, RedomapCase{false, 8, 0},
+                      RedomapCase{false, 8, 5}, RedomapCase{false, 8, 67},
+                      RedomapCase{false, 8, 5000}, RedomapCase{true, 1, 0},
+                      RedomapCase{true, 1, 5}, RedomapCase{true, 1, 5000},
+                      RedomapCase{true, 8, 0}, RedomapCase{true, 8, 5},
+                      RedomapCase{true, 8, 67}, RedomapCase{true, 8, 5000}));
+
+TEST(RedomapConformance, ParallelChunkedReduceAgrees) {
+  // Chunked kernel reduces tree-merge their partials through the fold
+  // subprogram; sequential and parallel execution must agree to tolerance.
+  support::Rng rng(91);
+  Prog p = redomap_prog(/*with_map=*/true);
+  opt::FuseStats fs;
+  Prog q = opt::fuse_maps(p, &fs);
+  const int64_t n = 50000;
+  std::vector<Value> args = {
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -1.0, 1.0), {n})};
+  rt::Interp par({.parallel = true, .use_kernels = true, .grain = 512});
+  rt::Interp seq({.parallel = false, .use_kernels = true, .grain = 512});
+  auto r1 = par.run(q, args);
+  auto r2 = seq.run(q, args);
+  EXPECT_NEAR(rt::as_f64(r1[0]), rt::as_f64(r2[0]), 1e-9);
+  auto s1 = rt::to_f64_vec(rt::as_array(r1[1]));
+  auto s2 = rt::to_f64_vec(rt::as_array(r2[1]));
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) EXPECT_NEAR(s1[i], s2[i], 1e-9) << i;
+}
+
+TEST(RedomapConformance, TwoInputDotProductFuses) {
+  // reduce(custom fold, map2(*, xs, ys)): the fused pre-lambda keeps both
+  // element inputs.
+  ProgBuilder pb("dot");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var ys = pb.param("ys", arr_f64(1));
+  Builder& b = pb.body();
+  Var prods = b.map(b.lam({f64(), f64()},
+                          [](Builder& c, const std::vector<Var>& p) {
+                            return std::vector<Atom>{Atom(c.mul(p[0], p[1]))};
+                          }),
+                    {xs, ys})[0];
+  Var r = b.reduce1(slow_add_op(b), cf64(0.0), {prods});
+  Prog p = pb.finish({Atom(r)});
+  typecheck(p);
+  opt::FuseStats fs;
+  Prog q = opt::fuse_maps(p, &fs);
+  typecheck(q);
+  EXPECT_EQ(fs.fused_redomaps, 1);
+  support::Rng rng(17);
+  const int64_t n = 999;
+  std::vector<Value> args = {
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -1.0, 1.0), {n}),
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -1.0, 1.0), {n})};
+  rt::Interp slow({.parallel = false, .use_kernels = false});
+  rt::Interp fast({.parallel = false, .use_kernels = true, .kernel_lanes = 8});
+  EXPECT_NEAR(rt::as_f64(fast.run(q, args)[0]), rt::as_f64(slow.run(p, args)[0]), 1e-10);
+  EXPECT_EQ(fast.stats().kernel_reduces.load(), 1u);
+  EXPECT_EQ(fast.stats().fused_reduces.load(), 1u);
+}
+
+TEST(RedomapConformance, LogSumExpFoldKernelizes) {
+  // log-sum-exp pieces: an associative multi-instruction fold —
+  // op(a, b) = max(a,b) + log(exp(a-max) + exp(b-max)) — with neutral
+  // -inf-ish. Exactly the fold shape the GMM tables lean on.
+  ProgBuilder pb("lse");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  LambdaPtr lse = b.lam({f64(), f64()}, [](Builder& c, const std::vector<Var>& p) {
+    Var m = c.max(p[0], p[1]);
+    Var ea = c.exp(Atom(c.sub(p[0], m)));
+    Var eb = c.exp(Atom(c.sub(p[1], m)));
+    Var r = c.add(m, Atom(c.log(Atom(c.add(ea, eb)))));
+    return std::vector<Atom>{Atom(r)};
+  });
+  Var r = b.reduce1(std::move(lse), cf64(-1e300), {xs});
+  Prog p = pb.finish({Atom(r)});
+  typecheck(p);
+  support::Rng rng(3);
+  const int64_t n = 1777;
+  std::vector<Value> args = {
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -3.0, 3.0), {n})};
+  rt::Interp slow({.parallel = false, .use_kernels = false});
+  const double ref = rt::as_f64(slow.run(p, args)[0]);
+  for (int lanes : {1, 8}) {
+    rt::Interp fast({.parallel = false, .use_kernels = true, .kernel_lanes = lanes});
+    EXPECT_NEAR(rt::as_f64(fast.run(p, args)[0]), ref, 1e-10) << "W=" << lanes;
+    EXPECT_EQ(fast.stats().kernel_reduces.load(), 1u) << "W=" << lanes;
+  }
+}
+
+TEST(RedomapConformance, NonCommutativeAssociativeFoldPreservesOrder) {
+  // Linear-recurrence fold op((a1,b1),(a2,b2)) = (a1*a2, b1*a2 + b2):
+  // associative (affine-map composition) but NOT commutative, neutral
+  // (1, 0). Lanes and chunks are contiguous blocks combined in order, so
+  // the multi-result kernel must match the sequential general fold — a
+  // strided lane decomposition (which silently requires commutativity)
+  // would diverge structurally, not just by rounding.
+  ProgBuilder pb("linrec");
+  Var as = pb.param("as", arr_f64(1));
+  Var bs = pb.param("bs", arr_f64(1));
+  Builder& b = pb.body();
+  LambdaPtr op = b.lam({f64(), f64(), f64(), f64()},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         Var a = c.mul(p[0], p[2]);
+                         Var t = c.mul(p[1], p[2]);
+                         Var bb = c.add(t, p[3]);
+                         return std::vector<Atom>{Atom(a), Atom(bb)};
+                       });
+  auto rs = b.reduce(std::move(op), {cf64(1.0), cf64(0.0)}, {as, bs});
+  Prog p = pb.finish({Atom(rs[0]), Atom(rs[1])});
+  typecheck(p);
+  support::Rng rng(7);
+  for (int64_t n : {int64_t{0}, int64_t{9}, int64_t{4000}}) {
+    // Multipliers near 1 keep the product well-conditioned.
+    std::vector<double> av = rng.uniform_vec(static_cast<size_t>(n), 0.999, 1.001);
+    std::vector<double> bv = rng.uniform_vec(static_cast<size_t>(n), -0.01, 0.01);
+    std::vector<Value> args = {rt::make_f64_array(av, {n}), rt::make_f64_array(bv, {n})};
+    rt::Interp slow({.parallel = false, .use_kernels = false});
+    auto ref = slow.run(p, args);
+    for (int lanes : {1, 8}) {
+      rt::Interp fast({.parallel = false, .use_kernels = true, .kernel_lanes = lanes});
+      auto got = fast.run(p, args);
+      EXPECT_EQ(fast.stats().kernel_reduces.load(), 1u) << "n=" << n << " W=" << lanes;
+      EXPECT_NEAR(rt::as_f64(got[0]), rt::as_f64(ref[0]), 1e-10) << "n=" << n << " W=" << lanes;
+      EXPECT_NEAR(rt::as_f64(got[1]), rt::as_f64(ref[1]), 1e-10) << "n=" << n << " W=" << lanes;
+    }
+    // Parallel chunked execution must preserve order too.
+    rt::Interp par({.parallel = true, .use_kernels = true, .grain = 256});
+    auto gpar = par.run(p, args);
+    EXPECT_NEAR(rt::as_f64(gpar[0]), rt::as_f64(ref[0]), 1e-10) << "n=" << n;
+    EXPECT_NEAR(rt::as_f64(gpar[1]), rt::as_f64(ref[1]), 1e-10) << "n=" << n;
+  }
+}
+
+TEST(RedomapConformance, TinyGrainBlockedScanEmptyTrailingChunk) {
+  // Regression: with a tiny grain the blocked scan can produce empty
+  // trailing chunks (lo == n); the phase-1 loop must not touch in[n].
+  support::Rng rng(13);
+  const int64_t n = 10;
+  ProgBuilder pb("tg");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var sc = b.scan1(b.add_op(), cf64(0.0), {xs});
+  Prog p = pb.finish({Atom(sc)});
+  typecheck(p);
+  std::vector<Value> args = {
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -1.0, 1.0), {n})};
+  rt::Interp par({.parallel = true, .use_kernels = true, .grain = 1});
+  rt::Interp seq({.parallel = false, .use_kernels = true, .grain = 1});
+  auto s1 = rt::to_f64_vec(rt::as_array(par.run(p, args)[0]));
+  auto s2 = rt::to_f64_vec(rt::as_array(seq.run(p, args)[0]));
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) EXPECT_NEAR(s1[i], s2[i], 1e-12) << i;
+}
+
+TEST(RedomapConformance, EmptyRank2ScanKeepsInnerExtent) {
+  // Regression: a general scan over an empty rank-2 array must keep the
+  // argument's inner extent in its (empty) result shape.
+  ProgBuilder pb("e2");
+  Var xs = pb.param("xs", arr_f64(2));
+  Builder& b = pb.body();
+  LambdaPtr op = b.lam({arr_f64(1), arr_f64(1)},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         Var r = c.map(c.lam({f64(), f64()},
+                                             [](Builder& cc, const std::vector<Var>& q) {
+                                               return std::vector<Atom>{
+                                                   Atom(cc.add(q[0], q[1]))};
+                                             }),
+                                       {p[0], p[1]})[0];
+                         return std::vector<Atom>{Atom(r)};
+                       });
+  Var ne = b.replicate(ci64(3), cf64(0.0));
+  Var sc = b.scan(std::move(op), {Atom(ne)}, {xs})[0];
+  Prog p = pb.finish({Atom(sc)});
+  typecheck(p);
+  std::vector<Value> args = {rt::ArrayVal::alloc(ScalarType::F64, {0, 3})};
+  auto r = rt::run_prog(p, args, {.parallel = false});
+  const auto& a = rt::as_array(r[0]);
+  ASSERT_EQ(a.rank(), 2);
+  EXPECT_EQ(a.shape[0], 0);
+  EXPECT_EQ(a.shape[1], 3);
+}
+
+TEST(RedomapConformance, GeneralFallbackHandlesRedomap) {
+  // With kernels disabled the general interpreter must still execute the
+  // redomap form (pre applied per element before the fold).
+  support::Rng rng(5);
+  Prog p = redomap_prog(/*with_map=*/true);
+  opt::FuseStats fs;
+  Prog q = opt::fuse_maps(p, &fs);
+  ASSERT_GE(fs.fused_redomaps, 1);
+  const int64_t n = 333;
+  std::vector<Value> args = {
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -1.0, 1.0), {n})};
+  rt::Interp slow({.parallel = false, .use_kernels = false});
+  auto ref = slow.run(p, args);
+  rt::Interp gen({.parallel = false, .use_kernels = false});
+  auto got = gen.run(q, args);
+  EXPECT_EQ(gen.stats().general_reduces.load(), 1u);
+  EXPECT_EQ(gen.stats().general_scans.load(), 1u);
+  EXPECT_NEAR(rt::as_f64(got[0]), rt::as_f64(ref[0]), 1e-12);
+  auto sref = rt::to_f64_vec(rt::as_array(ref[1]));
+  auto sgot = rt::to_f64_vec(rt::as_array(got[1]));
+  ASSERT_EQ(sgot.size(), sref.size());
+  for (size_t i = 0; i < sgot.size(); ++i) EXPECT_NEAR(sgot[i], sref[i], 1e-12) << i;
+}
 
 } // namespace

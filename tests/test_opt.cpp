@@ -479,6 +479,203 @@ TEST(Fusion, VjpAdjointChainFuses) {
   for (size_t i = 0; i < r1.size(); ++i) EXPECT_NEAR(r1[i], r2[i], 1e-14);
 }
 
+// ------------------------------------------------------ redomap fusion ----
+
+size_t count_redomaps(const Body& b);
+size_t count_redomaps_exp(const Exp& e) {
+  size_t n = 0;
+  if (const auto* r = std::get_if<OpReduce>(&e); r && r->pre) ++n;
+  if (const auto* sc = std::get_if<OpScan>(&e); sc && sc->pre) ++n;
+  for_each_nested(e, [&](const NestedScope& s) { n += count_redomaps(*s.body); });
+  return n;
+}
+size_t count_redomaps(const Body& b) {
+  size_t n = 0;
+  for (const auto& s : b.stms) n += count_redomaps_exp(s.e);
+  return n;
+}
+
+TEST(RedomapFusion, MapIntoReduceFuses) {
+  ProgBuilder pb("mr");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var ys = b.map1(scalar_map(b, 2.0, 1.0), {xs});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {ys});
+  Prog p = pb.finish({Atom(s)});
+  typecheck(p);
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  typecheck(q);
+  EXPECT_EQ(stats.fused_redomaps, 1);
+  EXPECT_EQ(count_maps(q.fn.body), 0u);  // the intermediate map is gone
+  EXPECT_EQ(count_redomaps(q.fn.body), 1u);
+  // The rewritten reduce folds over xs directly with fused annotation 1.
+  const auto* red = std::get_if<OpReduce>(&q.fn.body.stms.back().e);
+  ASSERT_NE(red, nullptr);
+  ASSERT_TRUE(red->pre);
+  EXPECT_EQ(red->fused, 1u);
+  ASSERT_EQ(red->args.size(), 1u);
+  EXPECT_EQ(red->args[0], xs);
+  std::vector<Value> args = {make_f64_array({1, 2, 3, 4, 5}, {5})};
+  rt::Interp in({.parallel = false});
+  EXPECT_DOUBLE_EQ(rt::as_f64(rt::run_prog(p, args)[0]), rt::as_f64(in.run(q, args)[0]));
+  EXPECT_EQ(in.stats().fused_reduces.load(), 1u);
+}
+
+TEST(RedomapFusion, ChainIntoReduceFusesTransitively) {
+  // map→map→reduce collapses to one redomap carrying both producers.
+  ProgBuilder pb("chain-red");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var a = b.map1(scalar_map(b, 2.0, 1.0), {xs});
+  Var c = b.map1(scalar_map(b, 3.0, -0.5), {a});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {c});
+  Prog p = pb.finish({Atom(s)});
+  typecheck(p);
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  typecheck(q);
+  EXPECT_EQ(stats.fused_maps + stats.fused_redomaps, 2);
+  EXPECT_EQ(count_maps(q.fn.body), 0u);
+  const auto* red = std::get_if<OpReduce>(&q.fn.body.stms.back().e);
+  ASSERT_NE(red, nullptr);
+  EXPECT_EQ(red->fused, 2u);
+  std::vector<Value> args = {make_f64_array({0.5, -1.5, 2.0}, {3})};
+  EXPECT_NEAR(rt::as_f64(rt::run_prog(p, args)[0]), rt::as_f64(rt::run_prog(q, args)[0]),
+              1e-12);
+}
+
+TEST(RedomapFusion, MapIntoScanFuses) {
+  ProgBuilder pb("ms");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var ys = b.map1(scalar_map(b, -1.0, 0.25), {xs});
+  Var sc = b.scan1(b.add_op(), cf64(0.0), {ys});
+  Prog p = pb.finish({Atom(sc)});
+  typecheck(p);
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  typecheck(q);
+  EXPECT_EQ(stats.fused_redomaps, 1);
+  EXPECT_EQ(count_maps(q.fn.body), 0u);
+  const auto* scn = std::get_if<OpScan>(&q.fn.body.stms.back().e);
+  ASSERT_NE(scn, nullptr);
+  ASSERT_TRUE(scn->pre);
+  EXPECT_EQ(scn->fused, 1u);
+  std::vector<Value> args = {make_f64_array({1, 2, 3, 4}, {4})};
+  rt::Interp in({.parallel = false});
+  EXPECT_EQ(rt::to_f64_vec(rt::as_array(rt::run_prog(p, args)[0])),
+            rt::to_f64_vec(rt::as_array(in.run(q, args)[0])));
+  EXPECT_EQ(in.stats().fused_scans.load(), 1u);
+}
+
+TEST(RedomapFusion, MeasuredChainIntoReduceFullyFuses) {
+  // The vjp shape: a map chain feeding a reduce whose rule also measures
+  // the (chain's) result via length. The length redirect must chase the
+  // chain to its root so every intermediate fuses away.
+  ProgBuilder pb("mlen");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var a = b.map1(scalar_map(b, 2.0, 1.0), {xs});
+  Var ys = b.map1(scalar_map(b, 3.0, -0.5), {a});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {ys});
+  Var l = b.length(ys);
+  Prog p = pb.finish({Atom(s), Atom(l)});
+  typecheck(p);
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  typecheck(q);
+  EXPECT_EQ(stats.fused_maps + stats.fused_redomaps, 2);
+  EXPECT_EQ(count_maps(q.fn.body), 0u);
+  std::vector<Value> args = {make_f64_array({1, 2, 3}, {3})};
+  auto r1 = rt::run_prog(p, args);
+  auto r2 = rt::run_prog(q, args);
+  EXPECT_NEAR(rt::as_f64(r1[0]), rt::as_f64(r2[0]), 1e-12);
+  EXPECT_EQ(rt::as_i64(r1[1]), rt::as_i64(r2[1]));
+  EXPECT_EQ(rt::as_i64(r2[1]), 3);
+}
+
+TEST(RedomapFusion, ResultUsedBesidesReduceNotFused) {
+  // ys feeds the reduce AND the body result: the intermediate must stay.
+  ProgBuilder pb("keep");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var ys = b.map1(scalar_map(b, 2.0, 0.0), {xs});
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {ys});
+  Prog p = pb.finish({Atom(ys), Atom(s)});
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  EXPECT_EQ(stats.fused_redomaps, 0);
+  EXPECT_EQ(count_maps(q.fn.body), 1u);
+}
+
+TEST(RedomapFusion, ResultFreeInFoldOpNotFused) {
+  // The fold body gathers from ys (free in the op lambda): not element-wise
+  // consumption, so fusion must not fire.
+  ProgBuilder pb("freeop");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var ys = b.map1(scalar_map(b, 2.0, 0.0), {xs});
+  Var s = b.reduce1(b.lam({f64(), f64()},
+                          [&](Builder& c, const std::vector<Var>& p) {
+                            Var y0 = c.index(ys, {ci64(0)});
+                            Var t = c.add(p[0], p[1]);
+                            return std::vector<Atom>{Atom(c.add(t, Atom(y0)))};
+                          }),
+                    cf64(0.0), {ys});
+  Prog p = pb.finish({Atom(s)});
+  typecheck(p);
+  opt::FuseStats stats;
+  Prog q = opt::fuse_maps(p, &stats);
+  typecheck(q);
+  EXPECT_EQ(stats.fused_redomaps, 0);
+  EXPECT_EQ(count_maps(q.fn.body), 1u);
+}
+
+TEST(RedomapFusion, PipelineFusesVjpAdjointChainIntoReduce) {
+  // vjp of sum(f(xs)) style programs emits adjoint map chains contracting
+  // into reductions; the standard pipeline must collapse them into redomap
+  // form transitively and keep the gradient.
+  ProgBuilder pb("vred");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var ws = pb.param("ws", arr_f64(1));
+  Builder& b = pb.body();
+  Var e = b.map1(b.lam({f64()},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         return std::vector<Atom>{Atom(c.exp(Atom(c.mul(p[0], cf64(0.5)))))};
+                       }),
+                 {xs});
+  Var prods = b.map(b.lam({f64(), f64()},
+                          [](Builder& c, const std::vector<Var>& p) {
+                            return std::vector<Atom>{Atom(c.mul(p[0], p[1]))};
+                          }),
+                    {e, ws})[0];
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {prods});
+  Prog p = pb.finish({Atom(s)});
+  typecheck(p);
+  opt::PipelineStats st;
+  Prog q = opt::optimize(p, {}, &st);
+  typecheck(q);
+  EXPECT_GE(st.fuse.fused_redomaps, 1);
+  EXPECT_EQ(count_maps(q.fn.body), 0u);  // primal chain fully in the redomap
+  Prog g = ad::vjp(p);
+  typecheck(g);
+  opt::PipelineStats gst;
+  Prog gf = opt::optimize(g, {}, &gst);
+  typecheck(gf);
+  std::vector<Value> args = {make_f64_array({0.2, -0.4, 0.6}, {3}),
+                             make_f64_array({1.5, -2.0, 0.5}, {3}), 1.0};
+  auto r1 = rt::run_prog(g, args);
+  auto r2 = rt::run_prog(gf, args);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = r1.size() - 2; i < r1.size(); ++i) {
+    auto v1 = rt::to_f64_vec(rt::as_array(r1[i]));
+    auto v2 = rt::to_f64_vec(rt::as_array(r2[i]));
+    ASSERT_EQ(v1.size(), v2.size());
+    for (size_t j = 0; j < v1.size(); ++j) EXPECT_NEAR(v1[j], v2[j], 1e-13);
+  }
+}
+
 TEST(AccOpt, LeavesNonMatchingProgramsUntouched) {
   ProgBuilder pb("f");
   Var xs = pb.param("xs", arr_f64(1));
