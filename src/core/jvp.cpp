@@ -370,6 +370,7 @@ private:
   }
 
   void hist(Builder& b, const Stm& st, const OpHist& o) {
+    if (o.pre) throw ADError("jvp: differentiate before histomap fusion");
     emit_primal(b, st);
     if (!diff(st, 0)) return;
     auto bop = recognize_binop(*o.op);
@@ -378,7 +379,7 @@ private:
     }
     Var td = tan_var(b, Atom(o.dest));
     Var tv = tan_var(b, Atom(o.vals));
-    bind_tan(b, st, 0, OpHist{o.op, cf64(0.0), td, o.inds, tv});
+    bind_tan(b, st, 0, OpHist{o.op, cf64(0.0), td, o.inds, tv, nullptr, 0});
   }
 
   void withacc(Builder& b, const Stm& st, const OpWithAcc& o) {

@@ -901,6 +901,7 @@ public:
   // ---------------------------------------------------------------- hist --
 
   void rev_hist(Builder& b, AdjMap& adj, const Stm& st, const OpHist& o) {
+    if (o.pre) throw ADError("vjp: histomap must be fused after differentiation, not before");
     auto yo = out_adj(adj, st, 0);
     if (!yo) return;
     Var hbar = *yo;

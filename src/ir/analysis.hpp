@@ -134,6 +134,8 @@ inline void collect_exp(const Exp& e, TypeMap& tm) {
                  [&](const OpHist& o) {
                    if (o.op)
                      for (const auto& p : o.op->params) tm.bind(p.var, p.type);
+                   if (o.pre)
+                     for (const auto& p : o.pre->params) tm.bind(p.var, p.type);
                  },
                  [&](const OpWithAcc& o) {
                    if (o.f)
@@ -358,6 +360,11 @@ private:
             },
             [&](const OpHist& o) {
               lambda(*o.op);
+              // As with OpReduce: the histomap pre-lambda is semantic and
+              // must distinguish signatures; `fused` is stats-only and
+              // stays out.
+              t(0x17u, o.pre != nullptr);
+              if (o.pre) lambda(*o.pre);
               atom(o.neutral);
               use(o.dest);
               use(o.inds);

@@ -202,7 +202,24 @@ struct OpScan {
   uint32_t fused = 0;
 };
 // reduce_by_index dest op ne inds vals (§5.1.2); out-of-range bins ignored.
-struct OpHist { LambdaPtr op; Atom neutral; Var dest; Var inds; Var vals; };
+// Optionally in *histomap* form, mirroring the redomap form of OpReduce:
+// when `pre` is set the element-wise pre-lambda maps each element of `vals`
+// (one param, elem_of(vals)) and its single result (elem_of(dest)) feeds the
+// combine operator — produced by opt::fuse_maps folding a producer map into
+// a hist consumer so the mapped intermediate never exists. `fused` mirrors
+// OpMap::fused: number of producer maps folded in, not part of the
+// structural signature; the runtime adds it to InterpStats::fused_hists per
+// launch. Every pass that rebuilds OpHist must carry both fields (same list
+// as OpMap::fused).
+struct OpHist {
+  LambdaPtr op;
+  Atom neutral;
+  Var dest;
+  Var inds;
+  Var vals;
+  LambdaPtr pre;      // optional histomap pre-lambda
+  uint32_t fused = 0;
+};
 // scatter dest inds vals (§5.3); duplicate indices unsupported (as paper).
 struct OpScatter { Var dest; Var inds; Var vals; };
 // withacc arrs f: temporarily turns arrs into write-only accumulators (§5.4).

@@ -288,7 +288,7 @@ public:
   }
 
   Var hist(LambdaPtr op, Atom ne, Var dest, Var inds, Var vals) {
-    return emit(OpHist{std::move(op), ne, dest, inds, vals}, tm_->at(dest), "hist");
+    return emit(OpHist{std::move(op), ne, dest, inds, vals, nullptr, 0}, tm_->at(dest), "hist");
   }
 
   Var scatter(Var dest, Var inds, Var vals) {

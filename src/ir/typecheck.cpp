@@ -211,9 +211,23 @@ public:
               Type td = at(sc, o.dest), ti = at(sc, o.inds), tv = at(sc, o.vals);
               expect(td.rank >= 1 && !td.is_acc, "hist dest must be array");
               expect(ti.rank == 1 && ti.elem == ScalarType::I64, "hist inds must be []i64");
-              expect(tv.rank == td.rank && tv.elem == td.elem, "hist vals type mismatch");
               expect(o.op && o.op->params.size() == 2, "hist op must be binary");
               Type et = elem_of(td);
+              if (o.pre) {
+                // Histomap form: pre maps each element of vals to the
+                // combine operator's element side, so vals need not match
+                // the destination's type.
+                expect(tv.rank >= 1 && !tv.is_acc, "hist vals must be array");
+                expect(o.pre->params.size() == 1, "histomap pre must be unary");
+                expect(o.pre->params[0].type == elem_of(tv),
+                       "histomap pre param type mismatch");
+                Scope psc = sc;
+                psc[o.pre->params[0].var.id] = o.pre->params[0].type;
+                auto pt = body_types(psc, o.pre->body);
+                expect(pt.size() == 1 && pt[0] == et, "histomap pre result type mismatch");
+              } else {
+                expect(tv.rank == td.rank && tv.elem == td.elem, "hist vals type mismatch");
+              }
               expect(o.op->params[0].type == et && o.op->params[1].type == et,
                      "hist op param type mismatch");
               Scope inner = sc;

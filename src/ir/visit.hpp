@@ -84,7 +84,7 @@ void for_each_nested(const Exp& e, Fn&& fn) {
           [&](const OpMap& o) { lam(o.f); },
           [&](const OpReduce& o) { lam(o.op); lam(o.pre); },
           [&](const OpScan& o) { lam(o.op); lam(o.pre); },
-          [&](const OpHist& o) { lam(o.op); },
+          [&](const OpHist& o) { lam(o.op); lam(o.pre); },
           [&](const OpWithAcc& o) { lam(o.f); },
           [&](const auto&) {},
       },
@@ -217,7 +217,8 @@ public:
               return OpScan{L(o.op), AS(o.neutral), VS(o.args), L(o.pre), o.fused};
             },
             [&](const OpHist& o) -> Exp {
-              return OpHist{L(o.op), A(o.neutral), V(o.dest), V(o.inds), V(o.vals)};
+              return OpHist{L(o.op), A(o.neutral), V(o.dest), V(o.inds), V(o.vals),
+                            L(o.pre), o.fused};
             },
             [&](const OpScatter& o) -> Exp { return OpScatter{V(o.dest), V(o.inds), V(o.vals)}; },
             [&](const OpWithAcc& o) -> Exp { return OpWithAcc{VS(o.arrs), L(o.f)}; },

@@ -99,7 +99,8 @@ private:
               return OpScan{sub_lambda(o.op), o.neutral, o.args, sub_lambda(o.pre), o.fused};
             },
             [&](const OpHist& o) -> Exp {
-              return OpHist{sub_lambda(o.op), o.neutral, o.dest, o.inds, o.vals};
+              return OpHist{sub_lambda(o.op), o.neutral, o.dest, o.inds, o.vals,
+                            sub_lambda(o.pre), o.fused};
             },
             [&](const OpWithAcc& o) -> Exp { return OpWithAcc{o.arrs, sub_lambda(o.f)}; },
             [&](const auto& o) -> Exp { return o; },
@@ -168,14 +169,21 @@ private:
     }
 
     for (size_t j = 0; j < b.stms.size(); ++j) {
-      // Consumers: maps (classic fusion) and reduce/scan (redomap form —
-      // the producer folds into the consumer's element-wise pre-lambda).
+      // Consumers: maps (classic fusion), reduce/scan (redomap form) and
+      // hist (histomap form) — the producer folds into the consumer's
+      // element-wise pre-lambda. For hist only the `vals` stream is
+      // element-wise (dest is consumed whole, inds select bins), so it is
+      // the single fusion candidate.
       const auto* cmap = std::get_if<OpMap>(&b.stms[j].e);
       const auto* cred = std::get_if<OpReduce>(&b.stms[j].e);
       const auto* cscan = std::get_if<OpScan>(&b.stms[j].e);
+      const auto* chist = std::get_if<OpHist>(&b.stms[j].e);
+      std::vector<Var> hist_cand;
+      if (chist != nullptr) hist_cand.push_back(chist->vals);
       const std::vector<Var>* cargs = cmap   ? &cmap->args
                                      : cred  ? &cred->args
                                      : cscan ? &cscan->args
+                                     : chist ? &hist_cand
                                              : nullptr;
       if (cargs == nullptr) continue;
       for (Var v : *cargs) {
@@ -198,6 +206,9 @@ private:
         const auto* prod = std::get_if<OpMap>(&b.stms[i].e);
         if (prod == nullptr || prod->args.empty()) continue;
         if (!pure_elementwise(*prod->f)) continue;
+        // OpHist has a single vals slot, so only single-input producers can
+        // fold into its pre-lambda.
+        if (chist != nullptr && prod->args.size() != 1) continue;
         // Everything the producer references must still mean the same thing
         // at the consumer: no statement in between may re-bind its arguments
         // or its lambda's free variables, and none may consume one of them —
@@ -210,14 +221,22 @@ private:
         for (Var a : prod->args) needed.insert(a.id);
         for (Var fv : free_vars(*prod->f)) needed.insert(fv.id);
         bool blocked = false;
-        for (size_t s = i + 1; s < j && !blocked; ++s) {
-          for (Var bound : b.stms[s].vars) blocked = blocked || needed.count(bound.id) > 0;
+        // The scan includes the consumer statement itself (s == j): a hist
+        // consumer mutates its dest in place, so a producer that reads that
+        // same array must not be deferred into it — fused, the pre-lambda
+        // would observe bins earlier iterations already updated.
+        for (size_t s = i + 1; s <= j && !blocked; ++s) {
+          if (s < j) {
+            for (Var bound : b.stms[s].vars) blocked = blocked || needed.count(bound.id) > 0;
+          }
           blocked = blocked || consumes_needed(b.stms[s].e, needed);
         }
         if (blocked) continue;
 
         if (cmap) {
           fuse_pair(b, i, j, v);
+        } else if (chist) {
+          fuse_hist_pair(b, i, j, v);
         } else {
           fuse_red_pair(b, i, j, v);
         }
@@ -297,6 +316,23 @@ private:
       id.rets.push_back(op.params[k + i].type);
     }
     return id;
+  }
+
+  // Folds producer statement `i` (binding `v`) into hist consumer `j`: the
+  // producer disappears into the hist's pre-lambda (created from the
+  // identity on first fusion — identity_pre on the binary combine op yields
+  // exactly the unary \e -> e over elem_of(dest)), turning the consumer
+  // into histomap form — hist(op, dest, is, map(f, vs)) scatters f(v) per
+  // element with no intermediate array.
+  void fuse_hist_pair(Body& b, size_t i, size_t j, Var v) {
+    const OpMap prod = std::get<OpMap>(b.stms[i].e);
+    const auto& h = std::get<OpHist>(b.stms[j].e);
+    const Lambda pre = h.pre ? *h.pre : identity_pre(*h.op);
+    auto [npre, nargs] = fuse_into(prod, pre, {v}, v);
+    b.stms[j].e = OpHist{h.op,     h.neutral,       h.dest, h.inds, nargs[0],
+                         std::move(npre), prod.fused + h.fused + 1};
+    b.stms.erase(b.stms.begin() + static_cast<long>(i));
+    ++stats_.fused_hists;
   }
 
   // Folds producer statement `i` (binding `v`) into reduce/scan consumer

@@ -1,10 +1,11 @@
 #pragma once
 
 // Producer→consumer fusion: when a map's result is consumed only
-// element-wise — exclusively as an argument of one later map, reduce, or
-// scan over the same iteration space — the producer is folded into the
-// consumer and the intermediate array is never materialized. Chains fuse
-// transitively (a 3-map element-wise chain becomes one map), including the
+// element-wise — exclusively as an argument of one later map, reduce,
+// scan, or as the vals stream of one reduce_by_index, over the same
+// iteration space — the producer is folded into the consumer and the
+// intermediate array is never materialized. Chains fuse transitively (a
+// 3-map element-wise chain becomes one map), including the
 // zeros/elementwise-add adjoint map chains emitted by core/vjp.cpp.
 //
 // Map consumers fuse lambda-into-lambda as before. Reduce/scan consumers
@@ -13,7 +14,12 @@
 // identity on first fusion), so reduce(+, map(f, xs)) — the dominant
 // pattern in vjp adjoints that contract a gradient — runs load→map→fold in
 // one pass with no intermediate. Redomap pre-lambdas are themselves fusion
-// consumers, so whole map chains feeding a reduction collapse.
+// consumers, so whole map chains feeding a reduction collapse. Hist
+// consumers take the analogous *histomap* form (OpHist::pre) for their
+// vals stream — hist(op, dest, is, map(f, vs)), the shape the vjp hist
+// rules emit — restricted to single-input producers (OpHist has one vals
+// slot); dest and inds are not candidates (dest is consumed whole, inds
+// select bins).
 //
 // A producer is fusable when it binds a single result, its lambda threads no
 // accumulators, and every use of the result is an argument position of the
@@ -34,6 +40,7 @@ namespace npad::opt {
 struct FuseStats {
   int fused_maps = 0;      // producer maps folded into consumer maps
   int fused_redomaps = 0;  // producer maps folded into reduce/scan consumers
+  int fused_hists = 0;     // producer maps folded into hist consumers
 };
 
 ir::Prog fuse_maps(const ir::Prog& p, FuseStats* stats = nullptr);

@@ -56,7 +56,8 @@ private:
               return OpScan{sub_lambda(o.op), o.neutral, o.args, sub_lambda(o.pre), o.fused};
             },
             [&](const OpHist& o) -> Exp {
-              return OpHist{sub_lambda(o.op), o.neutral, o.dest, o.inds, o.vals};
+              return OpHist{sub_lambda(o.op), o.neutral, o.dest, o.inds, o.vals,
+                            sub_lambda(o.pre), o.fused};
             },
             [&](const OpWithAcc& o) -> Exp { return OpWithAcc{o.arrs, sub_lambda(o.f)}; },
             [&](const auto& o) -> Exp { return o; },

@@ -75,7 +75,8 @@ private:
               return OpScan{prune_lambda(o.op), o.neutral, o.args, prune_lambda(o.pre), o.fused};
             },
             [&](const OpHist& o) -> Exp {
-              return OpHist{prune_lambda(o.op), o.neutral, o.dest, o.inds, o.vals};
+              return OpHist{prune_lambda(o.op), o.neutral, o.dest, o.inds, o.vals,
+                            prune_lambda(o.pre), o.fused};
             },
             [&](const OpWithAcc& o) -> Exp { return OpWithAcc{o.arrs, prune_lambda(o.f)}; },
             [&](const auto& o) -> Exp { return o; },
@@ -168,7 +169,8 @@ private:
                             o.fused};
             },
             [&](const OpHist& o) -> Exp {
-              return OpHist{sub_lambda(o.op, env), o.neutral, o.dest, o.inds, o.vals};
+              return OpHist{sub_lambda(o.op, env), o.neutral, o.dest, o.inds, o.vals,
+                            sub_lambda(o.pre, env), o.fused};
             },
             [&](const OpWithAcc& o) -> Exp { return OpWithAcc{o.arrs, sub_lambda(o.f, env)}; },
             [&](const auto& o) -> Exp { return o; },

@@ -47,6 +47,23 @@ inline double combine_f64(BinOp op, double a, double b) {
   }
 }
 
+// Atomic *p = combine(*p, v) for the combinable binops: Add lowers to the
+// native fetch_add, the rest run a relaxed CAS loop. All four operators are
+// commutative and associative, so concurrent updates in any interleaving
+// converge to the same bins (float adds/muls regroup — tolerance, not
+// bitwise; min/max are exact).
+inline void atomic_combine_f64(BinOp op, double* p, double v) {
+  std::atomic_ref<double> ref(*p);
+  if (op == BinOp::Add) {
+    ref.fetch_add(v, std::memory_order_relaxed);
+    return;
+  }
+  double cur = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(cur, combine_f64(op, cur, v),
+                                    std::memory_order_relaxed)) {
+  }
+}
+
 // Tree-merges per-chunk private accumulator buffers (pairwise, levels in
 // parallel when the pool allows), then adds the surviving buffer into the
 // destination element-parallel.
@@ -1209,6 +1226,26 @@ public:
   }
 
   // ---------------------------------------------------------------- hist ---
+  //
+  // Generalized histograms (reduce_by_index), tiered like reduce:
+  //  1. hand-rolled combinable-binop loop over scalar f64 bins. Sequential
+  //     when the launch must not fan out (opts_.parallel off, one worker,
+  //     nested region, small n); per-chunk private subhistograms seeded with
+  //     the neutral element and merged into the destination in chunk order
+  //     (each chunk is a contiguous element block, so per-bin update order
+  //     is preserved — associativity suffices) when the m x chunks
+  //     footprint fits privatize_budget; atomic-CAS updates straight into
+  //     the shared destination otherwise (combinable binops are
+  //     commutative, so arbitrary interleaving is sound).
+  //  2. compiled kernel for arbitrary kernelizable combine lambdas and the
+  //     fused histomap pre-lambda — the same compiled artifact (and cache
+  //     entry) as the reduce form of the fold. Privatized subhistograms
+  //     merge bin-wise through the fold subprogram. There is no atomic
+  //     fallback here: an arbitrary fold is not known to be commutative, so
+  //     an over-budget destination runs the strictly sequential kernel loop.
+  //  3. the strictly sequential general interpreter for everything else
+  //     (vector bins, non-f64 destinations, non-kernelizable operators),
+  //     applying the pre-lambda per element when present.
   Value eval_hist(const OpHist& o, Env& env) const {
     const Lambda& op = *o.op;
     ArrayVal dest0 = as_array(env.lookup(o.dest));
@@ -1218,35 +1255,151 @@ public:
     const int64_t n = inds.outer();
     const int64_t m = dest.outer();
     const int64_t row = dest.rank() > 1 ? dest.row_elems() : 1;
+    if (o.fused > 0) stats_->fused_hists.fetch_add(o.fused, std::memory_order_relaxed);
 
-    // Fast path: scalar f64 bins with a combinable operator (the shared
-    // combine_f64 helper; non-combinable recognized binops such as Sub fall
-    // through to the general path instead of being silently treated as Add).
-    auto bop = recognize_binop(op);
+    const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
+    const bool fanout = opts_.parallel && threads > 1 && n > opts_.grain &&
+                        !support::ThreadPool::in_parallel_region();
+    const int64_t chunks =
+        fanout ? std::min<int64_t>(threads, (n + opts_.grain - 1) / opts_.grain) : 1;
+    const int64_t per = (n + chunks - 1) / chunks;
+    const bool privat = fanout && opts_.privatize_accs && n >= opts_.privatize_min_iters &&
+                        m * row * chunks <= opts_.privatize_budget;
+
+    // Allocates the per-chunk private subhistograms, every bin seeded with
+    // the fold's neutral element (pool buffers are recycled, so the fill is
+    // always explicit).
+    auto alloc_subhists = [&](double neutral) {
+      std::vector<ArrayVal> subs;
+      subs.reserve(static_cast<size_t>(chunks));
+      for (int64_t c = 0; c < chunks; ++c) {
+        ArrayVal s = alloc_launch_buf(ScalarType::F64, dest.shape, /*uninit=*/true);
+        std::fill_n(s.buf->f64(), m, neutral);
+        subs.push_back(std::move(s));
+      }
+      return subs;
+    };
+
+    // Tier 1: hand-rolled combinable binop over scalar f64 bins.
+    const std::optional<BinOp> bop = o.pre ? std::optional<BinOp>{} : recognize_binop(op);
     if (bop && combinable_f64(*bop) && dest.rank() == 1 && dest.elem == ScalarType::F64 &&
         vals.elem == ScalarType::F64) {
+      stats_->general_hists.fetch_add(1, std::memory_order_relaxed);
+      const BinOp cb = *bop;
       double* d = dest.buf->f64() + dest.offset;
-      for (int64_t i = 0; i < n; ++i) {
-        const int64_t b = inds.get_i64(i);
-        if (b < 0 || b >= m) continue;
-        d[b] = combine_f64(*bop, d[b], vals.get_f64(i));
+      auto fold_range = [&](double* bins, int64_t lo, int64_t hi) {
+        int64_t performed = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+          const int64_t b = inds.get_i64(i);
+          if (b < 0 || b >= m) continue;
+          bins[b] = combine_f64(cb, bins[b], vals.get_f64(i));
+          ++performed;
+        }
+        return performed;
+      };
+      if (!fanout) {
+        // Bit-exact sequential semantics: the W=1 / parallel-off contract.
+        stats_->privatized_hist_updates.fetch_add(static_cast<uint64_t>(fold_range(d, 0, n)),
+                                                  std::memory_order_relaxed);
+        return dest;
       }
+      if (privat) {
+        std::vector<ArrayVal> subs = alloc_subhists(as_f64(eval_atom(o.neutral, env)));
+        std::atomic<int64_t> performed{0};
+        support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+          for (int64_t c = clo; c < chi; ++c) {
+            performed.fetch_add(fold_range(subs[static_cast<size_t>(c)].buf->f64(), c * per,
+                                           std::min(n, (c + 1) * per)),
+                                std::memory_order_relaxed);
+          }
+        });
+        stats_->privatized_hist_updates.fetch_add(
+            static_cast<uint64_t>(performed.load()), std::memory_order_relaxed);
+        // Bin-parallel merge; per bin the chunks combine in element order.
+        support::parallel_for(m, opts_.grain, [&](int64_t lo, int64_t hi) {
+          for (int64_t b = lo; b < hi; ++b) {
+            double acc = d[b];
+            for (const auto& s : subs) acc = combine_f64(cb, acc, s.buf->f64()[b]);
+            d[b] = acc;
+          }
+        });
+        return dest;
+      }
+      // Atomic-CAS fallback for destinations too large to privatize.
+      std::atomic<int64_t> performed{0};
+      support::parallel_for(n, opts_.grain, [&](int64_t lo, int64_t hi) {
+        int64_t local = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+          const int64_t b = inds.get_i64(i);
+          if (b < 0 || b >= m) continue;
+          atomic_combine_f64(cb, d + b, vals.get_f64(i));
+          ++local;
+        }
+        performed.fetch_add(local, std::memory_order_relaxed);
+      });
+      stats_->atomic_hist_updates.fetch_add(static_cast<uint64_t>(performed.load()),
+                                            std::memory_order_relaxed);
       return dest;
     }
 
-    // General path: sequential application of the operator per element.
+    // Tier 2: compiled combine kernel (scalar f64 bins, []i64 inds).
+    if (opts_.use_kernels && dest.rank() == 1 && dest.elem == ScalarType::F64 &&
+        vals.rank() == 1 && inds.elem == ScalarType::I64) {
+      std::shared_ptr<const Kernel> owned;
+      const Kernel* k = reduce_kernel_for(o.op, o.pre, /*scan=*/false, owned);
+      std::vector<Value> neutral{eval_atom(o.neutral, env)};
+      if (auto L = bind_reduce_launch(k, {vals}, neutral, std::move(owned), env)) {
+        stats_->kernel_hists.fetch_add(1, std::memory_order_relaxed);
+        double* d = dest.buf->f64() + dest.offset;
+        const int64_t* ip = inds.buf->i64() + inds.offset;
+        if (!privat) {
+          // Sequential kernel loop (also the over-budget path: arbitrary
+          // folds have no atomic fallback).
+          stats_->privatized_hist_updates.fetch_add(
+              static_cast<uint64_t>(L->run_hist_chunk(0, n, d, m, ip)),
+              std::memory_order_relaxed);
+          return dest;
+        }
+        std::vector<ArrayVal> subs = alloc_subhists(L->red_neutral[0]);
+        std::atomic<int64_t> performed{0};
+        support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
+          for (int64_t c = clo; c < chi; ++c) {
+            performed.fetch_add(L->run_hist_chunk(c * per, std::min(n, (c + 1) * per),
+                                                  subs[static_cast<size_t>(c)].buf->f64(), m,
+                                                  ip),
+                                std::memory_order_relaxed);
+          }
+        });
+        stats_->privatized_hist_updates.fetch_add(
+            static_cast<uint64_t>(performed.load()), std::memory_order_relaxed);
+        // Bin-parallel merge through the fold subprogram, chunks in order.
+        support::parallel_for(m, opts_.grain, [&](int64_t lo, int64_t hi) {
+          for (const auto& s : subs) L->fold_bins(d + lo, s.buf->f64() + lo, hi - lo);
+        });
+        return dest;
+      }
+    }
+
+    // Tier 3: strictly sequential general path (applies the histomap
+    // pre-lambda per element when present).
+    stats_->general_hists.fetch_add(1, std::memory_order_relaxed);
+    int64_t performed = 0;
     for (int64_t i = 0; i < n; ++i) {
       const int64_t b = inds.get_i64(i);
       if (b < 0 || b >= m) continue;
       Value cur = dest.rank() == 1 ? scalar_value(dest.elem, dest, b) : Value(row_view(dest, b));
       Value v = vals.rank() == 1 ? scalar_value(vals.elem, vals, i) : Value(row_view(vals, i));
+      if (o.pre) v = apply(*o.pre, {std::move(v)}, env)[0];
       std::vector<Value> r = apply(op, {cur, v}, env);
       if (is_array(r[0])) {
         copy_into(dest, b * row, as_array(r[0]));
       } else {
         store_scalar(dest, b, r[0]);
       }
+      ++performed;
     }
+    stats_->privatized_hist_updates.fetch_add(static_cast<uint64_t>(performed),
+                                              std::memory_order_relaxed);
     return dest;
   }
 

@@ -56,6 +56,11 @@ struct InterpStats {
   std::atomic<uint64_t> kernel_scans{0};         // scans run through compiled kernels
   std::atomic<uint64_t> general_scans{0};        // scans run through the interpreter
   std::atomic<uint64_t> fused_scans{0};          // producer maps folded into scan launches
+  std::atomic<uint64_t> kernel_hists{0};         // hists run through compiled kernels
+  std::atomic<uint64_t> general_hists{0};        // hists run through the interpreter
+  std::atomic<uint64_t> fused_hists{0};          // producer maps folded into hist launches
+  std::atomic<uint64_t> privatized_hist_updates{0};  // non-atomic hist bin updates
+  std::atomic<uint64_t> atomic_hist_updates{0};      // atomic RMW hist bin updates
 
   // Snapshot for machine-readable reporting (bench JSON).
   std::map<std::string, uint64_t> counters() const {
@@ -77,6 +82,11 @@ struct InterpStats {
         {"kernel_scans", kernel_scans.load()},
         {"general_scans", general_scans.load()},
         {"fused_scans", fused_scans.load()},
+        {"kernel_hists", kernel_hists.load()},
+        {"general_hists", general_hists.load()},
+        {"fused_hists", fused_hists.load()},
+        {"privatized_hist_updates", privatized_hist_updates.load()},
+        {"atomic_hist_updates", atomic_hist_updates.load()},
     };
   }
 };

@@ -683,4 +683,44 @@ void KernelLaunch::combine_partials(double* acc, const double* other) const {
   combine_on(*this, r1.data(), acc, other);
 }
 
+int64_t KernelLaunch::run_hist_chunk(int64_t lo, int64_t hi, double* bins, int64_t m,
+                                     const int64_t* inds) const {
+  const Kernel& kk = *k;
+  assert(kk.reds.size() == 1 && "hist kernels are single-result folds");
+  const int32_t acc_reg = kk.reds[0].acc_reg;
+  std::vector<double> r1(static_cast<size_t>(kk.num_regs), 0.0);
+  init_invariant(*this, r1.data(), 1);
+  int64_t performed = 0;
+  for (int64_t i = lo; i < hi; ++i) {
+    const int64_t b = inds[i];
+    if (b < 0 || b >= m) continue;  // out-of-range bins ignored (pre is pure)
+    // [0, fold_begin): LoadElem (+ the histomap pre-lambda) fills the
+    // element register for iteration i.
+    exec_span(*this, r1.data(), i, i + 1, 0, kk.fold_begin,
+              std::integral_constant<int, 1>{});
+    r1[acc_reg] = bins[b];
+    exec_span(*this, r1.data(), 0, 1, kk.fold_begin, kk.fold_end,
+              std::integral_constant<int, 1>{});
+    bins[b] = r1[acc_reg];
+    ++performed;
+  }
+  return performed;
+}
+
+void KernelLaunch::fold_bins(double* acc, const double* other, int64_t count) const {
+  const Kernel& kk = *k;
+  assert(kk.reds.size() == 1 && "hist kernels are single-result folds");
+  const int32_t acc_reg = kk.reds[0].acc_reg;
+  const int32_t elem_reg = kk.reds[0].elem_reg;
+  std::vector<double> r1(static_cast<size_t>(kk.num_regs), 0.0);
+  init_invariant(*this, r1.data(), 1);
+  for (int64_t j = 0; j < count; ++j) {
+    r1[acc_reg] = acc[j];
+    r1[elem_reg] = other[j];
+    exec_span(*this, r1.data(), 0, 1, kk.fold_begin, kk.fold_end,
+              std::integral_constant<int, 1>{});
+    acc[j] = r1[acc_reg];
+  }
+}
+
 } // namespace npad::rt

@@ -150,6 +150,23 @@ struct KernelLaunch {
 
   // acc = op(acc, other) via the fold subprogram (chunk-partial merges).
   void combine_partials(double* acc, const double* other) const;
+
+  // Hist drivers over a single-result reduction kernel (k->reds.size() == 1;
+  // the same compiled artifact as the reduce form of the combine operator,
+  // so hist shares cache entries with reduce): for each element i in
+  // [lo, hi) with an in-range index, bins[inds[i]] =
+  // op(bins[inds[i]], pre(vals[i])) — the pre subprogram [0, fold_begin)
+  // computes the element register, the fold subprogram is re-entered with
+  // the bin's current value seeded into the accumulator register. Strictly
+  // sequential in element order (the generalized-histogram contract needs
+  // associativity only across the privatized-merge boundaries). Returns the
+  // number of in-range updates performed.
+  int64_t run_hist_chunk(int64_t lo, int64_t hi, double* bins, int64_t m,
+                         const int64_t* inds) const;
+
+  // acc[j] = op(acc[j], other[j]) for j in [0, count): the bin-wise
+  // subhistogram merge, one fold-subprogram entry per bin.
+  void fold_bins(double* acc, const double* other, int64_t count) const;
 };
 
 } // namespace npad::rt

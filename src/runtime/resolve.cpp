@@ -91,7 +91,10 @@ private:
                      lambda(*o.op);
                      if (o.pre) lambda(*o.pre);
                    },
-                   [&](const OpHist& o) { lambda(*o.op); },
+                   [&](const OpHist& o) {
+                     lambda(*o.op);
+                     if (o.pre) lambda(*o.pre);
+                   },
                    [&](const OpWithAcc& o) { lambda(*o.f); },
                    [&](const auto&) {},
                },

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "ir/builder.hpp"
 #include "ir/typecheck.hpp"
@@ -18,6 +19,16 @@ namespace {
 using namespace npad;
 using namespace npad::ir;
 using rt::Value;
+
+// The tier-1 container may expose a single core, which would make every
+// fan-out path silently degrade to the sequential one. Force a multi-worker
+// pool before its first lazy construction so the privatized and atomic hist
+// strategies — and the chunked reduce/scan paths — actually execute. An
+// explicitly set NPAD_NUM_THREADS wins (overwrite = 0).
+[[maybe_unused]] const int kForcePoolWidth = [] {
+  setenv("NPAD_NUM_THREADS", "4", /*overwrite=*/0);
+  return 0;
+}();
 
 struct OpCase {
   const char* name;
@@ -561,6 +572,259 @@ TEST(RedomapConformance, EmptyRank2ScanKeepsInnerExtent) {
   ASSERT_EQ(a.rank(), 2);
   EXPECT_EQ(a.shape[0], 0);
   EXPECT_EQ(a.shape[1], 3);
+}
+
+// ------------------------------------------------------ hist conformance
+//
+// The parallel privatized/atomic/kernel hist strategies must agree with the
+// strictly sequential general path across {fused, unfused} x {sequential,
+// privatized, atomic} x input shapes {empty inds, out-of-range inds,
+// all-same-bin contention, uniform}. Combinable binops (+, min) exercise
+// the hand-rolled tier; a two-statement add and an LSE fold exercise the
+// compiled-kernel tier (where the "atomic" strategy legitimately runs the
+// sequential kernel loop — arbitrary folds have no atomic fallback). Merged
+// subhistograms regroup float adds, so agreement is to tolerance; min is
+// exact.
+
+enum class HistStrategy { Sequential, Privatized, Atomic };
+enum class HistOp { Add, Min, SlowAdd, Lse };
+
+struct HistCase {
+  bool fused;
+  HistStrategy strategy;
+  HistOp op;
+};
+
+LambdaPtr hist_op(Builder& b, HistOp op) {
+  switch (op) {
+    case HistOp::Add: return b.add_op();
+    case HistOp::Min: return b.min_op();
+    case HistOp::SlowAdd: return slow_add_op(b);
+    case HistOp::Lse:
+      return b.lam({f64(), f64()}, [](Builder& c, const std::vector<Var>& p) {
+        Var m = c.max(p[0], p[1]);
+        Var ea = c.exp(Atom(c.sub(p[0], m)));
+        Var eb = c.exp(Atom(c.sub(p[1], m)));
+        return std::vector<Atom>{Atom(c.add(m, Atom(c.log(Atom(c.add(ea, eb))))))};
+      });
+  }
+  return nullptr;
+}
+
+Atom hist_neutral(HistOp op) {
+  switch (op) {
+    case HistOp::Min: return cf64(1e300);
+    case HistOp::Lse: return cf64(-1e300);
+    default: return cf64(0.0);
+  }
+}
+
+Prog hist_prog(HistOp op, bool with_map) {
+  ProgBuilder pb("h");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var inds = pb.param("inds", arr(ScalarType::I64, 1));
+  Var vals = pb.param("vals", arr_f64(1));
+  Builder& b = pb.body();
+  Var vs = vals;
+  if (with_map) {
+    vs = b.map1(b.lam({f64()},
+                      [](Builder& c, const std::vector<Var>& p) {
+                        Var t = c.mul(p[0], cf64(1.3));
+                        return std::vector<Atom>{Atom(c.add(t, cf64(0.2)))};
+                      }),
+                {vals});
+  }
+  Var h = b.hist(hist_op(b, op), hist_neutral(op), dest, inds, vs);
+  Prog p = pb.finish({Atom(h)});
+  typecheck(p);
+  return p;
+}
+
+class HistConformance : public ::testing::TestWithParam<HistCase> {};
+
+TEST_P(HistConformance, StrategiesMatchGeneralPath) {
+  const auto [fused, strategy, op] = GetParam();
+  const bool kernel_op = op == HistOp::SlowAdd || op == HistOp::Lse;
+  Prog p = hist_prog(op, /*with_map=*/true);
+  Prog run = p;
+  if (fused) {
+    opt::FuseStats fs;
+    run = opt::fuse_maps(p, &fs);
+    typecheck(run);
+    ASSERT_EQ(fs.fused_hists, 1);
+  }
+  rt::InterpOptions opts{.parallel = strategy != HistStrategy::Sequential,
+                         .use_kernels = true,
+                         .grain = 16,
+                         .privatize_min_iters = 1};
+  if (strategy == HistStrategy::Atomic) opts.privatize_budget = 0;
+
+  struct Shape {
+    const char* name;
+    int64_t n;
+    int64_t lo, hi;  // index range (may exceed [0, m))
+  };
+  const int64_t m = 32;
+  const Shape shapes[] = {
+      {"empty", 0, 0, 1},
+      {"uniform", 500, 0, m},
+      {"out-of-range", 500, -5, m + 5},
+      {"same-bin", 500, 3, 4},
+  };
+  for (const auto& sh : shapes) {
+    support::Rng rng(static_cast<uint64_t>(sh.n) + static_cast<uint64_t>(op) * 13 +
+                     (fused ? 7 : 0));
+    std::vector<int64_t> iv(static_cast<size_t>(sh.n));
+    for (auto& x : iv) x = sh.lo + rng.uniform_int(sh.hi - sh.lo);
+    std::vector<Value> args = {
+        rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(m), -1.0, 1.0), {m}),
+        rt::make_i64_array(iv, {sh.n}),
+        rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(sh.n), -1.0, 1.0), {sh.n})};
+    rt::Interp slow({.parallel = false, .use_kernels = false});
+    auto ref = rt::to_f64_vec(rt::as_array(slow.run(p, args)[0]));
+    rt::Interp fast(opts);
+    auto got = rt::to_f64_vec(rt::as_array(fast.run(run, args)[0]));
+    ASSERT_EQ(got.size(), ref.size()) << sh.name;
+    const double tol = op == HistOp::Min ? 0.0 : 1e-10;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i], ref[i], tol) << sh.name << " bin " << i;
+    }
+    if (kernel_op || fused) {
+      EXPECT_GE(fast.stats().kernel_hists.load(), 1u) << sh.name;
+    } else {
+      EXPECT_GE(fast.stats().general_hists.load(), 1u) << sh.name;
+    }
+    if (fused) {
+      EXPECT_GE(fast.stats().fused_hists.load(), 1u) << sh.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HistConformance,
+    ::testing::Values(
+        HistCase{false, HistStrategy::Sequential, HistOp::Add},
+        HistCase{false, HistStrategy::Privatized, HistOp::Add},
+        HistCase{false, HistStrategy::Atomic, HistOp::Add},
+        HistCase{false, HistStrategy::Sequential, HistOp::Min},
+        HistCase{false, HistStrategy::Privatized, HistOp::Min},
+        HistCase{false, HistStrategy::Atomic, HistOp::Min},
+        HistCase{false, HistStrategy::Sequential, HistOp::SlowAdd},
+        HistCase{false, HistStrategy::Privatized, HistOp::SlowAdd},
+        HistCase{false, HistStrategy::Atomic, HistOp::SlowAdd},
+        HistCase{false, HistStrategy::Sequential, HistOp::Lse},
+        HistCase{false, HistStrategy::Privatized, HistOp::Lse},
+        HistCase{false, HistStrategy::Atomic, HistOp::Lse},
+        HistCase{true, HistStrategy::Sequential, HistOp::Add},
+        HistCase{true, HistStrategy::Privatized, HistOp::Add},
+        HistCase{true, HistStrategy::Atomic, HistOp::Add},
+        HistCase{true, HistStrategy::Sequential, HistOp::Lse},
+        HistCase{true, HistStrategy::Privatized, HistOp::Lse},
+        HistCase{true, HistStrategy::Atomic, HistOp::Lse}));
+
+TEST(HistConformance, StrategyCountersReportTheTakenPath) {
+  // The privatized strategy must report non-atomic updates, the atomic
+  // fallback must report atomic updates, and the hand tier must not touch
+  // the kernel counters.
+  Prog p = hist_prog(HistOp::Add, /*with_map=*/false);
+  support::Rng rng(41);
+  const int64_t n = 4096, m = 64;
+  std::vector<int64_t> iv(static_cast<size_t>(n));
+  for (auto& x : iv) x = rng.uniform_int(m);
+  std::vector<Value> args = {
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(m), -1.0, 1.0), {m}),
+      rt::make_i64_array(iv, {n}),
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -1.0, 1.0), {n})};
+
+  rt::Interp priv({.parallel = true, .grain = 64, .privatize_min_iters = 1});
+  priv.run(p, args);
+  EXPECT_EQ(priv.stats().privatized_hist_updates.load(), static_cast<uint64_t>(n));
+  EXPECT_EQ(priv.stats().atomic_hist_updates.load(), 0u);
+  EXPECT_EQ(priv.stats().kernel_hists.load(), 0u);
+  EXPECT_EQ(priv.stats().general_hists.load(), 1u);
+
+  rt::Interp atom({.parallel = true, .grain = 64, .privatize_budget = 0});
+  atom.run(p, args);
+  EXPECT_EQ(atom.stats().atomic_hist_updates.load(), static_cast<uint64_t>(n));
+  EXPECT_EQ(atom.stats().privatized_hist_updates.load(), 0u);
+
+  Prog lse = hist_prog(HistOp::Lse, /*with_map=*/false);
+  rt::Interp kern({.parallel = false});
+  kern.run(lse, args);
+  EXPECT_EQ(kern.stats().kernel_hists.load(), 1u);
+  EXPECT_EQ(kern.stats().general_hists.load(), 0u);
+}
+
+TEST(HistConformance, ParallelOffTakesSequentialPathBitExactly) {
+  // Regression for the old fast path ignoring opts_.parallel: with the
+  // parallel runtime disabled, hist must run the strictly sequential loop —
+  // bit-identical to a hand fold in element order (float adds are not
+  // reassociated) — and must not perform a single atomic update.
+  Prog p = hist_prog(HistOp::Add, /*with_map=*/false);
+  support::Rng rng(43);
+  const int64_t n = 10000, m = 16;
+  // Adversarial magnitudes: reassociating these adds changes the result,
+  // so a privatized or atomic execution could not pass the bitwise check.
+  std::vector<double> vv(static_cast<size_t>(n));
+  for (size_t i = 0; i < vv.size(); ++i) {
+    vv[i] = (i % 3 == 0 ? 1e16 : 1.0) * (i % 2 == 0 ? 1.0 : -1.0) + rng.uniform(0.0, 1.0);
+  }
+  std::vector<int64_t> iv(static_cast<size_t>(n));
+  for (auto& x : iv) x = rng.uniform_int(m);
+  std::vector<double> dv = rng.uniform_vec(static_cast<size_t>(m), -1.0, 1.0);
+  std::vector<Value> args = {rt::make_f64_array(dv, {m}), rt::make_i64_array(iv, {n}),
+                             rt::make_f64_array(vv, {n})};
+  std::vector<double> expect = dv;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t b = iv[static_cast<size_t>(i)];
+    expect[static_cast<size_t>(b)] += vv[static_cast<size_t>(i)];
+  }
+  rt::Interp seq({.parallel = false});
+  auto got = rt::to_f64_vec(rt::as_array(seq.run(p, args)[0]));
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], expect[i]) << i;  // bit-identical
+  EXPECT_EQ(seq.stats().atomic_hist_updates.load(), 0u);
+  EXPECT_EQ(seq.stats().privatized_hist_updates.load(), static_cast<uint64_t>(n));
+}
+
+TEST(HistConformance, Rank2RowBinsStaySequentialGeneral) {
+  // Vector bins (rank-2 destination, the op combines rows element-wise) take
+  // the strictly sequential general path under every configuration.
+  ProgBuilder pb("h2");
+  Var dest = pb.param("dest", arr_f64(2));
+  Var inds = pb.param("inds", arr(ScalarType::I64, 1));
+  Var vals = pb.param("vals", arr_f64(2));
+  Builder& b = pb.body();
+  LambdaPtr op = b.lam({arr_f64(1), arr_f64(1)},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         Var r = c.map(c.lam({f64(), f64()},
+                                             [](Builder& cc, const std::vector<Var>& q) {
+                                               return std::vector<Atom>{
+                                                   Atom(cc.add(q[0], q[1]))};
+                                             }),
+                                       {p[0], p[1]})[0];
+                         return std::vector<Atom>{Atom(r)};
+                       });
+  Var ne = b.replicate(ci64(3), cf64(0.0));
+  Var h = b.hist(std::move(op), Atom(ne), dest, inds, vals);
+  Prog p = pb.finish({Atom(h)});
+  typecheck(p);
+  support::Rng rng(44);
+  const int64_t n = 200, m = 8;
+  std::vector<int64_t> iv(static_cast<size_t>(n));
+  for (auto& x : iv) x = rng.uniform_int(m + 2) - 1;  // includes out-of-range
+  std::vector<Value> args = {
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(m * 3), -1.0, 1.0), {m, 3}),
+      rt::make_i64_array(iv, {n}),
+      rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n * 3), -1.0, 1.0), {n, 3})};
+  rt::Interp slow({.parallel = false, .use_kernels = false});
+  auto ref = rt::to_f64_vec(rt::as_array(slow.run(p, args)[0]));
+  rt::Interp par({.parallel = true, .use_kernels = true, .grain = 16});
+  auto got = rt::to_f64_vec(rt::as_array(par.run(p, args)[0]));
+  ASSERT_EQ(got.size(), ref.size());
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], ref[i]) << i;
+  EXPECT_EQ(par.stats().general_hists.load(), 1u);
+  EXPECT_EQ(par.stats().atomic_hist_updates.load(), 0u);
 }
 
 TEST(RedomapConformance, GeneralFallbackHandlesRedomap) {

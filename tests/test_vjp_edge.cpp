@@ -19,6 +19,7 @@ using namespace npad;
 using namespace npad::ir;
 using rt::Value;
 using rt::make_f64_array;
+using rt::make_i64_array;
 
 void expect_gradcheck(const Prog& p, const std::vector<Value>& args, double tol = 2e-4) {
   typecheck(p);
@@ -439,6 +440,120 @@ TEST(FusedRedomap, FusedVjpKernelMatchesGeneralPath) {
   ASSERT_EQ(vf.size(), vs.size());
   for (size_t i = 0; i < vf.size(); ++i) EXPECT_NEAR(vf[i], vs[i], 1e-12) << i;
   EXPECT_NEAR(rt::as_f64(rf[0]), rt::as_f64(rs[0]), 1e-10);
+}
+
+// ------------------------------------------------- fused hist adjoints ----
+// The pipeline now folds producer maps into hist consumers (histomap).
+// Differentiated programs whose primal or adjoint scatters through
+// reduce_by_index must gradcheck after that rewrite, and the rewrite must
+// actually fire.
+
+TEST(FusedHist, AddHistGradients) {
+  // hist(+, dest, is, map(f, vals)) then sum: the producer map folds into
+  // the re-emitted primal hist inside the vjp program.
+  ProgBuilder pb("fh");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var vals = pb.param("vals", arr_f64(1));
+  Builder& b = pb.body();
+  Var n = b.length(vals);
+  Var iot = b.iota(Atom(n));
+  Var is = b.map1(b.lam({i64()},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          return std::vector<Atom>{Atom(c.mod(p[0], ci64(5)))};
+                        }),
+                  {iot});
+  Var vs2 = b.map1(b.lam({f64()},
+                         [](Builder& c, const std::vector<Var>& p) {
+                           Var sq = c.mul(p[0], p[0]);
+                           Var h = c.mul(sq, cf64(0.5));
+                           return std::vector<Atom>{Atom(c.add(h, Atom(c.mul(p[0], cf64(0.25)))))};
+                         }),
+                   {vals});
+  Var h = b.hist(b.add_op(), cf64(0.0), dest, is, vs2);
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {h});
+  Prog p = pb.finish({Atom(s)});
+  typecheck(p);
+  Prog g = ad::vjp(p);
+  opt::PipelineStats stats;
+  Prog gf = opt::optimize(g, {}, &stats);
+  typecheck(gf);
+  EXPECT_GE(stats.fuse.fused_hists, 1);
+  support::Rng rng(51);
+  expect_fused_gradcheck(p, {make_f64_array(rng.uniform_vec(5, -1.0, 1.0), {5}),
+                             make_f64_array(rng.uniform_vec(13, -1.0, 1.0), {13})});
+}
+
+TEST(FusedHist, MulHistAdjointChainsFuse) {
+  // The vjp of a multiplicative hist emits its own hist chains with map
+  // producers (zero-mask and masked-value maps feeding reduce_by_index);
+  // the pipeline must fold those into histomaps and keep the gradient.
+  ProgBuilder pb("fhm");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var vals = pb.param("vals", arr_f64(1));
+  Builder& b = pb.body();
+  Var n = b.length(vals);
+  Var iot = b.iota(Atom(n));
+  Var is = b.map1(b.lam({i64()},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          return std::vector<Atom>{Atom(c.mod(p[0], ci64(4)))};
+                        }),
+                  {iot});
+  Var h = b.hist(b.mul_op(), cf64(1.0), dest, is, vals);
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {h});
+  Prog p = pb.finish({Atom(s)});
+  typecheck(p);
+  Prog g = ad::vjp(p);
+  opt::PipelineStats stats;
+  Prog gf = opt::optimize(g, {}, &stats);
+  typecheck(gf);
+  EXPECT_GE(stats.fuse.fused_hists, 1);
+  support::Rng rng(52);
+  // Values bounded away from zero: the zero-aware product rule is exact but
+  // finite differences near a zero crossing are not.
+  expect_fused_gradcheck(p, {make_f64_array(rng.uniform_vec(4, 0.6, 1.4), {4}),
+                             make_f64_array(rng.uniform_vec(11, 0.5, 1.5), {11})});
+}
+
+TEST(FusedHist, FusedVjpKernelMatchesGeneralPath) {
+  // The optimized vjp program of an additive hist executed on the kernel
+  // runtime must agree with the same program on the general interpreter.
+  ProgBuilder pb("fhk");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var vals = pb.param("vals", arr_f64(1));
+  Builder& b = pb.body();
+  Var n = b.length(vals);
+  Var iot = b.iota(Atom(n));
+  Var is = b.map1(b.lam({i64()},
+                        [](Builder& c, const std::vector<Var>& p) {
+                          return std::vector<Atom>{Atom(c.mod(p[0], ci64(6)))};
+                        }),
+                  {iot});
+  Var vs2 = b.map1(b.lam({f64()},
+                         [](Builder& c, const std::vector<Var>& p) {
+                           return std::vector<Atom>{Atom(c.tanh(p[0]))};
+                         }),
+                   {vals});
+  Var h = b.hist(b.add_op(), cf64(0.0), dest, is, vs2);
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {h});
+  Prog p = pb.finish({Atom(s)});
+  Prog gf = opt::optimize(ad::vjp(p), {});
+  typecheck(gf);
+  support::Rng rng(53);
+  std::vector<Value> gargs = {make_f64_array(rng.uniform_vec(6, -1.0, 1.0), {6}),
+                              make_f64_array(rng.uniform_vec(29, -1.5, 1.5), {29}), 1.0};
+  rt::Interp fast({.parallel = false, .use_kernels = true, .kernel_lanes = 8});
+  rt::Interp slow({.parallel = false, .use_kernels = false});
+  auto rf = fast.run(gf, gargs);
+  auto rs = slow.run(gf, gargs);
+  EXPECT_GE(fast.stats().kernel_hists.load() + fast.stats().fused_hists.load(), 1u);
+  ASSERT_EQ(rf.size(), rs.size());
+  // Gradients are the last two results (dest, vals).
+  for (size_t k = rf.size() - 2; k < rf.size(); ++k) {
+    auto vf = rt::to_f64_vec(rt::as_array(rf[k]));
+    auto vs = rt::to_f64_vec(rt::as_array(rs[k]));
+    ASSERT_EQ(vf.size(), vs.size()) << k;
+    for (size_t i = 0; i < vf.size(); ++i) EXPECT_NEAR(vf[i], vs[i], 1e-12) << k << ":" << i;
+  }
 }
 
 } // namespace

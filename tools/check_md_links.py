@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links in the repo resolve to real files.
+
+Scans every tracked *.md file for inline links/images `[text](target)` and
+reference definitions `[label]: target`, skips absolute URLs (http/https/
+mailto) and pure in-page anchors (#...), strips #fragments from file targets,
+and verifies the referenced path exists relative to the linking file.
+
+Run from anywhere inside the repo: `python3 tools/check_md_links.py`.
+Exits non-zero listing every dangling link (the CI docs job runs this to
+catch stale cross-references when files move).
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def repo_root() -> str:
+    try:
+        out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except Exception:
+        return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def md_files(root: str):
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--cached", "--others", "--exclude-standard"],
+            cwd=root, capture_output=True, text=True, check=True)
+        files = [f for f in out.stdout.splitlines() if f.endswith(".md")]
+        if files:
+            return files
+    except Exception:
+        pass
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in {".git", "build"}]
+        for f in filenames:
+            if f.endswith(".md"):
+                found.append(os.path.relpath(os.path.join(dirpath, f), root))
+    return found
+
+
+def main() -> int:
+    root = repo_root()
+    broken = []
+    checked = 0
+    for rel in md_files(root):
+        path = os.path.join(root, rel)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as e:
+            broken.append((rel, "<unreadable>", str(e)))
+            continue
+        targets = INLINE.findall(text) + REFDEF.findall(text)
+        for target in targets:
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            if file_part.startswith("/"):
+                resolved = os.path.join(root, file_part.lstrip("/"))
+            else:
+                resolved = os.path.join(os.path.dirname(path), file_part)
+            checked += 1
+            if not os.path.exists(resolved):
+                broken.append((rel, target, os.path.relpath(resolved, root)))
+    if broken:
+        print(f"{len(broken)} dangling markdown link(s):")
+        for rel, target, resolved in broken:
+            print(f"  {rel}: ({target}) -> missing {resolved}")
+        return 1
+    print(f"ok: {checked} relative links resolve across {len(md_files(root))} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
