@@ -1,0 +1,229 @@
+// Ablation F: flattening of regular nested parallelism (opt/flatten.cpp).
+//
+// The general nested path pays one full interpreter apply() — environment
+// frame, Value vectors, per-row kernel-launch setup — per outer row; the
+// flattened path runs the whole nest as ONE launch. Workloads are the
+// matmul-shaped nests of the paper tables:
+//
+//  - map-of-map: ys = map(λrow. map(g, row)) — collapsed to a single
+//    kernel over the fused n·m extent (@flat);
+//  - map-of-sum: map(λrow. reduce(+, 0, row)) — the hand-tier segmented
+//    reduction (@segred), kmeans' distance row sums;
+//  - map-of-dot: map(λra,rb. reduce(+, 0, map(*, ra, rb))) — fused to a
+//    redomap nest, then a kernel-tier segmented reduction (@segred with a
+//    compiled pre-lambda), GMM/LSTM's per-row contractions;
+//  - map-of-lse: a multi-statement log-sum-exp fold per row, kernel tier.
+//
+// Grid: {general, flat} x {W=1, 8} at n·m ≈ 1M in two aspect ratios (many
+// short rows, where per-row launch setup dominates, and fewer long rows).
+// The acceptance signal is flat-W8 vs general-W8 at n·m ≈ 1M, recorded in
+// BENCH_ablation_flatten.json together with the flattened_maps /
+// segred_launches / segred_segments / hand_* counters.
+
+#include "common.hpp"
+
+#include <functional>
+
+#include "ir/builder.hpp"
+#include "ir/typecheck.hpp"
+#include "opt/flatten.hpp"
+#include "opt/fuse.hpp"
+#include "runtime/interp.hpp"
+#include "support/rng.hpp"
+
+using namespace npad;
+using namespace npad::ir;
+
+namespace {
+
+// map(λrow. map(g, row)) with an affine scalar body.
+Prog map_of_map_prog() {
+  ProgBuilder pb("mm");
+  Var xss = pb.param("xss", arr_f64(2));
+  Builder& b = pb.body();
+  Var out = b.map1(
+      b.lam({arr_f64(1)},
+            [](Builder& c, const std::vector<Var>& row) {
+              return std::vector<Atom>{Atom(c.map1(
+                  c.lam({f64()},
+                        [](Builder& cc, const std::vector<Var>& p) {
+                          // Deliberately light body: the ablation measures
+                          // per-row launch overhead, not scalar throughput.
+                          Var t = cc.mul(p[0], cf64(1.3));
+                          return std::vector<Atom>{Atom(cc.add(t, cf64(0.2)))};
+                        }),
+                  {row[0]}))};
+            }),
+      {xss});
+  return pb.finish({Atom(out)});
+}
+
+// map(λrow. reduce(+, 0, row)).
+Prog map_of_sum_prog() {
+  ProgBuilder pb("ms");
+  Var xss = pb.param("xss", arr_f64(2));
+  Builder& b = pb.body();
+  Var out = b.map1(b.lam({arr_f64(1)},
+                         [](Builder& c, const std::vector<Var>& row) {
+                           return std::vector<Atom>{
+                               Atom(c.reduce1(c.add_op(), cf64(0.0), {row[0]}))};
+                         }),
+                   {xss});
+  return pb.finish({Atom(out)});
+}
+
+// map(λra,rb. reduce(+, 0, map(*, ra, rb))) — fused into a redomap nest.
+Prog map_of_dot_prog() {
+  ProgBuilder pb("md");
+  Var as = pb.param("as", arr_f64(2));
+  Var bs = pb.param("bs", arr_f64(2));
+  Builder& b = pb.body();
+  Var out = b.map1(
+      b.lam({arr_f64(1), arr_f64(1)},
+            [](Builder& c, const std::vector<Var>& rows) {
+              Var prods = c.map1(c.lam({f64(), f64()},
+                                       [](Builder& cc, const std::vector<Var>& p) {
+                                         return std::vector<Atom>{Atom(cc.mul(p[0], p[1]))};
+                                       }),
+                                 {rows[0], rows[1]});
+              return std::vector<Atom>{Atom(c.reduce1(c.add_op(), cf64(0.0), {prods}))};
+            }),
+      {as, bs});
+  return pb.finish({Atom(out)});
+}
+
+// map(λrow. reduce(lse, -inf, row)) — multi-statement kernel-tier fold.
+Prog map_of_lse_prog() {
+  ProgBuilder pb("ml");
+  Var xss = pb.param("xss", arr_f64(2));
+  Builder& b = pb.body();
+  Var out = b.map1(
+      b.lam({arr_f64(1)},
+            [](Builder& c, const std::vector<Var>& row) {
+              LambdaPtr op = c.lam({f64(), f64()}, [](Builder& cc, const std::vector<Var>& p) {
+                Var m = cc.max(p[0], p[1]);
+                Var ea = cc.exp(Atom(cc.sub(p[0], m)));
+                Var eb = cc.exp(Atom(cc.sub(p[1], m)));
+                return std::vector<Atom>{Atom(cc.add(m, Atom(cc.log(Atom(cc.add(ea, eb))))))};
+              });
+              return std::vector<Atom>{
+                  Atom(c.reduce1(std::move(op), cf64(-1e300), {row[0]}))};
+            }),
+      {xss});
+  return pb.finish({Atom(out)});
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const int64_t S = bench::scale_factor();
+  // Two aspect ratios of the same ~1M-element space (the CI target at
+  // scale 1): many short rows — where per-row apply()/launch setup is the
+  // whole cost — and fewer long rows.
+  const int64_t n_wide = 8192 * S, m_wide = 128;
+  const int64_t n_long = 1024 * S, m_long = 1024;
+  support::Rng rng(53);
+
+  auto prep = [&](Prog p, bool fuse_first) {
+    ir::typecheck(p);
+    if (fuse_first) {
+      opt::FuseStats fs;
+      p = opt::fuse_maps(p, &fs);
+      ir::typecheck(p);
+    }
+    opt::FlattenStats st;
+    Prog q = opt::flatten_nested(p, &st);
+    ir::typecheck(q);
+    return std::pair<Prog, Prog>{std::move(p), std::move(q)};  // {general, flat}
+  };
+  auto [mm_gen, mm_flat] = prep(map_of_map_prog(), false);
+  auto [ms_gen, ms_flat] = prep(map_of_sum_prog(), false);
+  auto [md_gen, md_flat] = prep(map_of_dot_prog(), true);
+  auto [ml_gen, ml_flat] = prep(map_of_lse_prog(), false);
+
+  auto mk_args = [&](int64_t n, int64_t m, int copies) {
+    std::vector<rt::Value> args;
+    for (int i = 0; i < copies; ++i) {
+      args.push_back(rt::make_f64_array(
+          rng.uniform_vec(static_cast<size_t>(n * m), -1.0, 1.0), {n, m}));
+    }
+    return args;
+  };
+  const int64_t n_short = 65536 * S, m_short = 16;
+  auto wide1 = mk_args(n_wide, m_wide, 1);
+  auto wide2 = mk_args(n_wide, m_wide, 2);
+  auto long1 = mk_args(n_long, m_long, 1);
+  auto short1 = mk_args(n_short, m_short, 1);
+  auto short2 = mk_args(n_short, m_short, 2);
+
+  rt::Interp g1({.parallel = true, .use_kernels = true, .kernel_lanes = 1});
+  rt::Interp g8({.parallel = true, .use_kernels = true, .kernel_lanes = 8});
+  rt::Interp f1({.parallel = true, .use_kernels = true, .kernel_lanes = 1});
+  rt::Interp f8({.parallel = true, .use_kernels = true, .kernel_lanes = 8});
+
+  auto reg = [&](const char* name, std::function<void()> fn) {
+    benchmark::RegisterBenchmark(name, [fn](benchmark::State& st) {
+      for (auto _ : st) fn();
+    })->Unit(benchmark::kMillisecond)->MinTime(0.1);
+  };
+  reg("mapmap/general-w1", [&] { benchmark::DoNotOptimize(g1.run(mm_gen, wide1)); });
+  reg("mapmap/general-w8", [&] { benchmark::DoNotOptimize(g8.run(mm_gen, wide1)); });
+  reg("mapmap/flat-w1", [&] { benchmark::DoNotOptimize(f1.run(mm_flat, wide1)); });
+  reg("mapmap/flat-w8", [&] { benchmark::DoNotOptimize(f8.run(mm_flat, wide1)); });
+  reg("mapmap-long/general-w8", [&] { benchmark::DoNotOptimize(g8.run(mm_gen, long1)); });
+  reg("mapmap-long/flat-w8", [&] { benchmark::DoNotOptimize(f8.run(mm_flat, long1)); });
+  reg("mapsum/general-w8", [&] { benchmark::DoNotOptimize(g8.run(ms_gen, wide1)); });
+  reg("mapsum/flat-w8", [&] { benchmark::DoNotOptimize(f8.run(ms_flat, wide1)); });
+  reg("mapdot/general-w1", [&] { benchmark::DoNotOptimize(g1.run(md_gen, wide2)); });
+  reg("mapdot/general-w8", [&] { benchmark::DoNotOptimize(g8.run(md_gen, wide2)); });
+  reg("mapdot/flat-w1", [&] { benchmark::DoNotOptimize(f1.run(md_flat, wide2)); });
+  reg("mapdot/flat-w8", [&] { benchmark::DoNotOptimize(f8.run(md_flat, wide2)); });
+  reg("maplse/general-w8", [&] { benchmark::DoNotOptimize(g8.run(ml_gen, wide1)); });
+  reg("maplse/flat-w8", [&] { benchmark::DoNotOptimize(f8.run(ml_flat, wide1)); });
+  reg("mapsum-short/general-w8", [&] { benchmark::DoNotOptimize(g8.run(ms_gen, short1)); });
+  reg("mapsum-short/flat-w8", [&] { benchmark::DoNotOptimize(f8.run(ms_flat, short1)); });
+  reg("mapdot-short/general-w8", [&] { benchmark::DoNotOptimize(g8.run(md_gen, short2)); });
+  reg("mapdot-short/flat-w8", [&] { benchmark::DoNotOptimize(f8.run(md_flat, short2)); });
+
+  auto col = bench::run_benchmarks(argc, argv);
+
+  support::Table t({"Workload (n x m)", "general (ms)", "flat (ms)", "speedup"});
+  auto row = [&](const char* label, const char* gk, const char* fk) {
+    t.add_row({label, support::Table::fmt(col.ms(gk)), support::Table::fmt(col.ms(fk)),
+               bench::ratio(col.ms(gk), col.ms(fk))});
+  };
+  row("map-of-map 8192x128, W=1", "mapmap/general-w1", "mapmap/flat-w1");
+  row("map-of-map 8192x128, W=8", "mapmap/general-w8", "mapmap/flat-w8");
+  row("map-of-map 1024x1024, W=8", "mapmap-long/general-w8", "mapmap-long/flat-w8");
+  row("map-of-sum 8192x128, W=8", "mapsum/general-w8", "mapsum/flat-w8");
+  row("map-of-dot 8192x128, W=1", "mapdot/general-w1", "mapdot/flat-w1");
+  row("map-of-dot 8192x128, W=8", "mapdot/general-w8", "mapdot/flat-w8");
+  row("map-of-lse 8192x128, W=8", "maplse/general-w8", "maplse/flat-w8");
+  row("map-of-sum 65536x16, W=8", "mapsum-short/general-w8", "mapsum-short/flat-w8");
+  row("map-of-dot 65536x16, W=8", "mapdot-short/general-w8", "mapdot-short/flat-w8");
+  std::cout << "\nAblation F: flattened nested parallelism vs per-row launches\n";
+  t.print();
+
+  // Acceptance signals: flattened_maps/segred_launches nonzero on the flat
+  // interpreters, and the flat-W8 vs general-W8 ratios at n·m ≈ 1M
+  // (map-of-sum 8192x128 is the ≥3x acceptance row; the short-row shapes
+  // show the trend as per-row setup dominates).
+  std::map<std::string, uint64_t> counters = f8.stats().counters();
+  for (const auto& [k, v] : g8.stats().counters()) counters["general8_" + k] = v;
+  auto record = [&](const char* key, const char* gk, const char* fk) {
+    const double g = col.ms(gk), f = col.ms(fk);
+    if (g > 0 && f > 0) counters[key] = static_cast<uint64_t>(100.0 * g / f);
+  };
+  record("speedup_mapsum_w8_x100", "mapsum/general-w8", "mapsum/flat-w8");
+  record("speedup_mapdot_w8_x100", "mapdot/general-w8", "mapdot/flat-w8");
+  record("speedup_mapsum_short_w8_x100", "mapsum-short/general-w8", "mapsum-short/flat-w8");
+  record("speedup_mapdot_short_w8_x100", "mapdot-short/general-w8", "mapdot-short/flat-w8");
+  const double sgen8 = col.ms("mapsum/general-w8");
+  const double sflat8 = col.ms("mapsum/flat-w8");
+  if (sgen8 > 0 && sflat8 > 0) {
+    std::cout << "\nflattened map-of-sum W=8 speedup over general nested (1M): "
+              << bench::ratio(sgen8, sflat8) << "\n";
+  }
+  bench::write_bench_json("ablation_flatten", col, counters);
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "apps/kmeans.hpp"
 #include "core/ad.hpp"
 #include "ir/typecheck.hpp"
+#include "opt/pipeline.hpp"
 #include "runtime/interp.hpp"
 
 using namespace npad;
@@ -18,10 +19,18 @@ int main(int argc, char** argv) {
   const int64_t S = bench::scale_factor();
   support::Rng rng(11);
   rt::Interp interp;
+  // All AD happens before optimization (jvp-of-vjp refuses fused/flattened
+  // forms); then each measured program runs the standard pipeline.
   ir::Prog cost_p = apps::kmeans_ir_cost();
   ir::typecheck(cost_p);
   ir::Prog grad_p = ad::vjp(cost_p);
   ir::Prog hess_p = ad::jvp(grad_p);
+  ir::typecheck(hess_p);
+  cost_p = opt::optimize(cost_p);
+  grad_p = opt::optimize(grad_p);
+  hess_p = opt::optimize(hess_p);
+  ir::typecheck(cost_p);
+  ir::typecheck(grad_p);
   ir::typecheck(hess_p);
 
   struct Workload {

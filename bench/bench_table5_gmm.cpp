@@ -10,6 +10,7 @@
 #include "apps/gmm.hpp"
 #include "core/ad.hpp"
 #include "ir/typecheck.hpp"
+#include "opt/pipeline.hpp"
 #include "runtime/interp.hpp"
 
 using namespace npad;
@@ -18,9 +19,16 @@ int main(int argc, char** argv) {
   const int64_t S = bench::scale_factor();
   support::Rng rng(17);
   rt::Interp interp;
+  // Differentiate first, then run the standard pipeline (fusion +
+  // flattening): GMM's per-component row sums and the prior's
+  // sum-of-squares rows become flattened segmented reductions.
   ir::Prog obj_p = apps::gmm_ir_objective();
   ir::typecheck(obj_p);
   ir::Prog grad_p = ad::vjp(obj_p);
+  obj_p = opt::optimize(obj_p);
+  grad_p = opt::optimize(grad_p);
+  ir::typecheck(obj_p);
+  ir::typecheck(grad_p);
 
   struct Shape {
     const char* name;

@@ -10,6 +10,7 @@
 #include "apps/lstm.hpp"
 #include "core/ad.hpp"
 #include "ir/typecheck.hpp"
+#include "opt/pipeline.hpp"
 #include "runtime/interp.hpp"
 
 using namespace npad;
@@ -18,9 +19,15 @@ int main(int argc, char** argv) {
   const int64_t S = bench::scale_factor();
   support::Rng rng(19);
   rt::Interp interp;
+  // Differentiate first, then the standard pipeline (fusion + flattening)
+  // over both programs — the per-gate row maps are nested-parallel.
   ir::Prog obj_p = apps::lstm_ir_objective();
   ir::typecheck(obj_p);
   ir::Prog grad_p = ad::vjp(obj_p);
+  obj_p = opt::optimize(obj_p);
+  grad_p = opt::optimize(grad_p);
+  ir::typecheck(obj_p);
+  ir::typecheck(grad_p);
 
   struct Shape {
     const char* name;

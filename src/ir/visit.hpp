@@ -115,13 +115,35 @@ public:
   Var var(Var v, const Subst& s) const {
     auto it = s.find(v.id);
     if (it == s.end()) return v;
-    assert(it->second.is_var() && "array/binding position substituted by constant");
+    if (!it->second.is_var()) {
+      // Copy-propagation (refresh_ == false) may alias a *scalar* var to a
+      // constant; a var-only position (OpScratch::like, OpZerosLike, …) can
+      // legally use such a var, so decline the substitution — the original
+      // binding still exists and stays live through the remaining use.
+      // While inlining (refresh_ == true) the substituted binding no longer
+      // exists in the output, so a constant here is a caller bug.
+      assert(!refresh_ && "array/binding position substituted by constant while inlining");
+      return v;
+    }
     return it->second.var();
   }
 
   Var bind(Var v, Subst& s) {
     if (!refresh_) {
-      s.erase(v.id);  // shadowing kills any pending substitution
+      // Shadowing kills any pending substitution of this id AND any
+      // substitution *targeting* it: an alias X -> Y recorded outside this
+      // scope must not capture a re-binding of Y (AD passes re-install
+      // forward sweeps re-using ids, so same-id re-binding is routine).
+      // With refresh on, re-bindings get fresh names, so captures are
+      // impossible and targets need no scan.
+      s.erase(v.id);
+      for (auto it = s.begin(); it != s.end();) {
+        if (it->second.is_var() && it->second.var() == v) {
+          it = s.erase(it);
+        } else {
+          ++it;
+        }
+      }
       return v;
     }
     Var nv = mod_.fresh(mod_.name(v));
@@ -209,7 +231,7 @@ public:
               n.body = make_body(c2.body(*o.body, inner));
               return n;
             },
-            [&](const OpMap& o) -> Exp { return OpMap{L(o.f), VS(o.args), o.fused}; },
+            [&](const OpMap& o) -> Exp { return OpMap{L(o.f), VS(o.args), o.fused, o.flat}; },
             [&](const OpReduce& o) -> Exp {
               return OpReduce{L(o.op), AS(o.neutral), VS(o.args), L(o.pre), o.fused};
             },

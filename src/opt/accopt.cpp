@@ -55,7 +55,7 @@ private:
               n.while_cond = sub_lambda(o.while_cond);
               return n;
             },
-            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f), o.args, o.fused}; },
+            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f), o.args, o.fused, o.flat}; },
             [&](const OpReduce& o) -> Exp {
               return OpReduce{sub_lambda(o.op), o.neutral, o.args, sub_lambda(o.pre), o.fused};
             },
@@ -102,6 +102,37 @@ private:
       if (site) rewrites.emplace_back(w, *site);
     }
     if (rewrites.empty()) return false;
+
+    // Everything from here on emits statements into the enclosing builder,
+    // so ALL feasibility checks must pass first: bailing out after emission
+    // would leave the half-built peel map behind, referencing the withacc's
+    // accumulator params out of scope (a withacc mixing rule-R/H accs with
+    // non-matching ones — e.g. the LSTM adjoint's 3-acc sweeps — used to
+    // trip exactly this).
+    if (rewrites.size() != wl.params.size()) return false;  // partial peel unsupported
+    if (st.vars.size() != wl.body.result.size()) return false;
+    {
+      std::unordered_set<uint32_t> acc_vars;
+      for (auto& [w, s] : rewrites) {
+        for (Var v : mf.body.stms[s.stm_index].vars) acc_vars.insert(v.id);
+        acc_vars.insert(mf.params[s.acc_param].var.id);
+      }
+      std::unordered_set<size_t> kept;  // non-acc map-lambda result indices
+      for (size_t r = 0; r < mf.body.result.size(); ++r) {
+        const Atom& a = mf.body.result[r];
+        if (!(a.is_var() && acc_vars.count(a.var().id))) kept.insert(r);
+      }
+      std::unordered_map<uint32_t, size_t> mop;  // map output var -> position
+      const Stm& mstm0 = wl.body.stms[0];
+      for (size_t i = 0; i < mstm0.vars.size(); ++i) mop[mstm0.vars[i].id] = i;
+      // Every extra withacc output must be a kept map output, or the final
+      // rebinding below cannot be expressed.
+      for (size_t oi = wa->arrs.size(); oi < st.vars.size(); ++oi) {
+        const Atom& a = wl.body.result[oi];
+        if (!a.is_var() || !mop.count(a.var().id)) return false;
+        if (!kept.count(mop[a.var().id])) return false;
+      }
+    }
 
     // Build the new map lambda: drop the upd_acc statements and the acc
     // plumbing, return (ix.., v) extras per site.
@@ -182,23 +213,15 @@ private:
       }
     }
 
-    // Remaining accumulators (if any) keep a reduced withacc; otherwise the
-    // construct disappears entirely.
-    std::vector<size_t> kept_accs;
-    for (size_t w = 0; w < wl.params.size(); ++w) {
-      if (!replaced.count(w)) kept_accs.push_back(w);
-    }
-    // Map original withacc outputs to new values. Original outputs:
-    // [per-acc arrays][extras = non-acc map results in original order].
-    // The kept (non-acc) map results must also flow through.
+    // Every accumulator was peeled (validated before emission), so the
+    // withacc construct disappears entirely. Map original withacc outputs to
+    // new values. Original outputs: [per-acc arrays][extras = non-acc map
+    // results in original order]. The kept (non-acc) map results must also
+    // flow through.
+    assert(replaced.size() == wl.params.size() && "partial peel emitted");
     std::unordered_map<size_t, Var> kept_res_var;  // original result idx -> var
     for (size_t i = 0; i < kept_results.size(); ++i) {
       kept_res_var[kept_results[i]] = mres[i];
-    }
-    if (!kept_accs.empty()) {
-      // Partial peel is only supported when every acc was peeled; bail out
-      // conservatively otherwise (keep the original statement).
-      return false;
     }
     // Rebind the withacc statement outputs: first |arrs| arrays, then extras
     // (the map's non-acc results, which the withacc lambda returned).
@@ -218,14 +241,14 @@ private:
       if (oi < wa->arrs.size()) {
         e = OpAtom{Atom(replaced.at(oi))};
       } else {
-        // Extra output: the wl result at this position must be a map output.
+        // Extra output: a kept map output (validated before emission).
         const Atom& a = wl.body.result[oi];
-        if (!a.is_var() || !map_out_pos.count(a.var().id)) return false;
+        assert(a.is_var() && map_out_pos.count(a.var().id) && "unvalidated extra output");
         const size_t mo = map_out_pos[a.var().id];
         // Which original lambda result does output `mo` correspond to?
         const size_t orig_res = out_to_res[mo];
         auto it = kept_res_var.find(orig_res);
-        if (it == kept_res_var.end()) return false;
+        assert(it != kept_res_var.end() && "unvalidated extra output");
         e = OpAtom{Atom(it->second)};
       }
       b.push(stm1(target, tm_.at(target), std::move(e)));

@@ -1,0 +1,42 @@
+#pragma once
+
+// Flattening of regular nested parallelism (the classic Futhark-style
+// transformation, specialized to the perfect nests our apps and vjp adjoints
+// actually produce): annotates maps whose lambda is exactly one inner SOAC
+// over the row params so the runtime can execute the nest as a single
+// launch instead of one inner launch per row.
+//
+//   map(λrow. map(g, row…))            →  @flat   (FlatForm::Inner)
+//     one compiled kernel over the fused n·m extent: rank-2 contiguous
+//     inputs viewed as rank-1, outputs written rank-2 in place.
+//
+//   map(λrow. reduce/redomap(op, ne, row…))  →  @segred (FlatForm::SegRed)
+//     one segmented reduction launch, parallel over segments, reusing the
+//     compiled reduce artifact (KernelCache::get_reduce) — per-segment fold
+//     into the accumulator registers, one store per segment, no per-row
+//     launch setup.
+//
+// The matcher is ir/patterns.hpp::flatten_form (shared with typecheck,
+// which validates annotations against structure). The pass only annotates;
+// it never restructures, so a runtime that cannot honor the annotation
+// (non-rank-2 inputs, non-kernelizable inner lambda, threaded accumulators
+// at launch) falls back to the general nested path unchanged.
+//
+// Run it *after* fusion (pipeline order: simplify → accopt → fuse →
+// simplify → flatten): fusion is what turns map(λrow. reduce(op, map(h,
+// row))) into the single-statement redomap nest this pass accepts. The AD
+// passes refuse annotated maps ("differentiate before flattening"), same as
+// they refuse redomap/histomap forms.
+
+#include "ir/ast.hpp"
+
+namespace npad::opt {
+
+struct FlattenStats {
+  int flattened_maps = 0;     // maps annotated FlatForm::Inner
+  int flattened_redomaps = 0; // maps annotated FlatForm::SegRed
+};
+
+ir::Prog flatten_nested(const ir::Prog& p, FlattenStats* stats = nullptr);
+
+} // namespace npad::opt

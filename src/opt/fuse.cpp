@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "ir/analysis.hpp"
+#include "ir/patterns.hpp"
 #include "ir/visit.hpp"
 
 namespace npad::opt {
@@ -91,7 +92,7 @@ private:
               n.while_cond = sub_lambda(o.while_cond);
               return n;
             },
-            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f), o.args, o.fused}; },
+            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f), o.args, o.fused, o.flat}; },
             [&](const OpReduce& o) -> Exp {
               return OpReduce{sub_lambda(o.op), o.neutral, o.args, sub_lambda(o.pre), o.fused};
             },
@@ -206,6 +207,13 @@ private:
         const auto* prod = std::get_if<OpMap>(&b.stms[i].e);
         if (prod == nullptr || prod->args.empty()) continue;
         if (!pure_elementwise(*prod->f)) continue;
+        // Reduce/scan/hist consumers only take *scalar* producers into their
+        // element-wise pre-lambda: a row-level producer (rank>=1 params or
+        // results) would make the pre non-scalar, which cannot
+        // kernel-compile (runtime/kernel.cpp) AND destroys the perfectly
+        // nested map(λrow. reduce…) shape opt/flatten.cpp turns into a
+        // segmented launch — strictly worse than leaving the nest alone.
+        if (cmap == nullptr && !lambda_scalar(*prod->f)) continue;
         // OpHist has a single vals slot, so only single-input producers can
         // fold into its pre-lambda.
         if (chist != nullptr && prod->args.size() != 1) continue;

@@ -21,6 +21,12 @@
 // slot); dest and inds are not candidates (dest is consumed whole, inds
 // select bins).
 //
+// Reduce/scan/hist consumers additionally require a *scalar* producer
+// (rank-0 params and results): a row-level producer would make the
+// pre-lambda non-scalar, which cannot kernel-compile and destroys the
+// perfectly nested map(λrow. reduce…) shape opt/flatten.cpp collapses into
+// a segmented launch.
+//
 // A producer is fusable when it binds a single result, its lambda threads no
 // accumulators, and every use of the result is an argument position of the
 // one consumer. The consumer map may thread accumulators; its threading is

@@ -48,7 +48,7 @@ private:
               n.while_cond = sub_lambda(o.while_cond);
               return n;
             },
-            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f), o.args, o.fused}; },
+            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f), o.args, o.fused, o.flat}; },
             [&](const OpReduce& o) -> Exp {
               return OpReduce{sub_lambda(o.op), o.neutral, o.args, sub_lambda(o.pre), o.fused};
             },

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "ir/analysis.hpp"
+#include "ir/patterns.hpp"
 #include "ir/print.hpp"
 #include "ir/visit.hpp"
 
@@ -27,6 +28,11 @@ public:
       const Stm& st = in.stms[i];
       bool needed = false;
       for (Var v : st.vars) needed = needed || live.count(v.id) > 0;
+      // Accumulator updates mutate shared buffers in place: a statement
+      // whose nested bodies upd_acc a free accumulator is observable even
+      // when it binds nothing (vjp adjoint sweeps emit zero-result maps of
+      // exactly this shape), so it can never be dropped.
+      if (!needed && has_acc_effects(st.e)) needed = true;
       if (!needed) continue;
       Stm ns = st;
       ns.e = prune_exp(st.e);
@@ -66,7 +72,7 @@ private:
               n.while_cond = prune_lambda(o.while_cond);
               return n;
             },
-            [&](const OpMap& o) -> Exp { return OpMap{prune_lambda(o.f), o.args, o.fused}; },
+            [&](const OpMap& o) -> Exp { return OpMap{prune_lambda(o.f), o.args, o.fused, o.flat}; },
             [&](const OpReduce& o) -> Exp {
               return OpReduce{prune_lambda(o.op), o.neutral, o.args, prune_lambda(o.pre),
                               o.fused};
@@ -93,13 +99,32 @@ public:
     std::unordered_map<uint32_t, Atom> alias;  // var -> var or const
   };
 
+  // A (re-)binding of `v` invalidates aliases *from* v and aliases *to* v:
+  // keeping an X -> v entry across a shadowing re-binding of v would
+  // capture uses of X (the AD passes re-install forward sweeps re-using
+  // ids, so same-id re-binding is routine, including inside nested scopes).
+  // The target scan is linear in the live-alias count per binding —
+  // quadratic in pathological bodies, accepted like fuse_once's per-step
+  // table rebuild; a reverse index would restore O(1) at the cost of a
+  // second structure to keep consistent here and in Cloner::bind.
+  static void kill_alias(Env& env, Var v) {
+    env.alias.erase(v.id);
+    for (auto it = env.alias.begin(); it != env.alias.end();) {
+      if (it->second.is_var() && it->second.var() == v) {
+        it = env.alias.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   Body body(const Body& in, Env env) {
     Body out;
     for (const auto& st : in.stms) {
       Stm ns = st;
       ns.e = rewrite(st.e, env);
-      // Shadowing: a re-binding invalidates previous aliases of that id.
-      for (Var v : ns.vars) env.alias.erase(v.id);
+      // Shadowing: a re-binding invalidates aliases of and to that id.
+      for (Var v : ns.vars) kill_alias(env, v);
       // Record folding opportunities for single-binding statements.
       if (ns.vars.size() == 1) {
         if (auto folded = fold(ns.e)) {
@@ -147,19 +172,19 @@ private:
             [&](const OpLoop& o) -> Exp {
               OpLoop n = o;
               Env inner = env;
-              for (const auto& p : o.params) inner.alias.erase(p.var.id);
-              if (o.idx.valid()) inner.alias.erase(o.idx.id);
+              for (const auto& p : o.params) kill_alias(inner, p.var);
+              if (o.idx.valid()) kill_alias(inner, o.idx);
               n.body = make_body(body(*o.body, inner));
               if (o.while_cond) {
                 Lambda wl = *o.while_cond;
                 Env wenv = env;
-                for (const auto& p : wl.params) wenv.alias.erase(p.var.id);
+                for (const auto& p : wl.params) kill_alias(wenv, p.var);
                 wl.body = body(wl.body, wenv);
                 n.while_cond = make_lambda(std::move(wl));
               }
               return n;
             },
-            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f, env), o.args, o.fused}; },
+            [&](const OpMap& o) -> Exp { return OpMap{sub_lambda(o.f, env), o.args, o.fused, o.flat}; },
             [&](const OpReduce& o) -> Exp {
               return OpReduce{sub_lambda(o.op, env), o.neutral, o.args, sub_lambda(o.pre, env),
                               o.fused};
@@ -182,7 +207,7 @@ private:
     if (!l) return nullptr;
     Lambda nl = *l;
     Env inner = env;
-    for (const auto& p : nl.params) inner.alias.erase(p.var.id);
+    for (const auto& p : nl.params) kill_alias(inner, p.var);
     nl.body = body(nl.body, inner);
     return make_lambda(std::move(nl));
   }

@@ -3,7 +3,9 @@
 // Parallel interpreter for npad IR: the execution substrate standing in for
 // the paper's GPU backend. SOACs execute on the global thread pool; scalar
 // map lambdas take the kernel-compiled fast path (runtime/kernel.hpp), with
-// compiled kernels cached process-wide (runtime/kernel_cache.hpp); variable
+// compiled kernels cached process-wide (runtime/kernel_cache.hpp); regular
+// nested SOACs annotated by opt/flatten.cpp run as single collapsed or
+// segmented launches instead of one inner launch per row; variable
 // environments are slot-resolved flat frames (runtime/resolve.hpp); and
 // accumulator updates are privatized into per-worker buffers when profitable,
 // falling back to atomic adds. See src/runtime/README.md.
@@ -51,11 +53,16 @@ struct InterpStats {
   std::atomic<uint64_t> fused_maps{0};           // producer maps eliminated by fusion (per launch)
   std::atomic<uint64_t> batched_launches{0};     // kernel spans that ran >=1 full lane batch
   std::atomic<uint64_t> kernel_reduces{0};       // reduces run through compiled kernels
+  std::atomic<uint64_t> hand_reduces{0};         // reduces run through the hand binop loop
   std::atomic<uint64_t> general_reduces{0};      // reduces run through the interpreter
   std::atomic<uint64_t> fused_reduces{0};        // producer maps folded into reduce launches
   std::atomic<uint64_t> kernel_scans{0};         // scans run through compiled kernels
+  std::atomic<uint64_t> hand_scans{0};           // scans run through the hand binop loop
   std::atomic<uint64_t> general_scans{0};        // scans run through the interpreter
   std::atomic<uint64_t> fused_scans{0};          // producer maps folded into scan launches
+  std::atomic<uint64_t> flattened_maps{0};       // nested maps run as one collapsed launch
+  std::atomic<uint64_t> segred_launches{0};      // map-of-reduce nests run segmented
+  std::atomic<uint64_t> segred_segments{0};      // total segments folded by segred launches
   std::atomic<uint64_t> kernel_hists{0};         // hists run through compiled kernels
   std::atomic<uint64_t> general_hists{0};        // hists run through the interpreter
   std::atomic<uint64_t> fused_hists{0};          // producer maps folded into hist launches
@@ -77,11 +84,16 @@ struct InterpStats {
         {"fused_maps", fused_maps.load()},
         {"batched_launches", batched_launches.load()},
         {"kernel_reduces", kernel_reduces.load()},
+        {"hand_reduces", hand_reduces.load()},
         {"general_reduces", general_reduces.load()},
         {"fused_reduces", fused_reduces.load()},
         {"kernel_scans", kernel_scans.load()},
+        {"hand_scans", hand_scans.load()},
         {"general_scans", general_scans.load()},
         {"fused_scans", fused_scans.load()},
+        {"flattened_maps", flattened_maps.load()},
+        {"segred_launches", segred_launches.load()},
+        {"segred_segments", segred_segments.load()},
         {"kernel_hists", kernel_hists.load()},
         {"general_hists", general_hists.load()},
         {"fused_hists", fused_hists.load()},

@@ -573,6 +573,53 @@ void combine_on(const KernelLaunch& L, double* r1, double* acc, const double* ot
   for (size_t j = 0; j < k.reds.size(); ++j) acc[j] = r1[k.reds[j].acc_reg];
 }
 
+// Folds elements [lo, hi) into `partials` on *prepared* register files: r1
+// is the scalar file (invariants broadcast), rw the L.lanes-wide file or
+// nullptr for scalar-only execution. The body of run_reduce, factored so
+// the segmented driver (run_segred_chunk) can fold one segment per call
+// without re-allocating files or re-broadcasting invariants. Register state
+// may be stale from a previous span: every non-invariant register is
+// written before use within an iteration (LoadElem / pre-lambda Movs feed
+// the fold), and the accumulator registers are re-seeded here.
+void reduce_span(const KernelLaunch& L, double* r1, double* rw, double* lane_scratch,
+                 int64_t lo, int64_t hi, double* partials) {
+  const Kernel& kk = *L.k;
+  const size_t nred = kk.reds.size();
+  const size_t iend = kk.instrs.size();
+  int64_t cur = lo;
+  const int W = L.lanes;
+  if (rw != nullptr && W > 1 && hi - lo >= W) {
+    // Every lane starts at the neutral element and folds one contiguous
+    // block of blk elements (lane_stride mode of exec_span); the caller's
+    // carry-in plus the lane partials are then combined in block order
+    // through the fold subprogram, so element order is preserved and the
+    // fold only needs to be associative. Block boundaries still reorder
+    // float-add *grouping* relative to a single sequential fold
+    // (runtime/README.md caveat).
+    for (size_t j = 0; j < nred; ++j) {
+      for (int l = 0; l < W; ++l) rw[kk.reds[j].acc_reg * W + l] = L.red_neutral[j];
+    }
+    const int64_t blk = (hi - cur) / W;
+    switch (W) {
+      case 4: exec_span(L, rw, cur, cur + blk, 0, iend, std::integral_constant<int, 4>{}, blk); break;
+      case 8: exec_span(L, rw, cur, cur + blk, 0, iend, std::integral_constant<int, 8>{}, blk); break;
+      case 16: exec_span(L, rw, cur, cur + blk, 0, iend, std::integral_constant<int, 16>{}, blk); break;
+      default: exec_span(L, rw, cur, cur + blk, 0, iend, W, blk); break;
+    }
+    cur += blk * W;
+    for (int l = 0; l < W; ++l) {
+      for (size_t j = 0; j < nred; ++j) lane_scratch[j] = rw[kk.reds[j].acc_reg * W + l];
+      combine_on(L, r1, partials, lane_scratch);
+    }
+  }
+  if (cur < hi) {
+    // Scalar tail: continue the running partial through the full program.
+    for (size_t j = 0; j < nred; ++j) r1[kk.reds[j].acc_reg] = partials[j];
+    exec_span(L, r1, cur, hi, 0, iend, std::integral_constant<int, 1>{});
+    for (size_t j = 0; j < nred; ++j) partials[j] = r1[kk.reds[j].acc_reg];
+  }
+}
+
 } // namespace
 
 void KernelLaunch::run(int64_t lo, int64_t hi) const {
@@ -597,47 +644,47 @@ void KernelLaunch::run(int64_t lo, int64_t hi) const {
 
 void KernelLaunch::run_reduce(int64_t lo, int64_t hi, double* partials) const {
   const Kernel& kk = *k;
-  const size_t nred = kk.reds.size();
-  const size_t iend = kk.instrs.size();
   // Scalar register file reused for the lane combines and the tail loop.
   std::vector<double> r1(static_cast<size_t>(kk.num_regs), 0.0);
   init_invariant(*this, r1.data(), 1);
-
-  int64_t cur = lo;
-  const int W = lanes;
-  if (W > 1 && hi - lo >= W) {
+  std::vector<double> rw;
+  if (lanes > 1 && hi - lo >= lanes) {
     if (batched_spans != nullptr) batched_spans->fetch_add(1, std::memory_order_relaxed);
-    std::vector<double> regs(static_cast<size_t>(kk.num_regs) * static_cast<size_t>(W), 0.0);
-    init_invariant(*this, regs.data(), W);
-    // Every lane starts at the neutral element and folds one contiguous
-    // block of blk elements (lane_stride mode of exec_span); the caller's
-    // carry-in plus the lane partials are then combined in block order
-    // through the fold subprogram, so element order is preserved and the
-    // fold only needs to be associative. Block boundaries still reorder
-    // float-add *grouping* relative to a single sequential fold
-    // (runtime/README.md caveat).
-    for (size_t j = 0; j < nred; ++j) {
-      for (int l = 0; l < W; ++l) regs[kk.reds[j].acc_reg * W + l] = red_neutral[j];
-    }
-    const int64_t blk = (hi - cur) / W;
-    switch (W) {
-      case 4: exec_span(*this, regs.data(), cur, cur + blk, 0, iend, std::integral_constant<int, 4>{}, blk); break;
-      case 8: exec_span(*this, regs.data(), cur, cur + blk, 0, iend, std::integral_constant<int, 8>{}, blk); break;
-      case 16: exec_span(*this, regs.data(), cur, cur + blk, 0, iend, std::integral_constant<int, 16>{}, blk); break;
-      default: exec_span(*this, regs.data(), cur, cur + blk, 0, iend, W, blk); break;
-    }
-    cur += blk * W;
-    std::vector<double> lane(nred);
-    for (int l = 0; l < W; ++l) {
-      for (size_t j = 0; j < nred; ++j) lane[j] = regs[kk.reds[j].acc_reg * W + l];
-      combine_on(*this, r1.data(), partials, lane.data());
-    }
+    rw.assign(static_cast<size_t>(kk.num_regs) * static_cast<size_t>(lanes), 0.0);
+    init_invariant(*this, rw.data(), lanes);
   }
-  if (cur < hi) {
-    // Scalar tail: continue the running partial through the full program.
-    for (size_t j = 0; j < nred; ++j) r1[kk.reds[j].acc_reg] = partials[j];
-    exec_span(*this, r1.data(), cur, hi, 0, iend, std::integral_constant<int, 1>{});
-    for (size_t j = 0; j < nred; ++j) partials[j] = r1[kk.reds[j].acc_reg];
+  std::vector<double> lane(kk.reds.size());
+  reduce_span(*this, r1.data(), rw.empty() ? nullptr : rw.data(), lane.data(), lo, hi,
+              partials);
+}
+
+void KernelLaunch::run_segred_chunk(int64_t seg_lo, int64_t seg_hi, int64_t seg_len) const {
+  const Kernel& kk = *k;
+  const size_t nred = kk.reds.size();
+  // One register-file setup for the whole chunk of segments — this is the
+  // flattening win over per-row launches: no allocation, no invariant
+  // broadcast, no environment frame per segment.
+  std::vector<double> r1(static_cast<size_t>(kk.num_regs), 0.0);
+  init_invariant(*this, r1.data(), 1);
+  std::vector<double> rw;
+  if (lanes > 1 && seg_len >= lanes) {
+    if (batched_spans != nullptr) batched_spans->fetch_add(1, std::memory_order_relaxed);
+    rw.assign(static_cast<size_t>(kk.num_regs) * static_cast<size_t>(lanes), 0.0);
+    init_invariant(*this, rw.data(), lanes);
+  }
+  std::vector<double> partials(nred), lane(nred);
+  for (int64_t s = seg_lo; s < seg_hi; ++s) {
+    for (size_t j = 0; j < nred; ++j) partials[j] = red_neutral[j];
+    reduce_span(*this, r1.data(), rw.empty() ? nullptr : rw.data(), lane.data(),
+                s * seg_len, (s + 1) * seg_len, partials.data());
+    for (size_t j = 0; j < nred; ++j) {
+      auto& o = const_cast<ArrayVal&>(outputs[j]);
+      switch (o.elem) {
+        case ScalarType::F64: o.set_f64(s, partials[j]); break;
+        case ScalarType::I64: o.set_i64(s, static_cast<int64_t>(partials[j])); break;
+        case ScalarType::Bool: o.set_b8(s, partials[j] != 0.0); break;
+      }
+    }
   }
 }
 

@@ -140,6 +140,18 @@ struct KernelLaunch {
   // a sequential fold (see runtime/README.md).
   void run_reduce(int64_t lo, int64_t hi, double* partials) const;
 
+  // Segmented reduction driver (flattened map-of-reduce, FlatForm::SegRed):
+  // inputs are the rank-1 *flattened* views of the nest's rank-2 arguments
+  // (segment s occupies elements [s*seg_len, (s+1)*seg_len)); for each
+  // segment in [seg_lo, seg_hi) the fold runs into the accumulator
+  // registers seeded with the neutral element and stores one result per
+  // fold slot into outputs[j][s]. Register files and invariant broadcasts
+  // are prepared once per chunk — no per-segment (per-row) launch setup.
+  // Each segment folds exactly like run_reduce over the same extent with
+  // the same lane width (lane-blocked when seg_len >= lanes, scalar tail),
+  // so parallel-off results are bit-identical to per-row kernel reduces.
+  void run_segred_chunk(int64_t seg_lo, int64_t seg_hi, int64_t seg_len) const;
+
   // Scan kernels: sequentially scans [lo, hi), writing each updated
   // accumulator to the outputs; `carry` is the running accumulator in/out.
   void run_scan_chunk(int64_t lo, int64_t hi, double* carry) const;

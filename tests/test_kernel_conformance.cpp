@@ -10,6 +10,7 @@
 
 #include "ir/builder.hpp"
 #include "ir/typecheck.hpp"
+#include "opt/flatten.hpp"
 #include "opt/fuse.hpp"
 #include "runtime/interp.hpp"
 #include "support/rng.hpp"
@@ -849,6 +850,272 @@ TEST(RedomapConformance, GeneralFallbackHandlesRedomap) {
   auto sgot = rt::to_f64_vec(rt::as_array(got[1]));
   ASSERT_EQ(sgot.size(), sref.size());
   for (size_t i = 0; i < sgot.size(); ++i) EXPECT_NEAR(sgot[i], sref[i], 1e-12) << i;
+}
+
+// ------------------------------------------------- flattened nested nests
+//
+// The flattening annotations (opt/flatten.cpp) must execute bit-identically
+// to the general nested path under the same interpreter options with
+// parallel off: the collapsed map kernel is element-wise pure (batch
+// boundaries straddling rows cannot change anything), the hand segmented
+// reduce mirrors eval_reduce's tier-1 loop per segment, and
+// run_segred_chunk replicates run_reduce's lane blocking per segment. The
+// grid covers {collapsed, segmented-hand, segmented-kernel(LSE),
+// segmented-fused-dot} x {W=1,8} x {empty outer, empty inner row, odd,
+// larger} shapes; segments are independent, so even parallel execution of
+// a flattened nest is bit-exact and one grid point asserts that too.
+
+// map(λrow. map(g, row)) — rank-2 in, rank-2 out, affine+tanh scalar body.
+Prog nested_map_prog() {
+  ProgBuilder pb("nm");
+  Var xss = pb.param("xss", arr_f64(2));
+  Builder& b = pb.body();
+  Var out = b.map1(
+      b.lam({arr_f64(1)},
+            [](Builder& c, const std::vector<Var>& row) {
+              return std::vector<Atom>{Atom(c.map1(
+                  c.lam({f64()},
+                        [](Builder& cc, const std::vector<Var>& p) {
+                          Var t = cc.mul(p[0], cf64(1.3));
+                          return std::vector<Atom>{Atom(cc.tanh(Atom(cc.add(t, cf64(0.2)))))};
+                        }),
+                  {row[0]}))};
+            }),
+      {xss});
+  Prog p = pb.finish({Atom(out)});
+  typecheck(p);
+  return p;
+}
+
+// map(λrow. reduce(+, 0, row)) — the hand-tier segmented reduction.
+Prog nested_sum_prog() {
+  ProgBuilder pb("ns");
+  Var xss = pb.param("xss", arr_f64(2));
+  Builder& b = pb.body();
+  Var out = b.map1(b.lam({arr_f64(1)},
+                         [](Builder& c, const std::vector<Var>& row) {
+                           return std::vector<Atom>{
+                               Atom(c.reduce1(c.add_op(), cf64(0.0), {row[0]}))};
+                         }),
+                   {xss});
+  Prog p = pb.finish({Atom(out)});
+  typecheck(p);
+  return p;
+}
+
+// map(λrow. reduce(lse, -inf, row)) — a multi-statement kernel-tier fold.
+Prog nested_lse_prog() {
+  ProgBuilder pb("nl");
+  Var xss = pb.param("xss", arr_f64(2));
+  Builder& b = pb.body();
+  Var out = b.map1(
+      b.lam({arr_f64(1)},
+            [](Builder& c, const std::vector<Var>& row) {
+              LambdaPtr op = c.lam({f64(), f64()}, [](Builder& cc, const std::vector<Var>& p) {
+                Var m = cc.max(p[0], p[1]);
+                Var ea = cc.exp(Atom(cc.sub(p[0], m)));
+                Var eb = cc.exp(Atom(cc.sub(p[1], m)));
+                return std::vector<Atom>{Atom(cc.add(m, Atom(cc.log(Atom(cc.add(ea, eb))))))};
+              });
+              return std::vector<Atom>{
+                  Atom(c.reduce1(std::move(op), cf64(-1e300), {row[0]}))};
+            }),
+      {xss});
+  Prog p = pb.finish({Atom(out)});
+  typecheck(p);
+  return p;
+}
+
+// map(λra,rb. reduce(+, 0, map(*, ra, rb))) — fuses to a redomap nest, the
+// row-wise-dot shape of kmeans/GMM inner loops.
+Prog nested_dot_prog() {
+  ProgBuilder pb("nd");
+  Var as = pb.param("as", arr_f64(2));
+  Var bs = pb.param("bs", arr_f64(2));
+  Builder& b = pb.body();
+  Var out = b.map1(
+      b.lam({arr_f64(1), arr_f64(1)},
+            [](Builder& c, const std::vector<Var>& rows) {
+              Var prods = c.map1(c.lam({f64(), f64()},
+                                       [](Builder& cc, const std::vector<Var>& p) {
+                                         return std::vector<Atom>{Atom(cc.mul(p[0], p[1]))};
+                                       }),
+                                 {rows[0], rows[1]});
+              return std::vector<Atom>{Atom(c.reduce1(c.add_op(), cf64(0.0), {prods}))};
+            }),
+      {as, bs});
+  Prog p = pb.finish({Atom(out)});
+  typecheck(p);
+  return p;
+}
+
+enum class FlatKind { Collapsed, SegHand, SegLse, SegDot };
+
+struct FlatCase {
+  FlatKind kind;
+  int lanes;
+  int64_t n, m;
+  bool parallel;
+};
+
+class FlattenConformance : public ::testing::TestWithParam<FlatCase> {};
+
+TEST_P(FlattenConformance, FlatMatchesGeneralNested) {
+  const auto [kind, lanes, n, m, parallel] = GetParam();
+  support::Rng rng(static_cast<uint64_t>(n * 31 + m * 7 + lanes));
+  Prog p = kind == FlatKind::Collapsed ? nested_map_prog()
+           : kind == FlatKind::SegHand ? nested_sum_prog()
+           : kind == FlatKind::SegLse  ? nested_lse_prog()
+                                       : nested_dot_prog();
+  if (kind == FlatKind::SegDot) {
+    opt::FuseStats fs;
+    p = opt::fuse_maps(p, &fs);
+    typecheck(p);
+    ASSERT_EQ(fs.fused_redomaps, 1);
+  }
+  opt::FlattenStats st;
+  Prog q = opt::flatten_nested(p, &st);
+  typecheck(q);
+  if (kind == FlatKind::Collapsed) {
+    ASSERT_EQ(st.flattened_maps, 1);
+  } else {
+    ASSERT_EQ(st.flattened_redomaps, 1);
+  }
+
+  std::vector<Value> args;
+  const auto elems = static_cast<size_t>(n * m);
+  args.push_back(rt::make_f64_array(rng.uniform_vec(elems, -1.0, 1.0), {n, m}));
+  if (kind == FlatKind::SegDot) {
+    args.push_back(rt::make_f64_array(rng.uniform_vec(elems, -1.0, 1.0), {n, m}));
+  }
+
+  // Reference: the general nested path (unannotated program), parallel off,
+  // same kernel options — the bit-exactness contract's baseline.
+  rt::Interp ref_in({.parallel = false, .use_kernels = true, .kernel_lanes = lanes});
+  auto ref = rt::to_f64_vec(rt::as_array(ref_in.run(p, args)[0]));
+  EXPECT_EQ(ref_in.stats().flattened_maps.load(), 0u);
+  EXPECT_EQ(ref_in.stats().segred_launches.load(), 0u);
+
+  rt::Interp flat_in({.parallel = parallel, .use_kernels = true, .kernel_lanes = lanes,
+                      .grain = 8});
+  auto out = flat_in.run(q, args)[0];
+  auto got = rt::to_f64_vec(rt::as_array(out));
+  ASSERT_EQ(got.size(), ref.size());
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], ref[i]) << i;  // bit-identical
+
+  // Strategy counters: the flat drivers run whenever the outer extent is
+  // nonzero (an empty outer falls back so result shapes keep matching the
+  // general path's shape discovery).
+  const auto& s = flat_in.stats();
+  if (kind == FlatKind::Collapsed) {
+    EXPECT_EQ(s.flattened_maps.load(), n > 0 ? 1u : 0u);
+    if (n > 0) {
+      ASSERT_EQ(rt::as_array(out).shape, (std::vector<int64_t>{n, m}));
+    }
+  } else {
+    EXPECT_EQ(s.segred_launches.load(), n > 0 ? 1u : 0u);
+    EXPECT_EQ(s.segred_segments.load(), n > 0 ? static_cast<uint64_t>(n) : 0u);
+    // Flattened segments never route through the per-row reduce tiers.
+    if (n > 0) {
+      EXPECT_EQ(s.hand_reduces.load(), 0u);
+      EXPECT_EQ(s.kernel_reduces.load(), 0u);
+      EXPECT_EQ(s.general_reduces.load(), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FlattenConformance,
+    ::testing::Values(
+        // {collapsed, segmented-hand, segmented-kernel, segmented-fused}
+        //   x {W=1, 8} x {empty outer, empty inner row, odd, larger}.
+        FlatCase{FlatKind::Collapsed, 1, 7, 13, false},
+        FlatCase{FlatKind::Collapsed, 8, 7, 13, false},
+        FlatCase{FlatKind::Collapsed, 8, 64, 8, false},
+        FlatCase{FlatKind::Collapsed, 8, 0, 5, false},
+        FlatCase{FlatKind::Collapsed, 8, 4, 0, false},
+        FlatCase{FlatKind::Collapsed, 8, 37, 11, true},
+        FlatCase{FlatKind::SegHand, 1, 7, 13, false},
+        FlatCase{FlatKind::SegHand, 8, 7, 13, false},
+        FlatCase{FlatKind::SegHand, 8, 64, 8, false},
+        FlatCase{FlatKind::SegHand, 8, 0, 5, false},
+        FlatCase{FlatKind::SegHand, 8, 4, 0, false},
+        FlatCase{FlatKind::SegHand, 8, 37, 11, true},
+        FlatCase{FlatKind::SegLse, 1, 7, 13, false},
+        FlatCase{FlatKind::SegLse, 8, 7, 13, false},
+        FlatCase{FlatKind::SegLse, 8, 64, 8, false},
+        FlatCase{FlatKind::SegLse, 8, 0, 5, false},
+        FlatCase{FlatKind::SegLse, 8, 4, 0, false},
+        FlatCase{FlatKind::SegLse, 8, 37, 11, true},
+        FlatCase{FlatKind::SegDot, 1, 7, 13, false},
+        FlatCase{FlatKind::SegDot, 8, 7, 13, false},
+        FlatCase{FlatKind::SegDot, 8, 64, 8, false},
+        FlatCase{FlatKind::SegDot, 8, 0, 5, false},
+        FlatCase{FlatKind::SegDot, 8, 4, 0, false},
+        FlatCase{FlatKind::SegDot, 8, 37, 11, true}));
+
+TEST(FlattenConformance, NonKernelizableInnerFallsBack) {
+  // An `if` inside the inner lambda is scalar-typed (so the annotation is
+  // structurally valid) but not kernel-compilable: the runtime must fall
+  // back to the general nested path and still agree exactly.
+  ProgBuilder pb("nf");
+  Var xss = pb.param("xss", arr_f64(2));
+  Builder& b = pb.body();
+  Var out = b.map1(
+      b.lam({arr_f64(1)},
+            [](Builder& c, const std::vector<Var>& row) {
+              return std::vector<Atom>{Atom(c.map1(
+                  c.lam({f64()},
+                        [](Builder& cc, const std::vector<Var>& p) {
+                          Var cond = cc.gt(p[0], cf64(0.0));
+                          Var r = cc.if1(
+                              Atom(cond),
+                              [&](Builder& tb) {
+                                return std::vector<Atom>{Atom(tb.mul(p[0], cf64(2.0)))};
+                              },
+                              [&](Builder& fb) {
+                                return std::vector<Atom>{Atom(fb.neg(p[0]))};
+                              });
+                          return std::vector<Atom>{Atom(r)};
+                        }),
+                  {row[0]}))};
+            }),
+      {xss});
+  Prog p = pb.finish({Atom(out)});
+  typecheck(p);
+  opt::FlattenStats st;
+  Prog q = opt::flatten_nested(p, &st);
+  typecheck(q);
+  ASSERT_EQ(st.flattened_maps, 1);  // annotated: the *structure* qualifies
+  support::Rng rng(77);
+  std::vector<Value> args = {rt::make_f64_array(rng.uniform_vec(5 * 9, -1.0, 1.0), {5, 9})};
+  rt::Interp ref_in({.parallel = false, .use_kernels = true});
+  auto ref = rt::to_f64_vec(rt::as_array(ref_in.run(p, args)[0]));
+  rt::Interp flat_in({.parallel = false, .use_kernels = true});
+  auto got = rt::to_f64_vec(rt::as_array(flat_in.run(q, args)[0]));
+  ASSERT_EQ(got.size(), ref.size());
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], ref[i]) << i;
+  EXPECT_EQ(flat_in.stats().flattened_maps.load(), 0u);  // fell back
+  EXPECT_GE(flat_in.stats().general_maps.load(), 1u);
+}
+
+TEST(FlattenConformance, RowViewInputStaysFlat) {
+  // A rank-2 row view of a rank-3 array (nonzero buffer offset) is still a
+  // dense view: the collapsed launch must accept it and agree bit-exactly.
+  Prog p = nested_sum_prog();
+  opt::FlattenStats st;
+  Prog q = opt::flatten_nested(p, &st);
+  ASSERT_EQ(st.flattened_redomaps, 1);
+  support::Rng rng(78);
+  rt::ArrayVal cube = rt::make_f64_array(rng.uniform_vec(3 * 6 * 5, -1.0, 1.0), {3, 6, 5});
+  std::vector<Value> args = {rt::row_view(cube, 2)};  // shape {6,5}, offset 60
+  rt::Interp ref_in({.parallel = false, .use_kernels = true});
+  auto ref = rt::to_f64_vec(rt::as_array(ref_in.run(p, args)[0]));
+  rt::Interp flat_in({.parallel = false, .use_kernels = true});
+  auto got = rt::to_f64_vec(rt::as_array(flat_in.run(q, args)[0]));
+  ASSERT_EQ(got.size(), ref.size());
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], ref[i]) << i;
+  EXPECT_EQ(flat_in.stats().segred_launches.load(), 1u);
 }
 
 } // namespace
