@@ -20,6 +20,7 @@
 #include <map>
 #include <string>
 
+#include "runtime/buffer_pool.hpp"
 #include "support/table.hpp"
 
 namespace npad::bench {
@@ -88,8 +89,15 @@ inline std::string ratio(double num, double den, int prec = 2) {
 // Writes BENCH_<name>.json next to the human-readable table so the perf
 // trajectory is machine-trackable across PRs: per-benchmark mean/stddev/
 // iteration counts plus any runtime counters (e.g. rt::InterpStats::counters).
+// Buffer-pool live-footprint counters are always included, so a leak
+// regression (outstanding buffers surviving a run) shows up in the
+// trajectory, not just in the fault-injection tests.
 inline void write_bench_json(const std::string& name, const Collector& col,
-                             const std::map<std::string, uint64_t>& counters = {}) {
+                             std::map<std::string, uint64_t> counters = {}) {
+  const rt::BufferPool::Counters pc = rt::BufferPool::global().stats();
+  counters["pool_outstanding_bytes"] = pc.outstanding_bytes;
+  counters["pool_outstanding_buffers"] = pc.outstanding_buffers;
+  counters["pool_retained_bytes"] = pc.retained_bytes;
   auto esc = [](const std::string& s) {
     std::string out;
     for (char c : s) {

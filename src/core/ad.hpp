@@ -28,11 +28,15 @@
 // (opt::apply_stripmining); see opt/loopopt.hpp's prepare_for_ad.
 
 #include "ir/ast.hpp"
+#include "support/error.hpp"
 
 namespace npad::ad {
 
-struct ADError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+// Non-differentiable constructs and AD-internal invariant violations. Part of
+// the npad::Error taxonomy so servers can branch on the failure class.
+struct ADError : ::npad::Error {
+  using ::npad::Error::Error;
+  const char* kind() const noexcept override { return "ADError"; }
 };
 
 // True for types that carry derivatives (f64 scalars/arrays/accumulators).

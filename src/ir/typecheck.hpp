@@ -2,18 +2,17 @@
 
 // IR well-formedness checker: scoping, dtypes, ranks, accumulator linearity
 // (accumulators may only be consumed by upd_acc / map threading / scope
-// results). Throws ir::TypeError on the first violation.
+// results). Throws ir::TypeError — the npad::TypeError from the structured
+// error taxonomy (support/error.hpp) — on the first violation.
 
-#include <stdexcept>
 #include <string>
 
 #include "ir/ast.hpp"
+#include "support/error.hpp"
 
 namespace npad::ir {
 
-struct TypeError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
+using TypeError = ::npad::TypeError;
 
 void typecheck(const Prog& p);
 

@@ -1,10 +1,14 @@
 #include "runtime/buffer_pool.hpp"
 
 #include <bit>
+#include <cstdlib>
 #include <cstring>
 #include <new>
+#include <string>
 
 #include "runtime/value.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
 
 // ASan integration: poison blocks while they are retained in the pool so
 // dangling views into released buffers trap instead of silently reading a
@@ -27,7 +31,26 @@
 
 namespace npad::rt {
 
-BufferPool::BufferPool() = default;
+BufferPool::BufferPool() {
+  if (const char* env = std::getenv("NPAD_POOL_BUDGET_BYTES")) {
+    const long long v = std::atoll(env);
+    if (v > 0) budget_bytes_.store(static_cast<size_t>(v), std::memory_order_relaxed);
+  }
+}
+
+void BufferPool::admit(size_t cap) {
+  NPAD_FAULT_SITE("pool.acquire", FaultKind::Alloc);
+  const size_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  if (budget == 0) return;
+  const size_t live = outstanding_bytes_.load(std::memory_order_relaxed);
+  if (live + cap > budget) {
+    budget_rejections_.fetch_add(1, std::memory_order_relaxed);
+    throw npad::ResourceError("buffer pool budget exceeded: allocation of " +
+                              std::to_string(cap) + " bytes would raise the live footprint (" +
+                              std::to_string(live) + " bytes) past NPAD_POOL_BUDGET_BYTES=" +
+                              std::to_string(budget));
+  }
+}
 
 BufferPool& BufferPool::global() {
   // Intentionally leaked: blocks retained at exit stay reachable through this
@@ -43,13 +66,18 @@ size_t BufferPool::bucket_of(size_t bytes) {
 
 void* BufferPool::acquire(size_t bytes, size_t* cap_bytes, bool* hit) {
   if (bytes > kMaxBytes) {  // too large to retain: plain heap block
+    admit(bytes);
     *cap_bytes = bytes;
     if (hit) *hit = false;
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return ::operator new(bytes);
+    void* p = ::operator new(bytes);
+    outstanding_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    outstanding_buffers_.fetch_add(1, std::memory_order_relaxed);
+    return p;
   }
   const size_t b = bucket_of(bytes);
   const size_t cap = size_t{1} << b;
+  admit(cap);
   *cap_bytes = cap;
   {
     Bucket& bucket = buckets_[b];
@@ -61,16 +89,23 @@ void* BufferPool::acquire(size_t bytes, size_t* cap_bytes, bool* hit) {
       NPAD_UNPOISON(p, cap);
       if (hit) *hit = true;
       hits_.fetch_add(1, std::memory_order_relaxed);
+      outstanding_bytes_.fetch_add(cap, std::memory_order_relaxed);
+      outstanding_buffers_.fetch_add(1, std::memory_order_relaxed);
       return p;
     }
   }
   if (hit) *hit = false;
   misses_.fetch_add(1, std::memory_order_relaxed);
-  return ::operator new(cap);
+  void* p = ::operator new(cap);
+  outstanding_bytes_.fetch_add(cap, std::memory_order_relaxed);
+  outstanding_buffers_.fetch_add(1, std::memory_order_relaxed);
+  return p;
 }
 
 void BufferPool::release(void* p, size_t cap_bytes) noexcept {
   if (p == nullptr) return;
+  outstanding_bytes_.fetch_sub(cap_bytes, std::memory_order_relaxed);
+  outstanding_buffers_.fetch_sub(1, std::memory_order_relaxed);
   // Only bucket-rounded blocks within pooling range are retained.
   if (cap_bytes <= kMaxBytes && std::has_single_bit(cap_bytes) && cap_bytes >= kMinBytes) {
     // Reserve the bytes with a compare-exchange so concurrent releases
@@ -103,6 +138,10 @@ BufferPool::Counters BufferPool::counters() const {
   c.hits = hits_.load(std::memory_order_relaxed);
   c.misses = misses_.load(std::memory_order_relaxed);
   c.retained_bytes = retained_bytes_.load(std::memory_order_relaxed);
+  c.outstanding_bytes = outstanding_bytes_.load(std::memory_order_relaxed);
+  c.outstanding_buffers = outstanding_buffers_.load(std::memory_order_relaxed);
+  c.budget_bytes = budget_bytes_.load(std::memory_order_relaxed);
+  c.budget_rejections = budget_rejections_.load(std::memory_order_relaxed);
   return c;
 }
 

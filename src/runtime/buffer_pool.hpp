@@ -20,6 +20,15 @@
 // recycled block back as-is for buffers that are provably fully overwritten
 // (kernel outputs) — eliminating the memset that used to accompany every
 // fresh intermediate.
+//
+// Resource governance: the pool tracks live (acquired, not yet released)
+// bytes and buffer counts, and an optional byte *budget* (set via
+// `set_budget_bytes` or the NPAD_POOL_BUDGET_BYTES env var). An acquire that
+// would push the live footprint past the budget throws `npad::ResourceError`
+// instead of letting the process walk into the OOM killer; the interpreter
+// unwinds, releasing everything it acquired, and the caller gets a typed,
+// recoverable error. Tests use `outstanding_bytes()` / `outstanding_buffers()`
+// to assert zero leaks after an unwind (tests/test_fault.cpp).
 
 #include <atomic>
 #include <cstddef>
@@ -45,6 +54,8 @@ public:
 
   // Returns a block of capacity >= `bytes` (bucket-rounded, reported via
   // `cap_bytes`). `hit` is set when the block was recycled from the pool.
+  // Throws npad::ResourceError when a budget is set and the live footprint
+  // would exceed it.
   void* acquire(size_t bytes, size_t* cap_bytes, bool* hit);
 
   // Returns a block obtained from acquire(); retains it for reuse when within
@@ -55,8 +66,29 @@ public:
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t retained_bytes = 0;
+    uint64_t outstanding_bytes = 0;    // live: acquired and not yet released
+    uint64_t outstanding_buffers = 0;  // live block count
+    uint64_t budget_bytes = 0;         // 0 = unlimited
+    uint64_t budget_rejections = 0;    // acquires refused by the budget
   };
   Counters counters() const;
+  // Alias of counters(); the name tests and benches use.
+  Counters stats() const { return counters(); }
+
+  // Live footprint: bytes / blocks acquired and not yet released.
+  size_t outstanding_bytes() const {
+    return outstanding_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t outstanding_buffers() const {
+    return outstanding_buffers_.load(std::memory_order_relaxed);
+  }
+
+  // Byte budget on the live footprint; 0 disables enforcement. Initialized
+  // from NPAD_POOL_BUDGET_BYTES (if set) on first use of global().
+  void set_budget_bytes(size_t budget) {
+    budget_bytes_.store(budget, std::memory_order_relaxed);
+  }
+  size_t budget_bytes() const { return budget_bytes_.load(std::memory_order_relaxed); }
 
   // Frees every retained block (diagnostics/tests).
   void trim();
@@ -72,10 +104,19 @@ private:
     std::vector<void*> blocks;
   };
 
+  // Fault site + budget admission, shared by all acquire paths; throws
+  // npad::ResourceError on refusal. Accounting is committed only after the
+  // block is actually obtained.
+  void admit(size_t cap);
+
   Bucket buckets_[kNumBuckets];
   std::atomic<size_t> retained_bytes_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<size_t> outstanding_bytes_{0};
+  std::atomic<size_t> outstanding_buffers_{0};
+  std::atomic<size_t> budget_bytes_{0};
+  std::atomic<uint64_t> budget_rejections_{0};
 };
 
 } // namespace npad::rt

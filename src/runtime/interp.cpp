@@ -1,6 +1,7 @@
 #include "runtime/interp.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "ir/patterns.hpp"
@@ -8,12 +9,67 @@
 #include "runtime/kernel.hpp"
 #include "runtime/kernel_cache.hpp"
 #include "runtime/resolve.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/thread_pool.hpp"
 
 namespace npad::rt {
 
+int default_max_eval_depth() {
+  static const int depth = [] {
+    if (const char* env = std::getenv("NPAD_MAX_EVAL_DEPTH")) {
+      const int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    return 512;
+  }();
+  return depth;
+}
+
 namespace {
 using namespace ir;
+using support::FaultKind;
+
+// Current lambda/loop-frame nesting depth on this thread, bounded by
+// InterpOptions::max_eval_depth so runaway recursion surfaces as a typed
+// ResourceError long before the C++ stack overflows. Thread-local because
+// parallel workers evaluate lambda bodies concurrently.
+thread_local int tl_eval_depth = 0;
+
+struct EvalDepthGuard {
+  explicit EvalDepthGuard(int limit) {
+    if (++tl_eval_depth > limit && limit > 0) {
+      --tl_eval_depth;  // ctor throws -> dtor never runs; rebalance here
+      throw ResourceError("evaluation depth limit exceeded (NPAD_MAX_EVAL_DEPTH=" +
+                          std::to_string(limit) + ")");
+    }
+  }
+  ~EvalDepthGuard() { --tl_eval_depth; }
+  EvalDepthGuard(const EvalDepthGuard&) = delete;
+  EvalDepthGuard& operator=(const EvalDepthGuard&) = delete;
+};
+
+// Statement-kind tag for error context frames ("in map binding %ys_12").
+const char* exp_kind(const Exp& e) {
+  return std::visit(
+      Overload{
+          [](const OpAtom&) { return "atom"; }, [](const OpBin&) { return "binop"; },
+          [](const OpUn&) { return "unop"; }, [](const OpSelect&) { return "select"; },
+          [](const OpIndex&) { return "index"; }, [](const OpUpdate&) { return "update"; },
+          [](const OpUpdAcc&) { return "upd_acc"; }, [](const OpIota&) { return "iota"; },
+          [](const OpReplicate&) { return "replicate"; },
+          [](const OpZerosLike&) { return "zeros_like"; },
+          [](const OpScratch&) { return "scratch"; }, [](const OpLength&) { return "length"; },
+          [](const OpReverse&) { return "reverse"; },
+          [](const OpTranspose&) { return "transpose"; }, [](const OpCopy&) { return "copy"; },
+          [](const OpIf&) { return "if"; }, [](const OpLoop&) { return "loop"; },
+          [](const OpMap&) { return "map"; }, [](const OpReduce&) { return "reduce"; },
+          [](const OpScan&) { return "scan"; }, [](const OpHist&) { return "hist"; },
+          [](const OpScatter&) { return "scatter"; },
+          [](const OpWithAcc&) { return "with_acc"; },
+      },
+      e);
+}
 
 double digamma_approx(double x) {
   double result = 0.0;
@@ -26,8 +82,6 @@ double digamma_approx(double x) {
             inv2 * (1.0 / 12 - inv2 * (1.0 / 120 - inv2 * (1.0 / 252 - inv2 / 240)));
   return result;
 }
-
-[[noreturn]] void die(const std::string& msg) { throw std::runtime_error("interp: " + msg); }
 
 // The recognized-binop fast paths of reduce, scan and hist share one combine
 // helper (previously three copies of the same switch). Only the four
@@ -68,6 +122,7 @@ inline void atomic_combine_f64(BinOp op, double* p, double v) {
 // parallel when the pool allows), then adds the surviving buffer into the
 // destination element-parallel.
 void merge_private(std::vector<ArrayVal>& bufs, ArrayVal& dst, int64_t grain) {
+  NPAD_FAULT_SITE("acc.merge", FaultKind::Chunk);
   const int64_t m = dst.elems();
   for (size_t stride = 1; stride < bufs.size(); stride *= 2) {
     const auto pairs = static_cast<int64_t>((bufs.size() + 2 * stride - 1) / (2 * stride));
@@ -120,10 +175,17 @@ public:
 
   const Value& lookup(ir::Var v) const {
     const SlotRef r = v.id < rp_->slots.size() ? rp_->slots[v.id] : SlotRef{};
-    if (!r.valid() || r.level > level_) die("unbound variable id " + std::to_string(v.id));
+    if (!r.valid() || r.level > level_) {
+      throw TypeError("unbound variable %" + rp_->mod->name(v) + "_" + std::to_string(v.id));
+    }
     const Env* e = this;
     while (e->level_ > r.level) e = e->parent_;
     return e->slots_[r.slot];
+  }
+
+  // Binding names for error context frames ("%ys_12").
+  std::string name_of(ir::Var v) const {
+    return "%" + rp_->mod->name(v) + "_" + std::to_string(v.id);
   }
 
 private:
@@ -162,15 +224,26 @@ public:
 
   std::vector<Value> apply(const Lambda& f, std::vector<Value> args, const Env& captured) const {
     assert(args.size() == f.params.size());
+    EvalDepthGuard depth_guard(opts_.max_eval_depth);
     Env env(captured, f.activation_id);
     for (size_t i = 0; i < args.size(); ++i) env.bind(f.params[i].var, std::move(args[i]));
     return eval_body(f.body, env);
   }
 
   void exec_stm(const Stm& st, Env& env) const {
-    std::vector<Value> vals = eval_exp(st.e, env);
-    assert(vals.size() == st.vars.size());
-    for (size_t i = 0; i < vals.size(); ++i) env.bind(st.vars[i], std::move(vals[i]));
+    try {
+      std::vector<Value> vals = eval_exp(st.e, env);
+      assert(vals.size() == st.vars.size());
+      for (size_t i = 0; i < vals.size(); ++i) env.bind(st.vars[i], std::move(vals[i]));
+    } catch (npad::Error& err) {
+      // Accumulate IR context as the unwind crosses this frame: the final
+      // what() reads like a stack trace through the evaluated program.
+      std::string frame = "in ";
+      frame += exp_kind(st.e);
+      if (!st.vars.empty()) frame += " binding " + env.name_of(st.vars[0]);
+      err.add_context(std::move(frame));
+      throw;
+    }
   }
 
   std::vector<Value> eval_exp(const Exp& e, Env& env) const {
@@ -282,14 +355,83 @@ public:
               return eval_body(as_bool(eval_atom(o.c, env)) ? *o.tb : *o.fb, env);
             },
             [&](const OpLoop& o) -> std::vector<Value> { return eval_loop(o, env); },
-            [&](const OpMap& o) -> std::vector<Value> { return eval_map(o, env); },
-            [&](const OpReduce& o) -> std::vector<Value> { return eval_reduce(o, env); },
-            [&](const OpScan& o) -> std::vector<Value> { return eval_scan(o, env); },
-            [&](const OpHist& o) -> std::vector<Value> { return {eval_hist(o, env)}; },
-            [&](const OpScatter& o) -> std::vector<Value> { return {eval_scatter(o, env)}; },
-            [&](const OpWithAcc& o) -> std::vector<Value> { return eval_withacc(o, env); },
+            [&](const OpMap& o) -> std::vector<Value> {
+              try {
+                return eval_map(o, env);
+              } catch (npad::Error& err) {
+                err.add_context(launch_frame("map", args_extent(o.args, env)));
+                throw;
+              }
+            },
+            [&](const OpReduce& o) -> std::vector<Value> {
+              try {
+                return eval_reduce(o, env);
+              } catch (npad::Error& err) {
+                err.add_context(launch_frame("reduce", args_extent(o.args, env)));
+                throw;
+              }
+            },
+            [&](const OpScan& o) -> std::vector<Value> {
+              try {
+                return eval_scan(o, env);
+              } catch (npad::Error& err) {
+                err.add_context(launch_frame("scan", args_extent(o.args, env)));
+                throw;
+              }
+            },
+            [&](const OpHist& o) -> std::vector<Value> {
+              try {
+                return {eval_hist(o, env)};
+              } catch (npad::Error& err) {
+                err.add_context(launch_frame("hist", var_extent(o.inds, env)));
+                throw;
+              }
+            },
+            [&](const OpScatter& o) -> std::vector<Value> {
+              try {
+                return {eval_scatter(o, env)};
+              } catch (npad::Error& err) {
+                err.add_context(launch_frame("scatter", var_extent(o.inds, env)));
+                throw;
+              }
+            },
+            [&](const OpWithAcc& o) -> std::vector<Value> {
+              try {
+                return eval_withacc(o, env);
+              } catch (npad::Error& err) {
+                err.add_context("in with_acc body");
+                throw;
+              }
+            },
         },
         e);
+  }
+
+  // Best-effort launch extent for error frames; lookup failures yield -1
+  // (frames must never mask the original error with a second throw).
+  int64_t var_extent(Var v, const Env& env) const noexcept {
+    try {
+      const Value& val = env.lookup(v);
+      if (is_array(val)) return as_array(val).outer();
+    } catch (...) {
+    }
+    return -1;
+  }
+
+  int64_t args_extent(const std::vector<Var>& args, const Env& env) const noexcept {
+    for (Var v : args) {
+      const int64_t n = var_extent(v, env);
+      if (n >= 0) return n;
+    }
+    return -1;
+  }
+
+  static std::string launch_frame(const char* kind, int64_t extent) {
+    std::string s = "in ";
+    s += kind;
+    s += " launch";
+    if (extent >= 0) s += " (extent " + std::to_string(extent) + ")";
+    return s;
   }
 
   // ------------------------------------------------------------- scalars ---
@@ -336,7 +478,7 @@ public:
         case BinOp::Min: return std::min(a, b);
         case BinOp::Max: return std::max(a, b);
         case BinOp::Pow: return static_cast<int64_t>(std::pow(static_cast<double>(a), static_cast<double>(b)));
-        default: die("bad int binop");
+        default: throw KernelError("binary operator not defined on i64 operands");
       }
     }
     const double a = as_f64(va), b = as_f64(vb);
@@ -348,7 +490,7 @@ public:
       case BinOp::Pow: return std::pow(a, b);
       case BinOp::Min: return std::min(a, b);
       case BinOp::Max: return std::max(a, b);
-      default: die("bad f64 binop");
+      default: throw KernelError("binary operator not defined on f64 operands");
     }
   }
 
@@ -379,7 +521,7 @@ public:
       case UnOp::Tanh: return std::tanh(a);
       case UnOp::LGamma: return std::lgamma(a);
       case UnOp::Digamma: return digamma_approx(a);
-      default: die("bad unop");
+      default: throw KernelError("unary operator not defined on this operand");
     }
   }
 
@@ -389,7 +531,11 @@ public:
     ArrayVal view = *a;
     for (size_t k = 0; k < o.idx.size(); ++k) {
       const int64_t i = as_i64(eval_atom(o.idx[k], env));
-      if (i < 0 || i >= view.shape[0]) die("index out of bounds");
+      if (i < 0 || i >= view.shape[0]) {
+        throw ShapeError("index " + std::to_string(i) + " out of bounds for " +
+                         env.name_of(o.arr) + " axis " + std::to_string(k) + " of extent " +
+                         std::to_string(view.shape[0]));
+      }
       if (view.rank() == 1) {
         // Final scalar element.
         assert(k + 1 == o.idx.size());
@@ -408,7 +554,11 @@ public:
     for (size_t k = 0; k < o.idx.size(); ++k) {
       rows /= dst.shape[k];
       const int64_t i = as_i64(eval_atom(o.idx[k], env));
-      if (i < 0 || i >= dst.shape[k]) die("update index out of bounds");
+      if (i < 0 || i >= dst.shape[k]) {
+        throw ShapeError("update index " + std::to_string(i) + " out of bounds for " +
+                         env.name_of(o.arr) + " axis " + std::to_string(k) + " of extent " +
+                         std::to_string(dst.shape[k]));
+      }
       off += i * rows;
     }
     Value v = eval_atom(o.v, env);
@@ -459,13 +609,19 @@ public:
     // One frame per loop, reused across iterations: params are rebound each
     // round and body bindings simply overwrite last round's slots.
     if (o.while_cond) {
-      for (;;) {
+      for (int64_t i = 0;; ++i) {
         std::vector<Value> c = apply(*o.while_cond, state, env);
         if (!as_bool(c[0])) break;
         Env it_env(env, o.activation_id);
         for (size_t k = 0; k < o.params.size(); ++k)
           it_env.bind(o.params[k].var, std::move(state[k]));
-        state = eval_body(*o.body, it_env);
+        try {
+          NPAD_FAULT_SITE("loop.iter", FaultKind::Chunk);
+          state = eval_body(*o.body, it_env);
+        } catch (npad::Error& err) {
+          err.add_context("in while-loop iteration " + std::to_string(i));
+          throw;
+        }
       }
       return state;
     }
@@ -476,7 +632,13 @@ public:
       if (o.idx.valid()) it_env.bind(o.idx, i);
       for (size_t k = 0; k < o.params.size(); ++k)
         it_env.bind(o.params[k].var, std::move(state[k]));
-      state = eval_body(*o.body, it_env);
+      try {
+        NPAD_FAULT_SITE("loop.iter", FaultKind::Chunk);
+        state = eval_body(*o.body, it_env);
+      } catch (npad::Error& err) {
+        err.add_context("in loop iteration " + std::to_string(i) + " of " + std::to_string(n));
+        throw;
+      }
     }
     return state;
   }
@@ -507,11 +669,15 @@ public:
       } else {
         const ArrayVal& a = as_array(v);
         if (n < 0) n = a.outer();
-        if (a.outer() != n) die("map arguments of unequal length");
+        if (a.outer() != n) {
+          throw ShapeError("map arguments of unequal length: " + env.name_of(o.args[i]) +
+                           " has extent " + std::to_string(a.outer()) + ", expected " +
+                           std::to_string(n));
+        }
         inputs.push_back(a);
       }
     }
-    if (n < 0) die("map without array argument");
+    if (n < 0) throw TypeError("map without array argument");
 
     // Flattened nested execution (opt/flatten.cpp annotations): run the
     // whole nest as ONE launch instead of one inner launch per row. Empty
@@ -653,6 +819,7 @@ public:
       }
       if (priv.empty()) {
         const auto body = [&](int64_t lo, int64_t hi) {
+          NPAD_FAULT_SITE("map.general_chunk", FaultKind::Chunk);
           for (int64_t i = std::max<int64_t>(lo, 1); i < hi; ++i) {
             std::vector<Value> vals = apply(f, elem_args(i, base_accs), env);
             store_result(i, vals);
@@ -683,6 +850,7 @@ public:
         const int64_t per = (n + chunks - 1) / chunks;
         support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
           for (int64_t c = clo; c < chi; ++c) {
+            NPAD_FAULT_SITE("map.general_priv_chunk", FaultKind::Chunk);
             const int64_t lo = std::max<int64_t>(c * per, 1);
             const int64_t hi = std::min(n, (c + 1) * per);
             for (int64_t i = lo; i < hi; ++i) {
@@ -785,8 +953,12 @@ public:
         }
       }
       if (opts_.parallel) {
-        support::parallel_for(n, opts_.grain, [&](int64_t lo, int64_t hi) { L.run(lo, hi); });
+        support::parallel_for(n, opts_.grain, [&](int64_t lo, int64_t hi) {
+          NPAD_FAULT_SITE("map.kernel_chunk", FaultKind::Chunk);
+          L.run(lo, hi);
+        });
       } else {
+        NPAD_FAULT_SITE("map.kernel_chunk", FaultKind::Chunk);
         L.run(0, n);
       }
     } else {
@@ -811,7 +983,10 @@ public:
             .fetch_add(updates_of(s), std::memory_order_relaxed);
       }
       if (!any_priv) {
-        support::parallel_for(n, opts_.grain, [&](int64_t lo, int64_t hi) { L.run(lo, hi); });
+        support::parallel_for(n, opts_.grain, [&](int64_t lo, int64_t hi) {
+          NPAD_FAULT_SITE("map.kernel_chunk", FaultKind::Chunk);
+          L.run(lo, hi);
+        });
       } else {
         stats_->privatized_launches.fetch_add(1, std::memory_order_relaxed);
         std::vector<uint8_t> atomic_flags(naccs);
@@ -831,6 +1006,7 @@ public:
         const int64_t per = (n + chunks - 1) / chunks;
         support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
           for (int64_t c = clo; c < chi; ++c) {
+            NPAD_FAULT_SITE("map.kernel_priv_chunk", FaultKind::Chunk);
             auto& Lc = launches[static_cast<size_t>(c)];
             Lc.acc_atomic = atomic_flags;
             Lc.run(c * per, std::min(n, (c + 1) * per));
@@ -959,8 +1135,12 @@ public:
     const bool fanout = opts_.parallel && threads > 1 && total > opts_.grain &&
                         !support::ThreadPool::in_parallel_region();
     if (fanout) {
-      support::parallel_for(total, opts_.grain, [&](int64_t lo, int64_t hi) { L.run(lo, hi); });
+      support::parallel_for(total, opts_.grain, [&](int64_t lo, int64_t hi) {
+        NPAD_FAULT_SITE("map.flat_chunk", FaultKind::Chunk);
+        L.run(lo, hi);
+      });
     } else {
+      NPAD_FAULT_SITE("map.flat_chunk", FaultKind::Chunk);
       L.run(0, total);
     }
     stats_->flattened_maps.fetch_add(1, std::memory_order_relaxed);
@@ -1027,6 +1207,7 @@ public:
       double* op = out.buf->f64();
       const int64_t seg = m;
       auto body = [&](int64_t slo, int64_t shi) {
+        NPAD_FAULT_SITE("segred.hand_chunk", FaultKind::Chunk);
         for (int64_t s = slo; s < shi; ++s) {
           double acc = ne;
           const double* p = in + s * seg;
@@ -1054,9 +1235,12 @@ public:
       L->outputs.push_back(alloc_launch_buf(red->op->rets[j].elem, {n}, /*uninit=*/true));
     }
     if (fanout) {
-      support::parallel_for(n, seg_grain,
-                            [&](int64_t lo, int64_t hi) { L->run_segred_chunk(lo, hi, m); });
+      support::parallel_for(n, seg_grain, [&](int64_t lo, int64_t hi) {
+        NPAD_FAULT_SITE("segred.kernel_chunk", FaultKind::Chunk);
+        L->run_segred_chunk(lo, hi, m);
+      });
     } else {
+      NPAD_FAULT_SITE("segred.kernel_chunk", FaultKind::Chunk);
       L->run_segred_chunk(0, n, m);
     }
     stats_->segred_launches.fetch_add(1, std::memory_order_relaxed);
@@ -1146,8 +1330,12 @@ public:
     arrs.reserve(o.args.size());
     for (auto v : o.args) arrs.push_back(as_array(env.lookup(v)));
     const int64_t n = arrs[0].outer();
-    for (const auto& a : arrs) {
-      if (a.outer() != n) die("reduce arguments of unequal length");
+    for (size_t j = 0; j < arrs.size(); ++j) {
+      if (arrs[j].outer() != n) {
+        throw ShapeError("reduce arguments of unequal length: " + env.name_of(o.args[j]) +
+                         " has extent " + std::to_string(arrs[j].outer()) + ", expected " +
+                         std::to_string(n));
+      }
     }
     std::vector<Value> neutral;
     for (const auto& a : o.neutral) neutral.push_back(eval_atom(a, env));
@@ -1178,11 +1366,13 @@ public:
         const size_t nred = k->reds.size();
         std::vector<double> partials = L->red_neutral;
         if (chunks <= 1) {
+          NPAD_FAULT_SITE("reduce.kernel_chunk", FaultKind::Chunk);
           L->run_reduce(0, n, partials.data());
         } else {
           std::vector<std::vector<double>> cp(static_cast<size_t>(chunks), partials);
           support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
             for (int64_t c = clo; c < chi; ++c) {
+              NPAD_FAULT_SITE("reduce.kernel_chunk", FaultKind::Chunk);
               L->run_reduce(c * per, std::min(n, (c + 1) * per),
                             cp[static_cast<size_t>(c)].data());
             }
@@ -1190,6 +1380,7 @@ public:
           // Chunk partials tree-merge pairwise through the fold subprogram,
           // the same shape as merge_private — but each partial is only k
           // scalars, so the merge runs on the calling thread.
+          NPAD_FAULT_SITE("reduce.partial_merge", FaultKind::Chunk);
           for (size_t stride = 1; stride < cp.size(); stride *= 2) {
             for (size_t i = 0; i + stride < cp.size(); i += 2 * stride) {
               L->combine_partials(cp[i].data(), cp[i + stride].data());
@@ -1217,6 +1408,7 @@ public:
       return row_view(a, i);
     };
     auto fold_range = [&](int64_t lo, int64_t hi, std::vector<Value> acc) {
+      NPAD_FAULT_SITE("reduce.general_chunk", FaultKind::Chunk);
       if (hand_fast) {
         double acc0 = as_f64(acc[0]);
         const double* p = arrs[0].buf->f64() + arrs[0].offset;
@@ -1276,8 +1468,12 @@ public:
     arrs.reserve(o.args.size());
     for (auto v : o.args) arrs.push_back(as_array(env.lookup(v)));
     const int64_t n = arrs[0].outer();
-    for (const auto& a : arrs) {
-      if (a.outer() != n) die("scan arguments of unequal length");
+    for (size_t j = 0; j < arrs.size(); ++j) {
+      if (arrs[j].outer() != n) {
+        throw ShapeError("scan arguments of unequal length: " + env.name_of(o.args[j]) +
+                         " has extent " + std::to_string(arrs[j].outer()) + ", expected " +
+                         std::to_string(n));
+      }
     }
     std::vector<Value> neutral;
     for (const auto& a : o.neutral) neutral.push_back(eval_atom(a, env));
@@ -1307,6 +1503,7 @@ public:
         std::vector<double> sums(static_cast<size_t>(chunks));
         support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
           for (int64_t c = clo; c < chi; ++c) {
+            NPAD_FAULT_SITE("scan.hand_chunk", FaultKind::Chunk);
             const int64_t lo = c * per, hi = std::min(n, lo + per);
             if (lo >= hi) {  // empty trailing chunk (tiny grain): contribute ne
               sums[static_cast<size_t>(c)] = as_f64(neutral[0]);
@@ -1330,12 +1527,14 @@ public:
         support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
           for (int64_t c = clo; c < chi; ++c) {
             if (c == 0) continue;
+            NPAD_FAULT_SITE("scan.hand_rescale", FaultKind::Chunk);
             const int64_t lo = c * per, hi = std::min(n, lo + per);
             const double p = pre[static_cast<size_t>(c)];
             for (int64_t i = lo; i < hi; ++i) out[i] = combine_f64(bop, p, out[i]);
           }
         });
       } else {
+        NPAD_FAULT_SITE("scan.hand_chunk", FaultKind::Chunk);
         double acc = as_f64(neutral[0]);
         for (int64_t i = 0; i < n; ++i) {
           acc = combine_f64(bop, acc, in[i]);
@@ -1358,6 +1557,7 @@ public:
           L->outputs.push_back(alloc_launch_buf(t, {n}, /*uninit=*/true));
         }
         if (chunks <= 1) {
+          NPAD_FAULT_SITE("scan.kernel_chunk", FaultKind::Chunk);
           std::vector<double> carry = L->red_neutral;
           L->run_scan_chunk(0, n, carry.data());
         } else {
@@ -1365,6 +1565,7 @@ public:
                                                    L->red_neutral);
           support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
             for (int64_t c = clo; c < chi; ++c) {
+              NPAD_FAULT_SITE("scan.kernel_chunk", FaultKind::Chunk);
               L->run_scan_chunk(c * per, std::min(n, (c + 1) * per),
                                 carries[static_cast<size_t>(c)].data());
             }
@@ -1378,6 +1579,7 @@ public:
           support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
             for (int64_t c = clo; c < chi; ++c) {
               if (c == 0) continue;  // chunk 0 already started from neutral
+              NPAD_FAULT_SITE("scan.kernel_rescale", FaultKind::Chunk);
               L->scan_rescale(c * per, std::min(n, (c + 1) * per),
                               prefixes[static_cast<size_t>(c)].data());
             }
@@ -1395,6 +1597,7 @@ public:
     // match the argument types — and are fully overwritten, so they take
     // the uninitialized pooled path.
     stats_->general_scans.fetch_add(1, std::memory_order_relaxed);
+    NPAD_FAULT_SITE("scan.general", FaultKind::Chunk);
     std::vector<ArrayVal> outs(kres);
     if (n == 0) {
       for (size_t j = 0; j < kres; ++j) {
@@ -1517,6 +1720,7 @@ public:
       const BinOp cb = *bop;
       double* d = dest.buf->f64() + dest.offset;
       auto fold_range = [&](double* bins, int64_t lo, int64_t hi) {
+        NPAD_FAULT_SITE("hist.hand_chunk", FaultKind::Chunk);
         int64_t performed = 0;
         for (int64_t i = lo; i < hi; ++i) {
           const int64_t b = inds.get_i64(i);
@@ -1545,6 +1749,7 @@ public:
         stats_->privatized_hist_updates.fetch_add(
             static_cast<uint64_t>(performed.load()), std::memory_order_relaxed);
         // Bin-parallel merge; per bin the chunks combine in element order.
+        NPAD_FAULT_SITE("hist.merge", FaultKind::Chunk);
         support::parallel_for(m, opts_.grain, [&](int64_t lo, int64_t hi) {
           for (int64_t b = lo; b < hi; ++b) {
             double acc = d[b];
@@ -1557,6 +1762,7 @@ public:
       // Atomic-CAS fallback for destinations too large to privatize.
       std::atomic<int64_t> performed{0};
       support::parallel_for(n, opts_.grain, [&](int64_t lo, int64_t hi) {
+        NPAD_FAULT_SITE("hist.atomic_chunk", FaultKind::Chunk);
         int64_t local = 0;
         for (int64_t i = lo; i < hi; ++i) {
           const int64_t b = inds.get_i64(i);
@@ -1584,6 +1790,7 @@ public:
         if (!privat) {
           // Sequential kernel loop (also the over-budget path: arbitrary
           // folds have no atomic fallback).
+          NPAD_FAULT_SITE("hist.kernel_chunk", FaultKind::Chunk);
           stats_->privatized_hist_updates.fetch_add(
               static_cast<uint64_t>(L->run_hist_chunk(0, n, d, m, ip)),
               std::memory_order_relaxed);
@@ -1593,6 +1800,7 @@ public:
         std::atomic<int64_t> performed{0};
         support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
           for (int64_t c = clo; c < chi; ++c) {
+            NPAD_FAULT_SITE("hist.kernel_chunk", FaultKind::Chunk);
             performed.fetch_add(L->run_hist_chunk(c * per, std::min(n, (c + 1) * per),
                                                   subs[static_cast<size_t>(c)].buf->f64(), m,
                                                   ip),
@@ -1602,6 +1810,7 @@ public:
         stats_->privatized_hist_updates.fetch_add(
             static_cast<uint64_t>(performed.load()), std::memory_order_relaxed);
         // Bin-parallel merge through the fold subprogram, chunks in order.
+        NPAD_FAULT_SITE("hist.kernel_merge", FaultKind::Chunk);
         support::parallel_for(m, opts_.grain, [&](int64_t lo, int64_t hi) {
           for (const auto& s : subs) L->fold_bins(d + lo, s.buf->f64() + lo, hi - lo);
         });
@@ -1612,6 +1821,7 @@ public:
     // Tier 3: strictly sequential general path (applies the histomap
     // pre-lambda per element when present).
     stats_->general_hists.fetch_add(1, std::memory_order_relaxed);
+    NPAD_FAULT_SITE("hist.general", FaultKind::Chunk);
     int64_t performed = 0;
     for (int64_t i = 0; i < n; ++i) {
       const int64_t b = inds.get_i64(i);
@@ -1642,6 +1852,7 @@ public:
     const int64_t m = dest.outer();
     const int64_t row = dest.rank() > 1 ? dest.row_elems() : 1;
     const auto body = [&](int64_t lo, int64_t hi) {
+      NPAD_FAULT_SITE("scatter.chunk", FaultKind::Chunk);
       for (int64_t i = lo; i < hi; ++i) {
         const int64_t b = inds.get_i64(i);
         if (b < 0 || b >= m) continue;
@@ -1662,6 +1873,7 @@ public:
 
   // ------------------------------------------------------------- withacc ---
   std::vector<Value> eval_withacc(const OpWithAcc& o, Env& env) const {
+    NPAD_FAULT_SITE("withacc.body", FaultKind::Chunk);
     const Lambda& f = *o.f;
     std::vector<Value> args;
     for (Var a : o.arrs) {
@@ -1689,7 +1901,10 @@ private:
 } // namespace
 
 std::vector<Value> Interp::run(const ir::Prog& p, const std::vector<Value>& args) const {
-  if (args.size() != p.fn.params.size()) die("argument count mismatch");
+  if (args.size() != p.fn.params.size()) {
+    throw TypeError("program expects " + std::to_string(p.fn.params.size()) +
+                    " arguments, got " + std::to_string(args.size()));
+  }
   // Slot-resolve (cached process-wide): the interpreter evaluates the
   // alpha-renamed clone, whose variables index flat frames.
   std::shared_ptr<const ResolvedProg> rp = ProgCache::global().get(p);

@@ -21,6 +21,12 @@
 
 namespace npad::rt {
 
+// Default eval recursion-depth limit: NPAD_MAX_EVAL_DEPTH if set, else 512 —
+// deep enough for any real program the front end emits, shallow enough that a
+// runaway recursive structure throws npad::ResourceError long before the C++
+// stack overflows.
+int default_max_eval_depth();
+
 struct InterpOptions {
   bool parallel = true;         // use the thread pool for SOACs
   bool use_kernels = true;      // enable the kernel-compiled map fast path
@@ -38,6 +44,9 @@ struct InterpOptions {
   // Minimum map extent before privatization is considered; smaller launches
   // keep atomic updates (contention is bounded by the extent anyway).
   int64_t privatize_min_iters = 4096;
+  // Resource governance: maximum nesting depth of lambda/loop-body frames
+  // before evaluation aborts with npad::ResourceError (<= 0 disables).
+  int max_eval_depth = default_max_eval_depth();
 };
 
 struct InterpStats {

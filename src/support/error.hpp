@@ -1,0 +1,101 @@
+#pragma once
+
+// Structured error taxonomy for the whole runtime. Every failure that can
+// escape a public entry point (typecheck, AD transforms, interpreter runs,
+// buffer allocation) is an `npad::Error` subclass, so callers — and the
+// coming serving front-end — can branch on the failure class instead of
+// string-matching `what()`:
+//
+//   TypeError      ill-typed IR or runtime type violations
+//   ShapeError     extent/rank mismatches, out-of-bounds indexing
+//   KernelError    kernel launch/execution failures (incl. injected faults)
+//   ResourceError  resource-governance refusals: pool byte budget exceeded,
+//                  eval recursion-depth limit hit, injected alloc failures
+//   (ad::ADError   derives from Error too — non-differentiable constructs)
+//
+// Errors carry *IR context*: as the unwind crosses interpreter eval frames,
+// each frame appends a line ("in map launch (extent 4096)", "in reduce
+// binding %acc_17") so the final `what()` reads like a stack trace through
+// the evaluated program rather than an anonymous one-liner. Frames are
+// appended via `add_context` on the in-flight exception object (caught by
+// reference, mutated, rethrown with `throw;`), capped so a pathological
+// unwind cannot build an unbounded trace.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace npad {
+
+class Error : public std::runtime_error {
+public:
+  explicit Error(std::string msg) : std::runtime_error(msg), message_(std::move(msg)) {}
+
+  // Dynamic class name ("TypeError", ...): stable across the taxonomy, used
+  // by tests and error reporting without RTTI gymnastics.
+  virtual const char* kind() const noexcept { return "Error"; }
+
+  // The original message, without the context trace.
+  const std::string& message() const noexcept { return message_; }
+
+  // Innermost-first context frames accumulated during unwind.
+  const std::vector<std::string>& context() const noexcept { return context_; }
+
+  // Appends one context frame. Frames beyond the cap collapse into a single
+  // truncation marker — deep unwinds must not grow the trace unboundedly.
+  void add_context(std::string frame) {
+    static constexpr size_t kMaxFrames = 32;
+    if (context_.size() > kMaxFrames) return;
+    if (context_.size() == kMaxFrames) {
+      context_.push_back("... (context truncated)");
+    } else {
+      context_.push_back(std::move(frame));
+    }
+    what_.clear();
+  }
+
+  // "<kind>: <message>" followed by one indented line per context frame.
+  const char* what() const noexcept override {
+    try {
+      if (what_.empty()) {
+        what_.append(kind()).append(": ").append(message_);
+        for (const auto& f : context_) what_.append("\n  ").append(f);
+      }
+      return what_.c_str();
+    } catch (...) {
+      return std::runtime_error::what();  // allocation failed: plain message
+    }
+  }
+
+private:
+  std::string message_;
+  std::vector<std::string> context_;
+  mutable std::string what_;  // composed lazily; invalidated by add_context
+};
+
+class TypeError : public Error {
+public:
+  using Error::Error;
+  const char* kind() const noexcept override { return "TypeError"; }
+};
+
+class ShapeError : public Error {
+public:
+  using Error::Error;
+  const char* kind() const noexcept override { return "ShapeError"; }
+};
+
+class KernelError : public Error {
+public:
+  using Error::Error;
+  const char* kind() const noexcept override { return "KernelError"; }
+};
+
+class ResourceError : public Error {
+public:
+  using Error::Error;
+  const char* kind() const noexcept override { return "ResourceError"; }
+};
+
+} // namespace npad

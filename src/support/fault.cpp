@@ -1,0 +1,92 @@
+#include "support/fault.hpp"
+
+#include <cstring>
+
+namespace npad::support {
+
+FaultInjector& FaultInjector::global() {
+  // Leaked singleton: sites may be crossed during static teardown of test
+  // fixtures; the injector must outlive everything that can allocate.
+  static FaultInjector* fi = new FaultInjector();
+  return *fi;
+}
+
+int FaultInjector::register_site(const char* name, FaultKind kind) {
+  std::lock_guard lk(mu_);
+  const int n = num_sites_.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    if (std::strcmp(sites_[i].name, name) == 0) return i;
+  }
+  if (n >= kMaxSites) return kMaxSites - 1;  // saturate; never out-of-bounds
+  sites_[n].name = name;
+  sites_[n].kind = kind;
+  sites_[n].count.store(0, std::memory_order_relaxed);
+  // Publish the entry before the index becomes visible to lock-free readers.
+  num_sites_.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+void FaultInjector::start_counting() {
+  // A counting session is per-workload: clear counts accumulated by earlier
+  // sessions so crossings() reflects only the run about to happen.
+  reset_counts();
+  armed_site_.store(-1, std::memory_order_relaxed);
+  mode_.store(Mode::Count, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm(int site, uint64_t occurrence) {
+  reset_counts();
+  armed_site_.store(site, std::memory_order_relaxed);
+  armed_occurrence_.store(occurrence, std::memory_order_relaxed);
+  armed_fired_.store(false, std::memory_order_relaxed);
+  mode_.store(Mode::Armed, std::memory_order_relaxed);
+}
+
+void FaultInjector::stop() {
+  mode_.store(Mode::Off, std::memory_order_relaxed);
+  armed_site_.store(-1, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset_counts() {
+  const int n = num_sites_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) sites_[i].count.store(0, std::memory_order_relaxed);
+}
+
+int FaultInjector::num_sites() const { return num_sites_.load(std::memory_order_acquire); }
+
+std::string FaultInjector::site_name(int site) const {
+  if (site < 0 || site >= num_sites()) return "<invalid site>";
+  return sites_[site].name;
+}
+
+FaultKind FaultInjector::site_kind(int site) const {
+  if (site < 0 || site >= num_sites()) return FaultKind::Chunk;
+  return sites_[site].kind;
+}
+
+uint64_t FaultInjector::crossings(int site) const {
+  if (site < 0 || site >= num_sites()) return 0;
+  return sites_[site].count.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::crossed(int site) noexcept {
+  const Mode m = mode_.load(std::memory_order_relaxed);
+  if (m == Mode::Off) return false;
+  const uint64_t n = sites_[site].count.fetch_add(1, std::memory_order_relaxed);
+  if (m != Mode::Armed) return false;
+  if (armed_site_.load(std::memory_order_relaxed) != site) return false;
+  if (n != armed_occurrence_.load(std::memory_order_relaxed)) return false;
+  // Exactly-once: concurrent crossings of the same occurrence cannot double-
+  // fire (counter values are unique, but belt and braces against re-arming).
+  bool expected = false;
+  return armed_fired_.compare_exchange_strong(expected, true, std::memory_order_relaxed);
+}
+
+void FaultInjector::fire(int site) {
+  fired_total_.fetch_add(1, std::memory_order_relaxed);
+  const std::string msg = std::string("injected fault at site '") + site_name(site) + "'";
+  if (site_kind(site) == FaultKind::Alloc) throw ResourceError(msg);
+  throw KernelError(msg);
+}
+
+} // namespace npad::support

@@ -3,10 +3,21 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "support/fault.hpp"
+
 namespace npad::support {
 
 namespace {
 thread_local bool tl_in_parallel = false;
+
+// Restores tl_in_parallel even when the caller's drain loop unwinds, so a
+// throwing chunk cannot leave the launching thread permanently "nested"
+// (which would force every later parallel_for inline).
+struct InParallelGuard {
+  bool saved;
+  InParallelGuard() : saved(tl_in_parallel) { tl_in_parallel = true; }
+  ~InParallelGuard() { tl_in_parallel = saved; }
+};
 } // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -30,6 +41,21 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::in_parallel_region() noexcept { return tl_in_parallel; }
 
+void ThreadPool::exec_task(const Task& t) noexcept {
+  if (!t.launch->cancelled.load(std::memory_order_acquire)) {
+    try {
+      NPAD_FAULT_SITE("threadpool.chunk", FaultKind::Chunk);
+      t.launch->body(t.lo, t.hi);
+    } catch (...) {
+      std::lock_guard lk(mu_);
+      if (!t.launch->error) t.launch->error = std::current_exception();
+      t.launch->cancelled.store(true, std::memory_order_release);
+    }
+  }
+  std::lock_guard lk(mu_);
+  if (--t.launch->outstanding == 0) cv_done_.notify_all();
+}
+
 void ThreadPool::worker_loop() {
   tl_in_parallel = true;
   for (;;) {
@@ -41,11 +67,7 @@ void ThreadPool::worker_loop() {
       t = queue_.back();
       queue_.pop_back();
     }
-    t.body(t.lo, t.hi);
-    {
-      std::lock_guard lk(mu_);
-      if (--outstanding_ == 0) cv_done_.notify_all();
-    }
+    exec_task(t);
   }
 }
 
@@ -60,26 +82,36 @@ void ThreadPool::parallel_for(int64_t n, int64_t grain, ForBody body) {
   }
   const int64_t chunks = std::min<int64_t>((n + grain - 1) / grain, threads * 4);
   const int64_t chunk = (n + chunks - 1) / chunks;
+  Launch launch;
+  launch.body = body;
   {
     std::lock_guard lk(mu_);
+    // Reserve before pushing: a mid-enqueue bad_alloc must not leave tasks
+    // pointing at a Launch whose join never sees them.
+    queue_.reserve(queue_.size() + static_cast<size_t>((n + chunk - 1) / chunk));
     for (int64_t lo = 0; lo < n; lo += chunk) {
-      queue_.push_back(Task{body, lo, std::min(lo + chunk, n)});
-      ++outstanding_;
+      queue_.push_back(Task{&launch, lo, std::min(lo + chunk, n)});
+      ++launch.outstanding;
     }
   }
   cv_work_.notify_all();
-  // The caller helps drain the queue, then waits for stragglers.
-  tl_in_parallel = true;
-  for (;;) {
-    Task t;
-    if (!pop_task(t)) break;
-    t.body(t.lo, t.hi);
-    std::lock_guard lk(mu_);
-    if (--outstanding_ == 0) cv_done_.notify_all();
+  // The caller helps drain the queue (possibly executing other launches'
+  // chunks — errors land on their owning Launch), then waits for stragglers.
+  {
+    InParallelGuard guard;
+    for (;;) {
+      Task t;
+      if (!pop_task(t)) break;
+      exec_task(t);
+    }
   }
-  tl_in_parallel = false;
   std::unique_lock lk(mu_);
-  cv_done_.wait(lk, [&] { return outstanding_ == 0; });
+  cv_done_.wait(lk, [&] { return launch.outstanding == 0; });
+  if (launch.error) {
+    std::exception_ptr err = launch.error;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 bool ThreadPool::pop_task(Task& out) {

@@ -5,9 +5,19 @@
 // run sequentially on the worker that encounters them (the "flattening-lite"
 // policy described in src/runtime/README.md, "Scheduling"): only the
 // outermost level fans out.
+//
+// Exception safety: a chunk body that throws does not take the process down.
+// The first exception of a launch is captured via std::exception_ptr, a
+// cooperative cancellation flag turns that launch's remaining chunks into
+// no-ops, the outstanding-chunk count always drains (workers and the helping
+// caller decrement it on every path), and the captured exception is rethrown
+// exactly once at the join point in parallel_for. The pool is fully reusable
+// after a failed launch.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -65,6 +75,10 @@ public:
   // executes chunks. Re-entrant calls (from inside a chunk) run inline.
   // `body` is a non-owning reference: no per-launch allocation or type
   // erasure through std::function on this hot path.
+  //
+  // If any chunk throws, the launch is cancelled (queued chunks of this
+  // launch become no-ops), all chunks are joined, and the *first* exception
+  // is rethrown here. Exceptions never escape worker threads.
   void parallel_for(int64_t n, int64_t grain, ForBody body);
 
   // True when the current thread is already executing inside a parallel_for.
@@ -74,20 +88,34 @@ public:
   static ThreadPool& global();
 
 private:
-  struct Task {
+  // Per-launch join state, living on the launching caller's stack for the
+  // duration of its parallel_for. Tasks point back at their launch so errors
+  // land on the right join even when a helping caller drains another
+  // launch's chunks off the shared queue.
+  struct Launch {
     ForBody body;
+    std::atomic<bool> cancelled{false};
+    std::exception_ptr error;  // first error; guarded by pool mu_
+    int64_t outstanding = 0;   // chunks not yet finished; guarded by pool mu_
+  };
+
+  struct Task {
+    Launch* launch = nullptr;
     int64_t lo = 0, hi = 0;
   };
 
   void worker_loop();
   bool pop_task(Task& out);
+  // Runs one task with full capture: skips the body when the owning launch is
+  // cancelled, records the first exception and cancels on throw, and always
+  // decrements the launch's outstanding count.
+  void exec_task(const Task& t) noexcept;
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   std::vector<Task> queue_;
-  int64_t outstanding_ = 0;
   bool stop_ = false;
 };
 

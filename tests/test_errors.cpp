@@ -1,0 +1,321 @@
+// Structured-error tests: the typed npad::Error taxonomy, IR context frames
+// accumulated during unwind, exception-safe parallel_for, and resource
+// governance (buffer-pool byte budget, eval recursion-depth limit).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "core/ad.hpp"
+#include "ir/builder.hpp"
+#include "ir/typecheck.hpp"
+#include "runtime/buffer_pool.hpp"
+#include "runtime/interp.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace npad::ir;
+using namespace npad::rt;
+
+// Fix the pool size before the global pool is constructed so chunk counts
+// (and hence which chunks exist to throw from) are stable across machines.
+[[maybe_unused]] const int force_threads = [] {
+  setenv("NPAD_NUM_THREADS", "4", /*overwrite=*/0);
+  return 0;
+}();
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+// --------------------------------------------------------- error objects --
+
+TEST(Errors, WhatComposesKindMessageAndContext) {
+  npad::ShapeError err("extent mismatch");
+  EXPECT_STREQ(err.kind(), "ShapeError");
+  EXPECT_EQ(err.message(), "extent mismatch");
+  err.add_context("in map launch (extent 4)");
+  err.add_context("in index binding %ys_3");
+  const std::string w = err.what();
+  EXPECT_TRUE(contains(w, "ShapeError: extent mismatch")) << w;
+  EXPECT_TRUE(contains(w, "\n  in map launch (extent 4)")) << w;
+  EXPECT_TRUE(contains(w, "\n  in index binding %ys_3")) << w;
+  ASSERT_EQ(err.context().size(), 2u);
+}
+
+TEST(Errors, ContextIsCapped) {
+  npad::KernelError err("boom");
+  for (int i = 0; i < 100; ++i) err.add_context("frame " + std::to_string(i));
+  // Capped well below 100, with an explicit truncation marker.
+  EXPECT_LE(err.context().size(), 33u);
+  EXPECT_TRUE(contains(err.what(), "truncated")) << err.what();
+}
+
+TEST(Errors, SubclassesAreCatchableAsBaseAndRuntimeError) {
+  try {
+    throw npad::ResourceError("over budget");
+  } catch (const npad::Error& e) {
+    EXPECT_STREQ(e.kind(), "ResourceError");
+  }
+  try {
+    throw npad::TypeError("bad type");
+  } catch (const std::runtime_error& e) {  // legacy catch sites keep working
+    EXPECT_TRUE(contains(e.what(), "bad type"));
+  }
+}
+
+// ----------------------------------------------------------- thread pool --
+
+TEST(Errors, ParallelForPropagatesFirstExceptionOnce) {
+  auto& pool = npad::support::ThreadPool::global();
+  int64_t caught = 0;
+  try {
+    pool.parallel_for(100000, 1000, [](int64_t lo, int64_t hi) {
+      if (lo <= 31337 && 31337 < hi) throw npad::KernelError("chunk failed");
+      // Other chunks run (or are cancelled) without incident.
+    });
+  } catch (const npad::Error& e) {
+    ++caught;
+    EXPECT_STREQ(e.kind(), "KernelError");
+    EXPECT_TRUE(contains(e.what(), "chunk failed"));
+  }
+  EXPECT_EQ(caught, 1);
+  EXPECT_FALSE(npad::support::ThreadPool::in_parallel_region());
+}
+
+TEST(Errors, ParallelForPropagatesNonNpadExceptions) {
+  auto& pool = npad::support::ThreadPool::global();
+  EXPECT_THROW(
+      pool.parallel_for(10000, 100, [](int64_t lo, int64_t) {
+        if (lo == 0) throw std::logic_error("plain std exception");
+      }),
+      std::logic_error);
+}
+
+TEST(Errors, PoolIsReusableAfterFailedLaunch) {
+  auto& pool = npad::support::ThreadPool::global();
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.parallel_for(
+                     100000, 1000,
+                     [](int64_t, int64_t) { throw npad::KernelError("every chunk throws"); }),
+                 npad::KernelError);
+    // A healthy launch right after the failed one still computes correctly.
+    std::atomic<int64_t> sum{0};
+    pool.parallel_for(100000, 1000, [&](int64_t lo, int64_t hi) {
+      int64_t local = 0;
+      for (int64_t i = lo; i < hi; ++i) local += i;
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), int64_t{100000} * 99999 / 2);
+    EXPECT_FALSE(npad::support::ThreadPool::in_parallel_region());
+  }
+}
+
+// ------------------------------------------------------- interpreter errors --
+
+TEST(Errors, MapOfUnequalLengthsIsShapeError) {
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var ys = pb.param("ys", arr_f64(1));
+  Builder& b = pb.body();
+  Var zs = b.map(b.lam({f64(), f64()},
+                       [](Builder& c, const std::vector<Var>& p) {
+                         return std::vector<Atom>{Atom(c.add(p[0], p[1]))};
+                       }),
+                 {xs, ys})[0];
+  Prog p = pb.finish({Atom(zs)});
+  typecheck(p);
+  try {
+    run_prog(p, {make_f64_array({1, 2, 3, 4}, {4}), make_f64_array({1, 2, 3}, {3})});
+    FAIL() << "expected ShapeError";
+  } catch (const npad::ShapeError& e) {
+    const std::string w = e.what();
+    EXPECT_TRUE(contains(w, "unequal length")) << w;
+    EXPECT_TRUE(contains(w, "ys")) << w;      // names the offending binding
+    EXPECT_TRUE(contains(w, "3")) << w;       // its extent
+    EXPECT_TRUE(contains(w, "4")) << w;       // the expected extent
+  }
+}
+
+TEST(Errors, IndexOutOfBoundsIsShapeErrorWithBindingContext) {
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var e = b.index(xs, {ci64(10)});
+  Prog p = pb.finish({Atom(e)});
+  typecheck(p);
+  try {
+    run_prog(p, {make_f64_array({1, 2, 3}, {3})});
+    FAIL() << "expected ShapeError";
+  } catch (const npad::ShapeError& err) {
+    const std::string w = err.what();
+    EXPECT_TRUE(contains(w, "ShapeError:")) << w;
+    EXPECT_TRUE(contains(w, "index 10 out of bounds")) << w;
+    EXPECT_TRUE(contains(w, "extent 3")) << w;
+    EXPECT_TRUE(contains(w, "in index binding")) << w;  // exec_stm frame
+  }
+}
+
+TEST(Errors, ErrorInsideMapCarriesLaunchContext) {
+  // The OOB index is inside a map lambda: the unwind should record both the
+  // failing binding and the enclosing launch with its extent.
+  ProgBuilder pb("f");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var ws = pb.param("ws", arr_f64(1));
+  Builder& b = pb.body();
+  Var ys = b.map1(b.lam({f64()},
+                        [&](Builder& c, const std::vector<Var>& p) {
+                          Var w = c.index(ws, {ci64(5)});  // ws has extent 2
+                          return std::vector<Atom>{Atom(c.add(p[0], w))};
+                        }),
+                  {xs});
+  Prog p = pb.finish({Atom(ys)});
+  typecheck(p);
+  InterpOptions opts;
+  opts.use_kernels = false;  // general path evaluates the body via exec_stm
+  try {
+    run_prog(p, {make_f64_array({1, 2, 3, 4}, {4}), make_f64_array({9, 9}, {2})}, opts);
+    FAIL() << "expected ShapeError";
+  } catch (const npad::ShapeError& err) {
+    const std::string w = err.what();
+    EXPECT_TRUE(contains(w, "index 5 out of bounds")) << w;
+    EXPECT_TRUE(contains(w, "in map launch (extent 4)")) << w;
+  }
+}
+
+TEST(Errors, TypecheckThrowsTypedTypeError) {
+  ProgBuilder pb("bad");
+  Var x = pb.param("x", f64());
+  Builder& b = pb.body();
+  Var y = b.mul(x, x);
+  Prog p = pb.finish({Atom(y)});
+  Var ghost = p.mod->fresh("ghost");
+  p.fn.body.result[0] = Atom(ghost);
+  p.fn.rets[0] = f64();
+  try {
+    typecheck(p);
+    FAIL() << "expected TypeError";
+  } catch (const npad::Error& e) {
+    EXPECT_STREQ(e.kind(), "TypeError");
+  }
+}
+
+TEST(Errors, WrongArgumentCountIsTypeError) {
+  ProgBuilder pb("f");
+  Var x = pb.param("x", f64());
+  Builder& b = pb.body();
+  Prog p = pb.finish({Atom(b.add(x, x))});
+  typecheck(p);
+  try {
+    run_prog(p, {1.0, 2.0});
+    FAIL() << "expected TypeError";
+  } catch (const npad::TypeError& e) {
+    EXPECT_TRUE(contains(e.what(), "expects 1 argument")) << e.what();
+  }
+}
+
+TEST(Errors, AdErrorsJoinTheTaxonomy) {
+  // withacc is not reverse-differentiable: vjp throws ad::ADError, which is
+  // an npad::Error subclass and catchable as such.
+  ProgBuilder pb("f");
+  Var dest = pb.param("dest", arr_f64(1));
+  Var is = pb.param("is", arr(ScalarType::I64, 1));
+  Var vs = pb.param("vs", arr_f64(1));
+  Builder& b = pb.body();
+  auto outs = b.withacc({dest}, [&](Builder& c, const std::vector<Var>& accs) {
+    LambdaPtr f = c.lam({i64(), f64(), acc_of(arr_f64(1))},
+                        [](Builder& cc, const std::vector<Var>& p) {
+                          Var a2 = cc.upd_acc(p[2], {Atom(p[0])}, Atom(p[1]));
+                          return std::vector<Atom>{Atom(a2)};
+                        });
+    Var acc2 = c.map(f, {is, vs, accs[0]})[0];
+    return std::vector<Atom>{Atom(acc2)};
+  });
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {outs[0]});
+  Prog p = pb.finish({Atom(s)});
+  typecheck(p);
+  try {
+    npad::ad::vjp(p);
+    FAIL() << "expected ADError";
+  } catch (const npad::Error& e) {
+    EXPECT_STREQ(e.kind(), "ADError");
+    EXPECT_TRUE(contains(e.what(), "withacc")) << e.what();
+  }
+}
+
+// ----------------------------------------------------- resource governance --
+
+TEST(Errors, PoolBudgetRejectsWithResourceError) {
+  auto& pool = BufferPool::global();
+  const size_t saved_budget = pool.budget_bytes();
+  const uint64_t pre_rejections = pool.stats().budget_rejections;
+  const size_t pre_buffers = pool.outstanding_buffers();
+
+  // Budget barely above the current live footprint: an 8 MB replicate must
+  // be refused before any allocation happens.
+  pool.set_budget_bytes(pool.outstanding_bytes() + 1024);
+  ProgBuilder pb("f");
+  Var n = pb.param("n", i64());
+  Builder& b = pb.body();
+  Var big = b.replicate(n, cf64(1.0));
+  Prog p = pb.finish({Atom(big)});
+  typecheck(p);
+  try {
+    run_prog(p, {int64_t{1} << 20});
+    pool.set_budget_bytes(saved_budget);
+    FAIL() << "expected ResourceError";
+  } catch (const npad::ResourceError& e) {
+    EXPECT_TRUE(contains(e.what(), "budget")) << e.what();
+  }
+  pool.set_budget_bytes(saved_budget);
+  EXPECT_GT(pool.stats().budget_rejections, pre_rejections);
+  // The refused run leaked nothing.
+  EXPECT_EQ(pool.outstanding_buffers(), pre_buffers);
+
+  // With the budget lifted, the same program runs.
+  auto r = run_prog(p, {int64_t{1} << 20});
+  EXPECT_EQ(as_array(r[0]).outer(), int64_t{1} << 20);
+}
+
+TEST(Errors, EvalDepthLimitIsResourceError) {
+  // Nested rank-2 map: the inner lambda applies at depth 2, so a limit of 1
+  // trips the guard; a flat map at depth 1 is fine under the same limit.
+  ProgBuilder pb("f");
+  Var xss = pb.param("xss", arr_f64(2));
+  Builder& b = pb.body();
+  Var yss = b.map1(b.lam({arr_f64(1)},
+                         [](Builder& c, const std::vector<Var>& row) {
+                           Var inner = c.map1(
+                               c.lam({f64()},
+                                     [](Builder& cc, const std::vector<Var>& p) {
+                                       return std::vector<Atom>{Atom(cc.mul(p[0], p[0]))};
+                                     }),
+                               {row[0]});
+                           return std::vector<Atom>{Atom(inner)};
+                         }),
+                   {xss});
+  Prog p = pb.finish({Atom(yss)});
+  typecheck(p);
+  ArrayVal in = make_f64_array({1, 2, 3, 4, 5, 6}, {2, 3});
+
+  InterpOptions tight;
+  tight.use_kernels = false;
+  tight.max_eval_depth = 1;
+  try {
+    run_prog(p, {in}, tight);
+    FAIL() << "expected ResourceError";
+  } catch (const npad::ResourceError& e) {
+    EXPECT_TRUE(contains(e.what(), "depth")) << e.what();
+  }
+
+  InterpOptions ok = tight;
+  ok.max_eval_depth = 8;
+  auto r = run_prog(p, {in}, ok);
+  EXPECT_EQ(to_f64_vec(as_array(r[0])), (std::vector<double>{1, 4, 9, 16, 25, 36}));
+}
+
+} // namespace
