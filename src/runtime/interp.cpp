@@ -2,12 +2,14 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "ir/patterns.hpp"
 #include "ir/visit.hpp"
 #include "runtime/kernel.hpp"
 #include "runtime/kernel_cache.hpp"
+#include "runtime/plan.hpp"
 #include "runtime/resolve.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
@@ -143,6 +145,58 @@ void merge_private(std::vector<ArrayVal>& bufs, ArrayVal& dst, int64_t grain) {
   });
 }
 
+// Loop-buffer ring (execution plans, runtime/plan.hpp): the outermost planned
+// loop with loop-invariant body extents installs a per-thread ring of parked
+// launch buffers. alloc_launch_buf hands a parked buffer back out whenever it
+// is the sole owner (use_count 1: every evaluator reference was dropped) and
+// the requested element type and shape match — steady-state iterations then
+// acquire all their scratch from the ring with zero pool traffic. A buffer
+// still referenced by the environment (a carried array, or last iteration's
+// value feeding this one) has use_count > 1 and is never handed out, which is
+// exactly the double-buffering the loop carry needs. The ring's own reference
+// is inert (never read or written through), and the ring dies with the loop —
+// on completion or unwind its buffers release to the global pool, restoring
+// the pre-loop pool footprint (the fault-injection retry contract).
+struct LoopBufRing {
+  std::vector<ArrayVal> bufs;
+};
+
+thread_local LoopBufRing* tl_loop_ring = nullptr;
+
+// Number of inert ring references on `a`'s buffer (0 or 1). The in-place
+// consumption tests (update/hist/scatter/with_acc destinations) budget their
+// use_count threshold for real consumers only; a parked ring reference must
+// not force a defensive copy.
+inline int64_t ring_refs(const ArrayVal& a) {
+  const LoopBufRing* r = tl_loop_ring;
+  if (r == nullptr) return 0;
+  for (const ArrayVal& e : r->bufs) {
+    if (e.buf == a.buf) return 1;
+  }
+  return 0;
+}
+
+// Installs a ring for the dynamic extent of a planned loop. Only the
+// outermost planned loop on this thread owns a ring: nested planned loops
+// park their scratch in the enclosing ring (their iteration counts multiply,
+// so hoisting to the outermost scope recycles across the whole nest).
+struct HoistRingGuard {
+  LoopBufRing ring;
+  bool installed = false;
+
+  explicit HoistRingGuard(bool enable) {
+    if (enable && tl_loop_ring == nullptr) {
+      tl_loop_ring = &ring;
+      installed = true;
+    }
+  }
+  ~HoistRingGuard() {
+    if (installed) tl_loop_ring = nullptr;
+  }
+  HoistRingGuard(const HoistRingGuard&) = delete;
+  HoistRingGuard& operator=(const HoistRingGuard&) = delete;
+};
+
 // Slot-resolved environment: one flat frame per activation (function entry,
 // lambda application, loop), chained by static links. Variable access is
 // precomputed (level, slot) indexing — no hashing, no per-scope rehash churn
@@ -242,6 +296,154 @@ public:
       frame += exp_kind(st.e);
       if (!st.vars.empty()) frame += " binding " + env.name_of(st.vars[0]);
       err.add_context(std::move(frame));
+      throw;
+    }
+  }
+
+  // ------------------------------------------------------ execution plans ---
+  //
+  // Step dispatch for compiled plans (runtime/plan.hpp). Each step either
+  // executes its pre-lowered fast form or falls back to exec_stm for that one
+  // statement, so planned evaluation is a strict refinement of eval_body:
+  // identical bindings, identical results, identical error context frames.
+  std::vector<Value> eval_body_planned(const Body& b, const Plan& plan, Env& env) const {
+    for (const PlanStep& s : plan.steps) {
+      switch (s.kind) {
+        case PlanStep::Kind::General: exec_stm(b.stms[s.stm], env); break;
+        case PlanStep::Kind::Scalars: run_scalar_step(b, s, env); break;
+        case PlanStep::Kind::MapLaunch: run_map_step(b, s, env); break;
+        case PlanStep::Kind::Loop: run_loop_step(b, s, env); break;
+      }
+    }
+    std::vector<Value> out;
+    out.reserve(b.result.size());
+    for (const auto& a : b.result) out.push_back(eval_atom(a, env));
+    return out;
+  }
+
+  // Scalars step: one extent-1 kernel execution replaces the folded run of
+  // scalar bindings — no eval_exp dispatch, no per-statement Env traffic, no
+  // Value variant churn for the intermediates. Falls back to per-statement
+  // evaluation if a free variable turns out not to be scalar.
+  void run_scalar_step(const Body& b, const PlanStep& s, Env& env) const {
+    bool ok = true;
+    try {
+      NPAD_FAULT_SITE("plan.step", FaultKind::Chunk);
+      const Kernel& k = *s.scalars;
+      thread_local std::vector<double> frees, regs, outs;
+      frees.clear();
+      for (ir::Var v : k.free_scalars) {
+        const Value& val = env.lookup(v);
+        if (is_array(val) || is_acc(val)) {
+          ok = false;
+          break;
+        }
+        frees.push_back(as_f64(val));
+      }
+      if (ok) {
+        regs.assign(static_cast<size_t>(k.num_regs), 0.0);
+        outs.assign(s.out_vars.size(), 0.0);
+        run_scalar_kernel(k, frees.data(), regs.data(), outs.data());
+        for (size_t j = 0; j < s.out_vars.size(); ++j) {
+          env.bind(s.out_vars[j], partial_value(s.out_types[j], outs[j]));
+        }
+        stats_->plan_scalar_blocks.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (npad::Error& err) {
+      err.add_context("in scalar block binding " + env.name_of(s.out_vars[0]));
+      throw;
+    }
+    if (!ok) {
+      for (uint32_t i = 0; i < s.count; ++i) exec_stm(b.stms[s.stm + i], env);
+    }
+  }
+
+  // MapLaunch step: re-binds arguments against the pre-resolved kernel and
+  // launches — no cache lookup, no compile-or-not dispatch. Any precondition
+  // the plan could not prove statically (rank-1 inputs, equal extents, free
+  // binding shapes) re-checks here; a mismatch hands the whole statement to
+  // the general evaluator, which reproduces the exact error/semantics.
+  std::optional<std::vector<Value>> try_map_step(const OpMap& o, const PlanStep& s,
+                                                 Env& env) const {
+    const Lambda& f = *o.f;
+    std::vector<ArrayVal> inputs;
+    int64_t n = -1;
+    for (size_t i = 0; i < o.args.size(); ++i) {
+      if (f.params[i].type.is_acc) continue;  // bound below via the kernel's acc table
+      const Value& v = env.lookup(o.args[i]);
+      if (!is_array(v)) return std::nullopt;
+      const ArrayVal& a = as_array(v);
+      if (a.rank() != 1) return std::nullopt;
+      if (n < 0) {
+        n = a.outer();
+      } else if (a.outer() != n) {
+        return std::nullopt;  // general path throws the proper ShapeError
+      }
+      inputs.push_back(a);
+    }
+    if (n < 0) return std::nullopt;
+    auto L = bind_map_launch(s.kernel, nullptr, o, inputs, env);
+    if (!L) return std::nullopt;
+    if (o.fused > 0) stats_->fused_maps.fetch_add(o.fused, std::memory_order_relaxed);
+    stats_->kernel_maps.fetch_add(1, std::memory_order_relaxed);
+    stats_->plan_launches.fetch_add(1, std::memory_order_relaxed);
+    return run_kernel(*L, f, o, n, env);
+  }
+
+  void run_map_step(const Body& b, const PlanStep& s, Env& env) const {
+    const Stm& st = b.stms[s.stm];
+    const auto& o = std::get<OpMap>(st.e);
+    std::optional<std::vector<Value>> r;
+    try {
+      NPAD_FAULT_SITE("plan.step", FaultKind::Chunk);
+      r = try_map_step(o, s, env);
+    } catch (npad::Error& err) {
+      // Same frames the general path accumulates (eval_exp + exec_stm).
+      err.add_context(launch_frame("map", args_extent(o.args, env)));
+      if (!st.vars.empty()) err.add_context("in map binding " + env.name_of(st.vars[0]));
+      throw;
+    }
+    if (!r) {
+      exec_stm(st, env);
+      return;
+    }
+    for (size_t i = 0; i < r->size(); ++i) env.bind(st.vars[i], std::move((*r)[i]));
+  }
+
+  // Loop step: the planned mirror of eval_loop's for-form. The nested body
+  // plan executes every iteration, and the outermost planned loop installs
+  // the loop-buffer ring (extents are provably loop-invariant, so iteration
+  // 2+ scratch acquisitions all hit the ring).
+  void run_loop_step(const Body& b, const PlanStep& s, Env& env) const {
+    const Stm& st = b.stms[s.stm];
+    const auto& o = std::get<OpLoop>(st.e);
+    try {
+      NPAD_FAULT_SITE("plan.step", FaultKind::Chunk);
+      std::vector<Value> state;
+      state.reserve(o.init.size());
+      for (const auto& a : o.init) state.push_back(eval_atom(a, env));
+      const int64_t n = as_i64(eval_atom(o.count, env));
+      if (n > 0) {
+        HoistRingGuard ring(s.hoist_buffers);
+        Env it_env(env, o.activation_id);
+        for (int64_t i = 0; i < n; ++i) {
+          if (o.idx.valid()) it_env.bind(o.idx, i);
+          for (size_t k = 0; k < o.params.size(); ++k)
+            it_env.bind(o.params[k].var, std::move(state[k]));
+          try {
+            NPAD_FAULT_SITE("loop.iter", FaultKind::Chunk);
+            NPAD_FAULT_SITE("plan.loop_iter", FaultKind::Chunk);
+            state = eval_body_planned(*o.body, *s.loop_body, it_env);
+          } catch (npad::Error& err) {
+            err.add_context("in loop iteration " + std::to_string(i) + " of " +
+                            std::to_string(n));
+            throw;
+          }
+        }
+      }
+      for (size_t k = 0; k < st.vars.size(); ++k) env.bind(st.vars[k], std::move(state[k]));
+    } catch (npad::Error& err) {
+      if (!st.vars.empty()) err.add_context("in loop binding " + env.name_of(st.vars[0]));
       throw;
     }
   }
@@ -548,7 +750,7 @@ public:
 
   Value eval_update(const OpUpdate& o, const Env& env) const {
     ArrayVal a = as_array(env.lookup(o.arr));  // +1 ref (env keeps one)
-    ArrayVal dst = (a.whole() && a.buf.use_count() <= 2) ? a : compact_copy(a);
+    ArrayVal dst = (a.whole() && a.buf.use_count() <= 2 + ring_refs(a)) ? a : compact_copy(a);
     int64_t off = 0;
     int64_t rows = dst.elems();
     for (size_t k = 0; k < o.idx.size(); ++k) {
@@ -646,7 +848,28 @@ public:
   // Launch-buffer allocation with pool accounting: buffers for kernel
   // outputs and map results are fully overwritten by the launch, so they take
   // the uninitialized path; privatized accumulators need the zero-fill.
+  // Inside a planned loop (tl_loop_ring set) buffers are recycled from the
+  // loop-local ring instead of round-tripping the global pool.
   ArrayVal alloc_launch_buf(ScalarType t, std::vector<int64_t> shp, bool uninit) const {
+    if (LoopBufRing* ring = tl_loop_ring) {
+      for (ArrayVal& e : ring->bufs) {
+        if (e.elem == t && e.shape == shp && e.buf.use_count() == 1) {
+          stats_->plan_hoisted_buffers.fetch_add(1, std::memory_order_relaxed);
+          if (!uninit) {
+            std::memset(e.buf->raw, 0, static_cast<size_t>(e.elems()) * scalar_bytes(t));
+          }
+          return e;
+        }
+      }
+      bool hit = false;
+      ArrayVal a = uninit ? ArrayVal::alloc_uninit(t, std::move(shp), &hit)
+                          : ArrayVal::alloc(t, std::move(shp), &hit);
+      (hit ? stats_->pool_hits : stats_->pool_misses).fetch_add(1, std::memory_order_relaxed);
+      // Park a reference for later iterations (bounded: a runaway shape mix
+      // must not pin unbounded memory for the loop's whole lifetime).
+      if (ring->bufs.size() < 64) ring->bufs.push_back(a);
+      return a;
+    }
     bool hit = false;
     ArrayVal a = uninit ? ArrayVal::alloc_uninit(t, std::move(shp), &hit)
                         : ArrayVal::alloc(t, std::move(shp), &hit);
@@ -893,6 +1116,16 @@ public:
       owned = std::make_shared<const Kernel>(std::move(*kopt));
       k = owned.get();
     }
+    return bind_map_launch(k, std::move(owned), o, inputs, env);
+  }
+
+  // Binds a map kernel's free variables and accumulators against the
+  // environment; nullopt when any binding has the wrong shape. Shared by the
+  // per-launch path (try_kernel) and the plan executor, whose MapLaunch steps
+  // carry a pre-resolved kernel and only re-bind arguments per execution.
+  std::optional<KernelLaunch> bind_map_launch(const Kernel* k, std::shared_ptr<const Kernel> owned,
+                                              const OpMap& o, const std::vector<ArrayVal>& inputs,
+                                              const Env& env) const {
     KernelLaunch L;
     L.k = k;
     L.owned = std::move(owned);
@@ -1681,7 +1914,9 @@ public:
   Value eval_hist(const OpHist& o, Env& env) const {
     const Lambda& op = *o.op;
     ArrayVal dest0 = as_array(env.lookup(o.dest));
-    ArrayVal dest = (dest0.whole() && dest0.buf.use_count() <= 2) ? dest0 : compact_copy(dest0);
+    ArrayVal dest = (dest0.whole() && dest0.buf.use_count() <= 2 + ring_refs(dest0))
+                        ? dest0
+                        : compact_copy(dest0);
     const ArrayVal inds = as_array(env.lookup(o.inds));
     const ArrayVal vals = as_array(env.lookup(o.vals));
     const int64_t n = inds.outer();
@@ -1845,7 +2080,9 @@ public:
   // ------------------------------------------------------------- scatter ---
   Value eval_scatter(const OpScatter& o, Env& env) const {
     ArrayVal dest0 = as_array(env.lookup(o.dest));
-    ArrayVal dest = (dest0.whole() && dest0.buf.use_count() <= 2) ? dest0 : compact_copy(dest0);
+    ArrayVal dest = (dest0.whole() && dest0.buf.use_count() <= 2 + ring_refs(dest0))
+                        ? dest0
+                        : compact_copy(dest0);
     const ArrayVal inds = as_array(env.lookup(o.inds));
     const ArrayVal vals = as_array(env.lookup(o.vals));
     const int64_t n = inds.outer();
@@ -1878,7 +2115,8 @@ public:
     std::vector<Value> args;
     for (Var a : o.arrs) {
       ArrayVal arr = as_array(env.lookup(a));
-      ArrayVal owned = (arr.whole() && arr.buf.use_count() <= 2) ? arr : compact_copy(arr);
+      ArrayVal owned =
+          (arr.whole() && arr.buf.use_count() <= 2 + ring_refs(arr)) ? arr : compact_copy(arr);
       args.push_back(AccVal{std::move(owned)});
     }
     std::vector<Value> res = apply(f, std::move(args), env);
@@ -1911,6 +2149,15 @@ std::vector<Value> Interp::run(const ir::Prog& p, const std::vector<Value>& args
   EvalCtx ctx(*this);
   Env env(*rp, rp->root_activation);
   for (size_t i = 0; i < args.size(); ++i) env.bind(rp->fn.params[i].var, args[i]);
+  // Compiled execution plans (runtime/plan.hpp): lowered once per resolved
+  // program, cached process-wide. Plans pre-bind map kernels from the kernel
+  // cache, so they are only sound to execute when kernels are enabled.
+  if (opts_.use_plans && opts_.use_kernels) {
+    uint64_t compiled = 0;
+    const Plan* plan = PlanCache::global().get(rp, &compiled);
+    if (compiled > 0) stats_.plans_compiled.fetch_add(compiled, std::memory_order_relaxed);
+    return ctx.eval_body_planned(rp->fn.body, *plan, env);
+  }
   return ctx.eval_body(rp->fn.body, env);
 }
 

@@ -32,6 +32,12 @@ struct InterpOptions {
   bool use_kernels = true;      // enable the kernel-compiled map fast path
   bool use_kernel_cache = true; // reuse compiled kernels across launches
   bool privatize_accs = true;   // per-worker accumulator buffers + merge
+  // Compiled execution plans (runtime/plan.hpp): route the top-level body
+  // and plannable OpLoop bodies through cached straight-line step schedules
+  // (pre-bound kernels, folded scalar glue, hoisted loop buffers) instead of
+  // per-statement eval dispatch. Requires use_kernels; anything
+  // non-plannable falls back to the general interpreter per statement.
+  bool use_plans = true;
   // Kernel lane width W: compiled maps execute in batches of W iterations
   // over an SoA register file (amortized dispatch, contiguous element
   // loads/stores), with a scalar tail loop. 1 = scalar execution.
@@ -77,6 +83,10 @@ struct InterpStats {
   std::atomic<uint64_t> fused_hists{0};          // producer maps folded into hist launches
   std::atomic<uint64_t> privatized_hist_updates{0};  // non-atomic hist bin updates
   std::atomic<uint64_t> atomic_hist_updates{0};      // atomic RMW hist bin updates
+  std::atomic<uint64_t> plans_compiled{0};       // execution plans lowered (incl. loop bodies)
+  std::atomic<uint64_t> plan_launches{0};        // SOAC launches issued from plan steps
+  std::atomic<uint64_t> plan_scalar_blocks{0};   // kernelized scalar-glue block executions
+  std::atomic<uint64_t> plan_hoisted_buffers{0}; // launch buffers reused via loop hoisting
 
   // Snapshot for machine-readable reporting (bench JSON).
   std::map<std::string, uint64_t> counters() const {
@@ -108,6 +118,10 @@ struct InterpStats {
         {"fused_hists", fused_hists.load()},
         {"privatized_hist_updates", privatized_hist_updates.load()},
         {"atomic_hist_updates", atomic_hist_updates.load()},
+        {"plans_compiled", plans_compiled.load()},
+        {"plan_launches", plan_launches.load()},
+        {"plan_scalar_blocks", plan_scalar_blocks.load()},
+        {"plan_hoisted_buffers", plan_hoisted_buffers.load()},
     };
   }
 };

@@ -132,6 +132,7 @@ public:
       k_.instrs.push_back(mv);
     }
     k_.fold_end = k_.instrs.size();
+    if (failed_) return std::nullopt;
     if (scan) {
       for (size_t j = 0; j < k; ++j) {
         KInstr out;
@@ -189,6 +190,7 @@ public:
       k_.out_elems.push_back(t.elem);
       k_.ret_acc_slot.push_back(-1);
     }
+    if (failed_) return std::nullopt;
     k_.num_regs = next_reg_;
     k_.acc_upd_counts.assign(k_.accs.size(), 0);
     for (const auto& in : k_.instrs) {
@@ -198,7 +200,24 @@ public:
   }
 
 private:
-  int new_reg() { return next_reg_++; }
+  // Virtual SOAC domain: an in-lambda `iota n` (val_reg < 0) or scalar
+  // `replicate n v` that is never materialized — it only names the iteration
+  // space (len_reg, launch-uniform) and per-iteration value of an inline
+  // loop. Any other use of a domain var poisons the compilation (failed_).
+  struct Dom {
+    int32_t len_reg = -1;
+    int32_t val_reg = -1;  // replicate payload; -1 = iota (value is the index)
+  };
+
+  int new_reg(bool invariant = false) {
+    reg_inv_.push_back(invariant ? 1 : 0);
+    return next_reg_++;
+  }
+
+  // Launch-invariant registers: written once per launch (constants, free
+  // scalars, free-array lengths, and pure functions thereof). Inline-loop
+  // trip counts must be invariant so every lane agrees on the extent.
+  bool inv(int32_t r) const { return r >= 0 && reg_inv_[static_cast<size_t>(r)] != 0; }
 
   int add_acc(Var v, int32_t param_index) {
     k_.accs.push_back(Kernel::AccBinding{v, param_index});
@@ -210,7 +229,7 @@ private:
   int32_t use(const Atom& a) {
     if (a.is_const()) {
       const ConstVal& c = a.cval();
-      const int r = new_reg();
+      const int r = new_reg(true);
       KInstr in;
       in.op = KOp::ConstF;
       in.dst = r;
@@ -220,8 +239,12 @@ private:
     }
     auto it = reg_.find(a.var().id);
     if (it != reg_.end()) return it->second;
+    if (dom_.count(a.var().id)) {
+      failed_ = true;  // virtual domains have no scalar register
+      return 0;
+    }
     // Free scalar variable: reserve a register filled at launch time.
-    const int r = new_reg();
+    const int r = new_reg(true);
     reg_[a.var().id] = r;
     k_.free_scalars.push_back(a.var());
     k_.free_scalar_regs.push_back(r);
@@ -232,7 +255,7 @@ private:
   int32_t array_slot(Var v) {
     auto it = arr_slot_.find(v.id);
     if (it != arr_slot_.end()) return it->second;
-    if (reg_.count(v.id) || acc_slot_.count(v.id)) return -1;
+    if (reg_.count(v.id) || acc_slot_.count(v.id) || dom_.count(v.id)) return -1;
     const auto slot = static_cast<int32_t>(k_.free_arrays.size());
     k_.free_arrays.push_back(v);
     arr_slot_[v.id] = slot;
@@ -240,11 +263,19 @@ private:
   }
 
   bool stm(const Stm& st) {
+    if (st.vars.empty()) {
+      // Result-less statements: only the side-effecting inline-map form
+      // (unit-result upd_acc map over virtual iota/replicate domains).
+      const auto* m = std::get_if<OpMap>(&st.e);
+      if (m == nullptr) return false;
+      return inline_map(*m) && !failed_;
+    }
     if (st.vars.size() != 1) return false;
     const Var dst = st.vars[0];
     const Type dt = st.types[0];
     auto simple = [&](KOp op, int32_t a, int32_t b = -1, int32_t c = -1) {
-      const int r = new_reg();
+      const bool iv = inv(a) && (b < 0 || inv(b)) && (c < 0 || inv(c));
+      const int r = new_reg(iv);
       KInstr in;
       in.op = op;
       in.dst = r;
@@ -255,7 +286,7 @@ private:
       reg_[dst.id] = r;
       return true;
     };
-    return std::visit(
+    const bool ok = std::visit(
         Overload{
             [&](const OpAtom& o) {
               if (dt.is_acc) {
@@ -314,6 +345,40 @@ private:
               reg_[dst.id] = in.dst;
               return true;
             },
+            [&](const OpIota& o) {
+              // Virtual domain: only legal with a launch-uniform extent.
+              if (dt.rank != 1 || dt.is_acc) return false;
+              const int32_t n = use(o.n);
+              if (failed_ || !inv(n)) return false;
+              dom_.emplace(dst.id, Dom{n, -1});
+              return true;
+            },
+            [&](const OpReplicate& o) {
+              if (dt.rank != 1 || dt.is_acc) return false;  // scalar payload only
+              const int32_t n = use(o.n);
+              const int32_t v = use(o.v);
+              if (failed_ || !inv(n)) return false;
+              dom_.emplace(dst.id, Dom{n, v});
+              return true;
+            },
+            [&](const OpLength& o) {
+              if (dt.rank != 0) return false;
+              auto dit = dom_.find(o.arr.id);
+              if (dit != dom_.end()) {
+                reg_[dst.id] = dit->second.len_reg;  // alias the domain extent
+                return true;
+              }
+              const int32_t slot = array_slot(o.arr);
+              if (slot < 0) return false;
+              KInstr in;
+              in.op = KOp::LoadLen;
+              in.slot = slot;
+              in.dst = new_reg(true);
+              k_.instrs.push_back(in);
+              reg_[dst.id] = in.dst;
+              return true;
+            },
+            [&](const OpReduce& o) { return inline_fold(o, dst, dt); },
             [&](const OpUpdAcc& o) {
               if (!allow_accs_) return false;  // reduction kernels are acc-free
               auto it = acc_slot_.find(o.acc.id);
@@ -339,15 +404,156 @@ private:
             [&](const auto&) { return false; },
         },
         st.e);
+    return ok && !failed_;
+  }
+
+  // Resolves the virtual domains of a nested SOAC's arguments: every arg
+  // must be a dom var, at least one an iota, and all extents the same
+  // launch-uniform register (aliased through OpLength in practice). Returns
+  // the shared trip register, or -1.
+  int32_t domain_trip(const std::vector<Var>& args, std::vector<const Dom*>& doms) {
+    int32_t trip = -1;
+    for (Var a : args) {
+      auto it = dom_.find(a.id);
+      if (it == dom_.end()) return -1;
+      const Dom& d = it->second;
+      if (d.val_reg < 0) {
+        if (trip >= 0 && trip != d.len_reg) return -1;
+        trip = d.len_reg;
+      }
+      doms.push_back(&d);
+    }
+    if (trip < 0) return -1;  // need an iota to pin the iteration space
+    for (const Dom* d : doms) {
+      if (d->len_reg != trip) return -1;
+    }
+    return trip;
+  }
+
+  // Scalar-result redomap/reduce over virtual domains -> inline fold block.
+  // Sequential element order — identical float grouping to the general
+  // interpreter's fold, so kernelizing the enclosing lambda never perturbs
+  // results (runtime/README.md).
+  bool inline_fold(const OpReduce& o, Var dst, Type dt) {
+    if (dt.rank != 0 || dt.is_acc) return false;
+    const Lambda& op = *o.op;
+    if (op.params.size() != 2 || op.rets.size() != 1 || op.body.result.size() != 1 ||
+        o.neutral.size() != 1 || o.args.empty()) {
+      return false;
+    }
+    for (const auto& p : op.params) {
+      if (p.type.rank != 0 || p.type.is_acc) return false;
+    }
+    if (op.rets[0].rank != 0 || op.rets[0].is_acc) return false;
+    std::vector<const Dom*> doms;
+    const int32_t trip = domain_trip(o.args, doms);
+    if (trip < 0) return false;
+    if (o.pre != nullptr) {
+      if (o.pre->params.size() != o.args.size() || o.pre->rets.size() != 1 ||
+          o.pre->body.result.size() != 1) {
+        return false;
+      }
+      for (const auto& p : o.pre->params) {
+        if (p.type.rank != 0 || p.type.is_acc) return false;
+      }
+      if (o.pre->rets[0].rank != 0 || o.pre->rets[0].is_acc) return false;
+    } else if (o.args.size() != 1) {
+      return false;
+    }
+    const int32_t ne = use(o.neutral[0]);
+    if (failed_) return false;
+    const int32_t ivar = new_reg();
+    const auto lslot = static_cast<int32_t>(k_.loops.size());
+    k_.loops.emplace_back();  // reserve now: nested markers keep slot order
+    KInstr mk;
+    mk.op = KOp::InlineLoop;
+    mk.slot = lslot;
+    k_.instrs.push_back(mk);
+    Kernel::InlineLoop il;
+    il.trip_reg = trip;
+    il.ivar_reg = ivar;
+    il.body_begin = static_cast<uint32_t>(k_.instrs.size());
+    int32_t elem;
+    if (o.pre != nullptr) {
+      for (size_t j = 0; j < o.args.size(); ++j) {
+        reg_[o.pre->params[j].var.id] = doms[j]->val_reg < 0 ? ivar : doms[j]->val_reg;
+      }
+      for (const auto& s : o.pre->body.stms) {
+        if (!stm(s)) return false;
+      }
+      elem = use(o.pre->body.result[0]);
+    } else {
+      elem = doms[0]->val_reg < 0 ? ivar : doms[0]->val_reg;
+    }
+    const int32_t acc = new_reg();
+    reg_[op.params[0].var.id] = acc;
+    reg_[op.params[1].var.id] = elem;
+    for (const auto& s : op.body.stms) {
+      if (!stm(s)) return false;
+    }
+    const int32_t res = use(op.body.result[0]);
+    if (failed_) return false;
+    if (res != acc) {
+      KInstr mv;
+      mv.op = KOp::Mov;
+      mv.dst = acc;
+      mv.a = res;
+      k_.instrs.push_back(mv);
+    }
+    il.body_end = static_cast<uint32_t>(k_.instrs.size());
+    il.acc_reg = acc;
+    il.neutral_reg = ne;
+    k_.loops[static_cast<size_t>(lslot)] = il;
+    reg_[dst.id] = acc;
+    return true;
+  }
+
+  // Unit-result map over virtual domains whose body is scalar glue plus
+  // upd_acc side effects -> inline side-effect loop (the reverse sweep's
+  // scatter-style accumulation pattern).
+  bool inline_map(const OpMap& o) {
+    if (!allow_accs_) return false;
+    const Lambda& f = *o.f;
+    if (!f.rets.empty() || !f.body.result.empty()) return false;
+    if (f.params.size() != o.args.size()) return false;
+    for (const auto& p : f.params) {
+      if (p.type.rank != 0 || p.type.is_acc) return false;
+    }
+    std::vector<const Dom*> doms;
+    const int32_t trip = domain_trip(o.args, doms);
+    if (trip < 0) return false;
+    const int32_t ivar = new_reg();
+    const auto lslot = static_cast<int32_t>(k_.loops.size());
+    k_.loops.emplace_back();
+    KInstr mk;
+    mk.op = KOp::InlineLoop;
+    mk.slot = lslot;
+    k_.instrs.push_back(mk);
+    Kernel::InlineLoop il;
+    il.trip_reg = trip;
+    il.ivar_reg = ivar;
+    il.body_begin = static_cast<uint32_t>(k_.instrs.size());
+    for (size_t j = 0; j < f.params.size(); ++j) {
+      reg_[f.params[j].var.id] = doms[j]->val_reg < 0 ? ivar : doms[j]->val_reg;
+    }
+    for (const auto& s : f.body.stms) {
+      if (!stm(s)) return false;
+    }
+    il.body_end = static_cast<uint32_t>(k_.instrs.size());
+    k_.loops[static_cast<size_t>(lslot)] = il;
+    return !failed_;
   }
 
   const Lambda& f_;
   Kernel k_;
   bool allow_accs_ = true;
+  bool failed_ = false;
   int next_reg_ = 0;
+  std::vector<uint8_t> reg_inv_;  // per register: launch-invariant?
   std::unordered_map<uint32_t, int32_t> reg_;
   std::unordered_map<uint32_t, int32_t> arr_slot_;
   std::unordered_map<uint32_t, int32_t> acc_slot_;
+  std::unordered_map<uint32_t, Dom> dom_;
 };
 
 inline int64_t flat_index(const ArrayVal& a, const double* regs, const int32_t* idx,
@@ -386,6 +592,10 @@ void init_invariant(const KernelLaunch& L, double* r, int W) {
   for (const auto& in : k.instrs) {
     if (in.op == KOp::ConstF) {
       for (int l = 0; l < W; ++l) r[in.dst * W + l] = in.imm;
+    } else if (in.op == KOp::LoadLen) {
+      const ArrayVal& arr = L.free_array_vals[static_cast<size_t>(in.slot)];
+      const double v = static_cast<double>(arr.shape.empty() ? 0 : arr.shape[0]);
+      for (int l = 0; l < W; ++l) r[in.dst * W + l] = v;
     }
   }
 }
@@ -513,6 +723,10 @@ void exec_span(const KernelLaunch& L, double* r, int64_t lo, int64_t hi, size_t 
           break;
         }
         case KOp::StoreOut: {
+          if (L.scalar_out != nullptr) {  // extent-1 scalar-block mode
+            L.scalar_out[in.slot] = a[0];
+            break;
+          }
           auto& o = const_cast<ArrayVal&>(L.outputs[static_cast<size_t>(in.slot)]);
           switch (o.elem) {
             case ScalarType::F64: {  // contiguous strip
@@ -531,6 +745,29 @@ void exec_span(const KernelLaunch& L, double* r, int64_t lo, int64_t hi, size_t 
               break;
             }
           }
+          break;
+        }
+        case KOp::LoadLen: break;  // broadcast in the preamble (launch-invariant)
+        case KOp::InlineLoop: {
+          // Inline SOAC block: run [body_begin, body_end) trip times with the
+          // inner index broadcast, then resume past the body. The trip
+          // register is launch-invariant, so lane 0's value is every lane's.
+          // Bodies have no LoadElem/StoreOut, so the recursive span's
+          // iteration range is irrelevant — one batch of the same W lanes.
+          const Kernel::InlineLoop& il = k.loops[static_cast<size_t>(in.slot)];
+          const auto trip = static_cast<int64_t>(r[static_cast<int64_t>(il.trip_reg) * W]);
+          if (il.acc_reg >= 0) {
+            double* ac = r + static_cast<int64_t>(il.acc_reg) * W;
+            const double* ne = r + static_cast<int64_t>(il.neutral_reg) * W;
+            for (int l = 0; l < W; ++l) ac[l] = ne[l];
+          }
+          double* iv = r + static_cast<int64_t>(il.ivar_reg) * W;
+          for (int64_t t = 0; t < trip; ++t) {
+            const auto tv = static_cast<double>(t);
+            for (int l = 0; l < W; ++l) iv[l] = tv;
+            exec_span(L, r, 0, 1, il.body_begin, il.body_end, width, 1);
+          }
+          ii = static_cast<size_t>(il.body_end) - 1;  // ++ii lands on body_end
           break;
         }
       }
@@ -768,6 +1005,20 @@ void KernelLaunch::fold_bins(double* acc, const double* other, int64_t count) co
               std::integral_constant<int, 1>{});
     acc[j] = r1[acc_reg];
   }
+}
+
+void run_scalar_kernel(const Kernel& k, const double* frees, double* regs, double* out) {
+  // Scalar blocks have no inputs, free arrays or accumulators (by
+  // construction in the plan compiler), so a stack KernelLaunch with empty
+  // bindings is sound and the whole call is allocation-free.
+  KernelLaunch L;
+  L.k = &k;
+  L.scalar_out = out;
+  for (size_t i = 0; i < k.free_scalar_regs.size(); ++i) regs[k.free_scalar_regs[i]] = frees[i];
+  for (const auto& in : k.instrs) {
+    if (in.op == KOp::ConstF) regs[in.dst] = in.imm;
+  }
+  exec_span(L, regs, 0, 1, 0, k.instrs.size(), std::integral_constant<int, 1>{});
 }
 
 } // namespace npad::rt

@@ -17,6 +17,16 @@
 // in the batched engine) and an element register fed either by LoadElem or
 // by the redomap pre-lambda compiled into the same program — fused reduce
 // runs load→map→fold in one batched loop with no intermediate array.
+//
+// Inline SOACs: a lambda whose body binds `iota n` / `replicate n v` (scalar
+// v) with a *launch-uniform* extent (derived only from constants, free
+// scalars and free-array lengths) and consumes them exclusively as the
+// domain of a scalar-result redomap or a unit-result upd_acc map compiles
+// those nested SOACs into the same program as InlineLoop blocks: a
+// sequential per-iteration subprogram run in lockstep across the outer
+// lanes, with no per-row launch, no environment frame and no materialized
+// iota/replicate array. This is what turns a dot-product row lambda (8
+// fused redomaps + glue) into ONE kernel launch per row.
 
 #include <atomic>
 #include <optional>
@@ -37,6 +47,8 @@ enum class KOp : uint8_t {
   Gather,     // dst = free_array[slot][flatten(idx regs)]
   UpdAcc,     // acc_array[slot][flatten(idx regs)] += reg a (atomic)
   StoreOut,   // output[slot] element at current iteration = reg a
+  LoadLen,    // dst = outer extent of free_array[slot] (launch-invariant)
+  InlineLoop, // run Kernel::loops[slot] body, then skip past it
 };
 
 struct KInstr {
@@ -70,6 +82,23 @@ struct Kernel {
     int32_t elem_reg = -1;
   };
 
+  // Inline SOAC block: instructions [body_begin, body_end) — placed directly
+  // after the InlineLoop marker that owns this entry — run trip_reg times
+  // with ivar_reg broadcast to the inner index. trip_reg is launch-uniform
+  // by construction (extents built only from invariant registers). The fold
+  // form (acc_reg >= 0) seeds acc_reg from neutral_reg and folds in element
+  // order — the same order as the general interpreter's sequential reduce,
+  // so kernelizing a lambda this way never changes float grouping. The map
+  // form (acc_reg < 0) is a pure side-effect loop (upd_acc bodies). Bodies
+  // contain no LoadElem/StoreOut; nested InlineLoop markers are allowed.
+  struct InlineLoop {
+    uint32_t body_begin = 0, body_end = 0;
+    int32_t trip_reg = -1;
+    int32_t ivar_reg = -1;
+    int32_t acc_reg = -1;     // fold result register, -1 for map form
+    int32_t neutral_reg = -1; // fold seed, -1 for map form
+  };
+
   std::vector<KInstr> instrs;
   int num_regs = 0;
   std::vector<ir::Var> free_scalars;     // resolved to registers at launch
@@ -82,6 +111,7 @@ struct Kernel {
   size_t num_inputs = 0;                 // element-wise inputs (non-acc args)
   std::vector<RedSlot> reds;             // reduction registers (fold results)
   size_t fold_begin = 0, fold_end = 0;   // fold-body subprogram bounds
+  std::vector<InlineLoop> loops;         // inline SOAC blocks (marker order)
 };
 
 // Attempts to compile `f` applied element-wise over non-acc `args`.
@@ -127,6 +157,11 @@ struct KernelLaunch {
   // Reduction kernels: the fold's neutral element per reduction slot, used
   // to seed the per-lane partial accumulators.
   std::vector<double> red_neutral;
+
+  // Extent-1 scalar-block mode (execution plans): when set, StoreOut writes
+  // result j to scalar_out[j] instead of an output array — no output
+  // buffers, no iteration space, one lane.
+  double* scalar_out = nullptr;
 
   // Executes iterations [lo, hi) (map kernels).
   void run(int64_t lo, int64_t hi) const;
@@ -180,5 +215,13 @@ struct KernelLaunch {
   // subhistogram merge, one fold-subprogram entry per bin.
   void fold_bins(double* acc, const double* other, int64_t count) const;
 };
+
+// Runs a zero-input scalar-block kernel (compiled from a run of scalar
+// bindings by the plan compiler: no LoadElem/Gather/UpdAcc, every result a
+// scalar) exactly once. `frees` holds the free-scalar values in
+// k.free_scalars order, `regs` is caller-provided scratch of k.num_regs
+// doubles, and result j lands in out[j] as a raw double (convert with the
+// result's scalar type, exactly like StoreOut would). Allocation-free.
+void run_scalar_kernel(const Kernel& k, const double* frees, double* regs, double* out);
 
 } // namespace npad::rt

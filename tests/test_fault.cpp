@@ -485,6 +485,33 @@ TEST(FaultSweep, LoopFor) {
   sweep_case("loop_for", prog_runner(std::move(p), {rand_f64(rng, {4096})}));
 }
 
+TEST(FaultSweep, PlannedLoop) {
+  // A loop the plan compiler accepts in full: scalar-glue run (Scalars step),
+  // kernelizable rank-1 map (MapLaunch step) and an invariant-extent carry
+  // (hoisted loop-buffer ring). Exercises plan.compile / plan.step /
+  // plan.loop_iter, and checks the ring's unwind restores the pool footprint.
+  ProgBuilder pb("pl");
+  Var x = pb.param("x", f64());
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  auto outs = b.loop_for(
+      {Atom(xs)}, ci64(20),
+      [&](Builder& c, Var, const std::vector<Var>& st) {
+        Var s1 = c.mul(x, cf64(0.25));
+        Var s2 = c.add(s1, cf64(0.001));
+        Var next = c.map1(c.lam({f64()},
+                                [&](Builder& cc, const std::vector<Var>& p) {
+                                  Var t = cc.mul(p[0], cf64(0.999));
+                                  return std::vector<Atom>{Atom(cc.add(t, Atom(s2)))};
+                                }),
+                          {st[0]});
+        return std::vector<Atom>{Atom(next)};
+      });
+  Prog p = pb.finish({Atom(outs[0])});
+  npad::support::Rng rng(28);
+  sweep_case("planned_loop", prog_runner(std::move(p), {Value(0.5), rand_f64(rng, {4096})}));
+}
+
 TEST(FaultSweep, GmmObjectiveAndGradient) {
   npad::support::Rng rng(26);
   auto g = npad::apps::gmm_gen(rng, 64, 4, 5);
@@ -519,6 +546,11 @@ TEST(FaultSweep, AtLeastTwentyDistinctSitesExercised) {
   EXPECT_TRUE(sites.count("pool.acquire")) << all;
   EXPECT_TRUE(sites.count("threadpool.chunk")) << all;
   EXPECT_TRUE(sites.count("loop.iter")) << all;
+  // The execution-plan layer: cache acquisition, step execution, and the
+  // per-iteration site inside planned loops.
+  EXPECT_TRUE(sites.count("plan.compile")) << all;
+  EXPECT_TRUE(sites.count("plan.step")) << all;
+  EXPECT_TRUE(sites.count("plan.loop_iter")) << all;
 }
 
 } // namespace

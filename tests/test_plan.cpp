@@ -1,0 +1,336 @@
+// Compiled execution plans (runtime/plan.hpp): conformance and counters.
+//
+// The contract under test is the one plan.hpp states: plans never change
+// results. For each workload we run the program planned (the default) and
+// plan-disabled (InterpOptions::use_plans = false) and require the outputs to
+// be bit-exact — scalars compared as raw bit patterns, arrays as shape plus
+// per-element bits. On top of the conformance sweep:
+//
+//   * counter plumbing: plans_compiled / plan_launches / plan_scalar_blocks /
+//     plan_hoisted_buffers fire on a hand-built program that exercises every
+//     step kind;
+//   * the LSTM launch-count acceptance: one objective+gradient evaluation at
+//     the bench D0 shape stays far below the pre-plan launch level;
+//   * steady-state pool traffic: once a planned loop's buffer ring is warm,
+//     extra iterations cost (almost) no pool round-trips;
+//   * fallback coverage: while-free loops with data-dependent extents or
+//     OpIf bodies, empty loops, and one-iteration loops all take the general
+//     path (or degenerate planned paths) and still match bit-exact.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "apps/gmm.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/lstm.hpp"
+#include "core/ad.hpp"
+#include "ir/builder.hpp"
+#include "ir/typecheck.hpp"
+#include "opt/pipeline.hpp"
+#include "runtime/interp.hpp"
+#include "runtime/plan.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace npad::ir;
+using namespace npad::rt;
+
+uint64_t bits_of(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+std::vector<uint64_t> fingerprint(const std::vector<Value>& vals) {
+  std::vector<uint64_t> fp;
+  for (const auto& v : vals) {
+    if (std::holds_alternative<double>(v)) {
+      fp.push_back(bits_of(std::get<double>(v)));
+    } else if (std::holds_alternative<int64_t>(v)) {
+      fp.push_back(static_cast<uint64_t>(std::get<int64_t>(v)));
+    } else if (std::holds_alternative<bool>(v)) {
+      fp.push_back(std::get<bool>(v) ? 1 : 0);
+    } else if (is_array(v)) {
+      const ArrayVal& a = as_array(v);
+      for (int64_t s : a.shape) fp.push_back(static_cast<uint64_t>(s));
+      const int64_t ne = a.elems();
+      for (int64_t i = 0; i < ne; ++i) {
+        if (a.elem == ScalarType::F64) {
+          fp.push_back(bits_of(a.get_f64(i)));
+        } else {
+          fp.push_back(static_cast<uint64_t>(a.get_i64(i)));
+        }
+      }
+    }
+  }
+  return fp;
+}
+
+// Runs `p` planned and plan-disabled and asserts bit-exact agreement.
+// Returns the planned result for further checks.
+std::vector<Value> expect_plan_conformant(const Prog& p, const std::vector<Value>& args,
+                                          const char* what) {
+  InterpOptions planned;  // use_plans defaults to true
+  InterpOptions general;
+  general.use_plans = false;
+  auto a = run_prog(p, args, planned);
+  auto b = run_prog(p, args, general);
+  EXPECT_EQ(fingerprint(a), fingerprint(b)) << what << ": planned vs plan-disabled diverged";
+  // And planned execution itself is deterministic across runs.
+  EXPECT_EQ(fingerprint(a), fingerprint(run_prog(p, args, planned)))
+      << what << ": planned execution is not deterministic";
+  return a;
+}
+
+// ------------------------------------------------- app conformance (fwd+rev)
+
+TEST(PlanConformance, GmmObjectiveAndGradient) {
+  npad::support::Rng rng(31);
+  auto g = npad::apps::gmm_gen(rng, 64, 4, 5);
+  Prog p = npad::apps::gmm_ir_objective();
+  typecheck(p);
+  auto args = npad::apps::gmm_ir_args(g);
+  expect_plan_conformant(p, args, "gmm objective");
+
+  Prog grad = npad::ad::vjp(p);
+  typecheck(grad);
+  args.emplace_back(1.0);
+  expect_plan_conformant(grad, args, "gmm gradient");
+}
+
+TEST(PlanConformance, LstmObjectiveAndGradientOptimized) {
+  npad::support::Rng rng(32);
+  auto L = npad::apps::lstm_gen(rng, 4, 6, 8, 10);
+  // Same preparation as bench_table6_lstm: differentiate, then fuse+flatten.
+  Prog obj = npad::apps::lstm_ir_objective();
+  typecheck(obj);
+  Prog grad = npad::ad::vjp(obj);
+  obj = npad::opt::optimize(obj);
+  grad = npad::opt::optimize(grad);
+  typecheck(obj);
+  typecheck(grad);
+  auto args = npad::apps::lstm_ir_args(L);
+  expect_plan_conformant(obj, args, "lstm objective");
+  args.emplace_back(1.0);
+  expect_plan_conformant(grad, args, "lstm gradient");
+}
+
+TEST(PlanConformance, KmeansCostAndGradient) {
+  npad::support::Rng rng(33);
+  auto d = npad::apps::kmeans_gen(rng, 48, 3, 4);
+  Prog p = npad::apps::kmeans_ir_cost();
+  typecheck(p);
+  std::vector<Value> args = {make_f64_array(d.centroids, {d.k, d.d}),
+                             make_f64_array(d.points, {d.n, d.d})};
+  expect_plan_conformant(p, args, "kmeans cost");
+
+  Prog grad = npad::ad::vjp(p);
+  typecheck(grad);
+  args.emplace_back(1.0);
+  expect_plan_conformant(grad, args, "kmeans gradient");
+}
+
+// --------------------------------------------------------- step counters ---
+
+// A planned loop whose body exercises every plan step kind: a scalar-glue
+// run (folds into one Scalars block), a kernelizable rank-1 map (MapLaunch
+// with the kernel pre-bound), and a carried array (hoisted launch buffers).
+Prog all_steps_prog(int64_t iters) {
+  ProgBuilder pb("steps");
+  Var x = pb.param("x", f64());
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  // Top-level scalar glue: two consecutive pure scalar bindings.
+  Var a = b.mul(x, cf64(2.0));
+  Var c = b.add(a, cf64(3.0));
+  auto outs = b.loop_for(
+      {Atom(xs)}, Atom(ci64(iters)),
+      [&](Builder& lb, Var, const std::vector<Var>& st) {
+        // In-loop scalar glue run.
+        Var s1 = lb.mul(c, cf64(0.5));
+        Var s2 = lb.add(s1, cf64(1.0));
+        Var next = lb.map1(lb.lam({f64()},
+                                  [&](Builder& cc, const std::vector<Var>& p) {
+                                    Var t = cc.mul(p[0], cf64(0.999));
+                                    return std::vector<Atom>{Atom(cc.add(t, Atom(s2)))};
+                                  }),
+                           {st[0]});
+        return std::vector<Atom>{Atom(next)};
+      });
+  return pb.finish({Atom(outs[0])});
+}
+
+TEST(PlanCounters, EveryStepKindFires) {
+  Prog p = all_steps_prog(10);
+  typecheck(p);
+  npad::support::Rng rng(34);
+  std::vector<Value> args = {0.7,
+                             make_f64_array(rng.uniform_vec(4096, -1.0, 1.0), {4096})};
+  Interp in;  // plans on by default
+  auto r = in.run(p, args);
+  ASSERT_EQ(r.size(), 1u);
+  const auto& st = in.stats();
+  // Top-level plan + the loop-body plan.
+  EXPECT_GE(st.plans_compiled.load(), 2u);
+  // One MapLaunch per iteration.
+  EXPECT_GE(st.plan_launches.load(), 10u);
+  // One Scalars block per iteration plus the top-level run.
+  EXPECT_GE(st.plan_scalar_blocks.load(), 11u);
+  // Double-buffered carry: after a two-iteration warm-up every iteration's
+  // launch buffer comes from the loop ring, not the pool.
+  EXPECT_GE(st.plan_hoisted_buffers.load(), 7u);
+
+  // The counters describe a real execution: conformance still holds.
+  expect_plan_conformant(p, args, "all-steps program");
+}
+
+// -------------------------------------------------------------- fallbacks --
+
+// Data-dependent extent: the body materializes iota(carry), so the launch
+// extent changes across iterations — loop_extents_invariant must reject it
+// and the loop stays on the general evaluator (no hoisting ring).
+TEST(PlanFallback, DataDependentExtentLoop) {
+  ProgBuilder pb("dyn");
+  Builder& b = pb.body();
+  auto outs = b.loop_for(
+      {Atom(ci64(1))}, Atom(ci64(6)),
+      [](Builder& lb, Var, const std::vector<Var>& st) {
+        Var ys = lb.iota(Atom(st[0]));
+        Var n = lb.length(ys);
+        return std::vector<Atom>{Atom(lb.add(n, ci64(1)))};
+      });
+  Prog p = pb.finish({Atom(outs[0])});
+  typecheck(p);
+
+  Interp in;
+  auto r = in.run(p, {});
+  EXPECT_EQ(std::get<int64_t>(r[0]), 7);  // 1 -> 2 -> 3 -> ... -> 7
+  // The loop was not planned: no buffers were hoisted.
+  EXPECT_EQ(in.stats().plan_hoisted_buffers.load(), 0u);
+  expect_plan_conformant(p, {}, "data-dependent extent loop");
+}
+
+// OpIf in the body keeps the loop on the general path (branch-dependent
+// extents are not provable), but results still agree bit-exact.
+TEST(PlanFallback, OpIfInLoopBody) {
+  ProgBuilder pb("br");
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  auto outs = b.loop_for(
+      {Atom(xs)}, Atom(ci64(8)),
+      [](Builder& lb, Var i, const std::vector<Var>& st) {
+        Var even = lb.eq(Atom(lb.mod(i, ci64(2))), ci64(0));
+        std::vector<Var> picked = lb.if_(
+            Atom(even),
+            [&](Builder& tb) {
+              Var next = tb.map1(tb.lam({f64()},
+                                        [](Builder& cc, const std::vector<Var>& p) {
+                                          return std::vector<Atom>{
+                                              Atom(cc.mul(p[0], cf64(1.01)))};
+                                        }),
+                                 {st[0]});
+              return std::vector<Atom>{Atom(next)};
+            },
+            [&](Builder& eb) {
+              Var next = eb.map1(eb.lam({f64()},
+                                        [](Builder& cc, const std::vector<Var>& p) {
+                                          return std::vector<Atom>{
+                                              Atom(cc.add(p[0], cf64(0.01)))};
+                                        }),
+                                 {st[0]});
+              return std::vector<Atom>{Atom(next)};
+            });
+        return std::vector<Atom>{Atom(picked[0])};
+      });
+  Prog p = pb.finish({Atom(outs[0])});
+  typecheck(p);
+  npad::support::Rng rng(35);
+  std::vector<Value> args = {make_f64_array(rng.uniform_vec(512, -1.0, 1.0), {512})};
+  expect_plan_conformant(p, args, "OpIf loop body");
+}
+
+TEST(PlanFallback, EmptyAndSingleIterationLoops) {
+  for (int64_t iters : {int64_t{0}, int64_t{1}}) {
+    Prog p = all_steps_prog(iters);
+    typecheck(p);
+    npad::support::Rng rng(36);
+    std::vector<Value> args = {0.3,
+                               make_f64_array(rng.uniform_vec(256, -1.0, 1.0), {256})};
+    auto r = expect_plan_conformant(p, args, iters == 0 ? "empty loop" : "one-iteration loop");
+    ASSERT_TRUE(is_array(r[0]));
+    EXPECT_EQ(as_array(r[0]).shape, (std::vector<int64_t>{256}));
+  }
+}
+
+// ------------------------------------------------ LSTM launch acceptance ---
+
+TEST(PlanAcceptance, LstmLaunchCountStaysLow) {
+  npad::support::Rng rng(19);  // same seed/shape as bench_table6_lstm D0
+  auto L = npad::apps::lstm_gen(rng, 16, 10, 24, 16);
+  Prog obj = npad::apps::lstm_ir_objective();
+  typecheck(obj);
+  Prog grad = npad::ad::vjp(obj);
+  obj = npad::opt::optimize(obj);
+  grad = npad::opt::optimize(grad);
+  auto args = npad::apps::lstm_ir_args(L);
+  auto gargs = args;
+  gargs.emplace_back(1.0);
+
+  Interp in;
+  in.run(obj, args);
+  in.run(grad, gargs);
+  // Before this PR one objective+gradient evaluation at this shape issued
+  // tens of thousands of batched kernel spans (~60k: per-timestep per-gate
+  // row launches); inlined inner SOACs plus planned launches cut that by
+  // ~40x (measured ~1.5k). The ceiling leaves 2x headroom over the measured
+  // level — still >10x below the old level — so a regression that undoes the
+  // win fails loudly without the test being brittle.
+  EXPECT_LE(in.stats().batched_launches.load(), 3000u)
+      << "LSTM launch count regressed: batched_launches="
+      << in.stats().batched_launches.load();
+}
+
+// --------------------------------------------------- steady-state pooling --
+
+// Pool round-trips per iteration in the planned steady state are ~0: compare
+// fresh-interpreter runs at n and 4n iterations — the extra 3n iterations
+// must not add pool traffic beyond a small warm-up slack.
+TEST(PlanSteadyState, ExtraIterationsAddNoPoolTraffic) {
+  npad::support::Rng rng(37);
+  std::vector<Value> args = {0.9,
+                             make_f64_array(rng.uniform_vec(4096, -1.0, 1.0), {4096})};
+  auto traffic = [&](int64_t iters) {
+    Prog p = all_steps_prog(iters);
+    typecheck(p);
+    Interp in;
+    in.run(p, args);
+    return in.stats().pool_hits.load() + in.stats().pool_misses.load();
+  };
+  const uint64_t t10 = traffic(10);
+  const uint64_t t40 = traffic(40);
+  EXPECT_LE(t40, t10 + 2) << "planned loop iterations still round-trip the pool: "
+                          << t10 << " @10 iters vs " << t40 << " @40 iters";
+}
+
+// Plan cache behavior: repeated runs of the same resolved program compile
+// the plan once (process-wide), like the kernel cache.
+TEST(PlanCache, CompilesOncePerProgram) {
+  Prog p = all_steps_prog(4);
+  typecheck(p);
+  npad::support::Rng rng(38);
+  std::vector<Value> args = {0.5,
+                             make_f64_array(rng.uniform_vec(128, -1.0, 1.0), {128})};
+  Interp first;
+  first.run(p, args);
+  const uint64_t compiled_first = first.stats().plans_compiled.load();
+  EXPECT_GE(compiled_first, 2u);  // top-level + loop body
+  Interp second;
+  second.run(p, args);
+  EXPECT_EQ(second.stats().plans_compiled.load(), 0u)
+      << "second run recompiled a cached plan";
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Launch-count regression guard over BENCH_*.json counter snapshots.
+
+Every bench binary writes BENCH_<name>.json (bench/common.hpp) with the
+interpreter's cumulative stats counters. This script enforces checked-in
+ceilings on the launch counters that the execution-plan + inlined-SOAC work
+drove down, so a regression that quietly reintroduces per-row or per-gate
+kernel launches fails CI instead of only showing up in the perf trajectory.
+
+Counters are cumulative over the whole binary run and google-benchmark picks
+iteration counts from wall-clock (--benchmark_min_time), so absolute counter
+values scale with machine speed. The ceilings are therefore *per measured
+benchmark iteration*: total counter value divided by the summed iteration
+count of the interpreter-driven benchmarks (matched by name substring).
+Setup work (program optimization, warm-up runs) folds into the numerator, so
+ceilings carry generous headroom over the measured steady-state rate — they
+are meant to catch order-of-magnitude regressions, not noise.
+
+Usage: check_bench_counters.py [dir-with-BENCH-json-files]   (default: .)
+"""
+
+import json
+import os
+import sys
+
+# (json file, counter, name substrings of interpreter-driven benchmarks,
+#  per-iteration ceiling, measured per-iteration rate when the ceiling was
+#  checked in).
+#
+# table6_lstm: before compiled execution plans + inlined inner SOACs, one
+# objective+gradient evaluation issued ~60k batched spans per iteration pair
+# (535k per smoke run); measured now ~820/iter. Ceiling 2000 keeps >10x of
+# the win locked in.
+#
+# table3_kmeans: the AD grad/hvp programs issue ~120k spans per iteration at
+# smoke scale; plans leave this workload's launch structure unchanged (its
+# hot SOACs are data-parallel over points, not loop-carried), so the level is
+# tracked rather than shrunk. The ceiling guards against a >2x regression.
+CEILINGS = [
+    ("BENCH_table6_lstm.json", "batched_launches", ["npad_"], 2000, 820),
+    ("BENCH_table3_kmeans.json", "batched_launches", ["ad_"], 300000, 120200),
+]
+
+
+def main() -> int:
+    bench_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = []
+    for fname, counter, name_subs, ceiling, measured in CEILINGS:
+        path = os.path.join(bench_dir, fname)
+        if not os.path.exists(path):
+            failures.append(f"{fname}: missing (bench smoke did not produce it)")
+            continue
+        with open(path) as f:
+            data = json.load(f)
+        value = data.get("counters", {}).get(counter)
+        if value is None:
+            failures.append(f"{fname}: counter {counter!r} absent from JSON")
+            continue
+        iters = sum(
+            r["n"]
+            for r in data.get("results", [])
+            if any(sub in r["name"] for sub in name_subs)
+        )
+        if iters <= 0:
+            failures.append(
+                f"{fname}: no benchmark matching {name_subs} reported iterations"
+            )
+            continue
+        per_iter = value / iters
+        status = "OK" if per_iter <= ceiling else "FAIL"
+        print(
+            f"{status:4} {fname}: {counter}={value} over {iters} iter(s) -> "
+            f"{per_iter:.0f}/iter (ceiling {ceiling}, was {measured} when checked in)"
+        )
+        if per_iter > ceiling:
+            failures.append(
+                f"{fname}: {counter} at {per_iter:.0f}/iter exceeds ceiling {ceiling} "
+                f"— a launch-count regression (per-row/per-gate launches reintroduced?)"
+            )
+    if failures:
+        print("\nlaunch-count regression guard failed:", file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print("launch-count regression guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
