@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
       {.parallel = true, .use_kernels = true, .use_kernel_cache = false, .grain = 2048});
   rt::Interp scalar_lanes(
       {.parallel = true, .use_kernels = true, .kernel_lanes = 1, .grain = 2048});
+  rt::Interp novexec({.parallel = true, .use_kernels = true, .grain = 2048, .use_vexec = false});
 
   auto reg = [&](const char* name, std::function<void()> fn) {
     benchmark::RegisterBenchmark(name, [fn](benchmark::State& st) {
@@ -88,6 +89,10 @@ int main(int argc, char** argv) {
   // default batched width.
   reg("obj/kernels-w1", [&] { benchmark::DoNotOptimize(scalar_lanes.run(obj_p, args)); });
   reg("grad/kernels-w1", [&] { benchmark::DoNotOptimize(scalar_lanes.run(grad_p, gargs)); });
+  // Vectorized-tier ablation: the default path (vexec SIMD schedules; the
+  // `fast` rows above) vs the same kernels pinned to the register machine.
+  reg("obj/novexec", [&] { benchmark::DoNotOptimize(novexec.run(obj_p, args)); });
+  reg("grad/novexec", [&] { benchmark::DoNotOptimize(novexec.run(grad_p, gargs)); });
 
   auto col = bench::run_benchmarks(argc, argv);
 
@@ -107,6 +112,13 @@ int main(int argc, char** argv) {
   t.add_row({"GMM gradient (W=8 vs W=1 lanes)", support::Table::fmt(col.ms("grad/kernels")),
              support::Table::fmt(col.ms("grad/kernels-w1")),
              bench::ratio(col.ms("grad/kernels-w1"), col.ms("grad/kernels"))});
+  t.add_row({"GMM objective (vexec vs register machine)",
+             support::Table::fmt(col.ms("obj/kernels")), support::Table::fmt(col.ms("obj/novexec")),
+             bench::ratio(col.ms("obj/novexec"), col.ms("obj/kernels"))});
+  t.add_row({"GMM gradient (vexec vs register machine)",
+             support::Table::fmt(col.ms("grad/kernels")),
+             support::Table::fmt(col.ms("grad/novexec")),
+             bench::ratio(col.ms("grad/novexec"), col.ms("grad/kernels"))});
   std::cout << "\nAblation B: kernel-compiled scalar maps and the kernel cache\n";
   t.print();
 

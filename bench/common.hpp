@@ -14,11 +14,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "runtime/buffer_pool.hpp"
 #include "support/table.hpp"
@@ -27,8 +29,12 @@ namespace npad::bench {
 
 struct Measurement {
   double mean_ms = 0.0;
-  double stddev_ms = 0.0;  // populated when repetitions report aggregates
-  int64_t iterations = 0;
+  double stddev_ms = 0.0;  // sample stddev across repetition means
+  int64_t iterations = 0;  // total iterations summed over repetitions
+  // Accumulation state across repetitions (per-iteration ms of each rep).
+  double sum_ms = 0.0;
+  double sumsq_ms = 0.0;
+  int64_t samples = 0;
 };
 
 class Collector : public benchmark::BenchmarkReporter {
@@ -38,19 +44,30 @@ public:
   void ReportRuns(const std::vector<Run>& report) override {
     for (const auto& run : report) {
       if (run.error_occurred) continue;
+      // Aggregate rows (mean/median/stddev/cv) are derived from the same
+      // repetition runs we already fold in below; skip them so they do not
+      // double-count.
+      if (run.run_type == Run::RT_Aggregate) continue;
       const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
       // Strip decoration suffixes like "/min_time:0.050".
       std::string name = run.benchmark_name();
       if (auto pos = name.find("/min_time"); pos != std::string::npos) name.resize(pos);
       if (auto pos = name.find("/repeats"); pos != std::string::npos) name.resize(pos);
-      if (run.run_type == Run::RT_Aggregate) {
-        if (run.aggregate_name == "stddev") runs_[name].stddev_ms = 1e3 * run.real_accumulated_time;
-        if (run.aggregate_name == "mean") runs_[name].mean_ms = 1e3 * run.real_accumulated_time;
-        continue;
-      }
       auto& m = runs_[name];
-      m.mean_ms = 1e3 * run.real_accumulated_time / iters;
-      m.iterations = run.iterations;
+      const double per_iter_ms = 1e3 * run.real_accumulated_time / iters;
+      m.sum_ms += per_iter_ms;
+      m.sumsq_ms += per_iter_ms * per_iter_ms;
+      m.samples += 1;
+      m.iterations += run.iterations;
+      m.mean_ms = m.sum_ms / static_cast<double>(m.samples);
+      // Sample stddev over repetition means; 0 until a second repetition
+      // lands (the default repetition count below guarantees one does).
+      m.stddev_ms =
+          m.samples > 1
+              ? std::sqrt(std::max(0.0, (m.sumsq_ms - m.sum_ms * m.sum_ms /
+                                                          static_cast<double>(m.samples)) /
+                                            static_cast<double>(m.samples - 1)))
+              : 0.0;
     }
   }
 
@@ -73,9 +90,21 @@ inline int64_t scale_factor() {
   return 1;
 }
 
-// Runs all registered benchmarks and returns the collected timings.
+// Runs all registered benchmarks and returns the collected timings. Unless
+// the caller passes its own --benchmark_repetitions, every benchmark runs a
+// minimum of 3 repetitions: that is what makes the reported stddev real
+// (sample stddev across repetition means) and floors the reported iteration
+// count, so slow entries stop showing up as unrepeatable "n: 1" points in
+// the BENCH JSON trajectory.
 inline Collector run_benchmarks(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  static char reps_flag[] = "--benchmark_repetitions=3";
+  bool has_reps = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_repetitions", 0) == 0) has_reps = true;
+  if (!has_reps) args.push_back(reps_flag);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
   Collector c;
   benchmark::RunSpecifiedBenchmarks(&c);
   return c;

@@ -11,6 +11,7 @@
 #include "runtime/kernel_cache.hpp"
 #include "runtime/plan.hpp"
 #include "runtime/resolve.hpp"
+#include "runtime/vexec.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 #include "support/thread_pool.hpp"
@@ -26,6 +27,24 @@ int default_max_eval_depth() {
     return 512;
   }();
   return depth;
+}
+
+bool default_use_vexec() {
+  static const bool on = [] {
+    if (const char* env = std::getenv("NPAD_VEXEC")) {
+      if (std::strcmp(env, "0") == 0) return false;
+    }
+    return true;
+  }();
+  return on;
+}
+
+bool default_vexec_portable() {
+  static const bool portable = [] {
+    const char* env = std::getenv("NPAD_VEXEC");
+    return env != nullptr && std::strcmp(env, "portable") == 0;
+  }();
+  return portable;
 }
 
 namespace {
@@ -341,9 +360,19 @@ public:
         frees.push_back(as_f64(val));
       }
       if (ok) {
-        regs.assign(static_cast<size_t>(k.num_regs), 0.0);
         outs.assign(s.out_vars.size(), 0.0);
-        run_scalar_kernel(k, frees.data(), regs.data(), outs.data());
+        // Plan-owned kernels are immortal (the plan cache never evicts), so
+        // the vexec tier applies to scalar blocks too — same pre-decoded
+        // schedule, scalar width.
+        const vexec::Entry* ve = opts_.use_vexec ? vexec::lookup(k, 1) : nullptr;
+        if (ve != nullptr) {
+          stats_->vexec_launches.fetch_add(1, std::memory_order_relaxed);
+          vexec::select_ops(opts_.vexec_portable)->run_scalar(*ve, k, frees.data(),
+                                                              outs.data());
+        } else {
+          regs.assign(static_cast<size_t>(k.num_regs), 0.0);
+          run_scalar_kernel(k, frees.data(), regs.data(), outs.data());
+        }
         for (size_t j = 0; j < s.out_vars.size(); ++j) {
           env.bind(s.out_vars[j], partial_value(s.out_types[j], outs[j]));
         }
@@ -1154,6 +1183,22 @@ public:
     return L;
   }
 
+  // Attaches the vectorized-tier schedule to a bound launch (after lanes are
+  // set — entries are keyed per (kernel, lane width)). Only for immortal
+  // kernels: the vexec cache keys by kernel address, so a launch-owned
+  // kernel (use_kernel_cache off) must stay on the register machine. A null
+  // lookup (unsupported width, failed lowering) is the same no-op.
+  void attach_vexec(KernelLaunch& L) const {
+    if (!opts_.use_vexec || L.owned != nullptr) return;
+    const vexec::Entry* e = vexec::lookup(*L.k, L.lanes);
+    if (e == nullptr) return;
+    L.vx = e;
+    L.vops = vexec::select_ops(opts_.vexec_portable);
+    L.vexec_spans = &stats_->vexec_launches;
+    stats_->vexec_superinstrs.fetch_add(static_cast<uint64_t>(e->superinstrs),
+                                        std::memory_order_relaxed);
+  }
+
   std::vector<Value> run_kernel(KernelLaunch& L, const Lambda& f, const OpMap& o, int64_t n,
                                 const Env& env) const {
     const Kernel& k = *L.k;
@@ -1164,6 +1209,7 @@ public:
     }
     L.lanes = std::max(1, opts_.kernel_lanes);
     L.batched_spans = &stats_->batched_launches;
+    attach_vexec(L);
 
     const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
     const bool nested = support::ThreadPool::in_parallel_region();
@@ -1364,6 +1410,7 @@ public:
     }
     L.lanes = std::max(1, opts_.kernel_lanes);
     L.batched_spans = &stats_->batched_launches;
+    attach_vexec(L);
     const auto threads = static_cast<int64_t>(support::ThreadPool::global().thread_count());
     const bool fanout = opts_.parallel && threads > 1 && total > opts_.grain &&
                         !support::ThreadPool::in_parallel_region();
@@ -1527,6 +1574,7 @@ public:
     }
     L.lanes = std::max(1, opts_.kernel_lanes);
     L.batched_spans = &stats_->batched_launches;
+    attach_vexec(L);
     return L;
   }
 

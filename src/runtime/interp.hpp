@@ -27,6 +27,13 @@ namespace npad::rt {
 // stack overflows.
 int default_max_eval_depth();
 
+// Vectorized-tier defaults from the environment: NPAD_VEXEC=0 disables the
+// tier (register machine everywhere), NPAD_VEXEC=portable keeps it on but
+// pins the portable (non-AVX2) handler build. Unset/any other value: on,
+// with runtime CPU detection choosing the ISA.
+bool default_use_vexec();
+bool default_vexec_portable();
+
 struct InterpOptions {
   bool parallel = true;         // use the thread pool for SOACs
   bool use_kernels = true;      // enable the kernel-compiled map fast path
@@ -53,6 +60,15 @@ struct InterpOptions {
   // Resource governance: maximum nesting depth of lambda/loop-body frames
   // before evaluation aborts with npad::ResourceError (<= 0 disables).
   int max_eval_depth = default_max_eval_depth();
+  // Vectorized execution tier (runtime/vexec.hpp): lower cached kernels to
+  // pre-decoded SIMD schedules and dispatch launches through them. Bit-exact
+  // vs the register machine by contract; the register machine remains the
+  // fallback for kernels that do not lower. Only applies to cache- or
+  // plan-owned kernels (use_kernel_cache launches or plan steps).
+  bool use_vexec = default_use_vexec();
+  // Pin the portable (auto-vectorized, no AVX2) vexec handler build even
+  // when the CPU supports AVX2 — conformance coverage for non-SIMD hosts.
+  bool vexec_portable = default_vexec_portable();
 };
 
 struct InterpStats {
@@ -87,6 +103,8 @@ struct InterpStats {
   std::atomic<uint64_t> plan_launches{0};        // SOAC launches issued from plan steps
   std::atomic<uint64_t> plan_scalar_blocks{0};   // kernelized scalar-glue block executions
   std::atomic<uint64_t> plan_hoisted_buffers{0}; // launch buffers reused via loop hoisting
+  std::atomic<uint64_t> vexec_launches{0};       // spans dispatched through the vexec tier
+  std::atomic<uint64_t> vexec_superinstrs{0};    // fused superinstrs in programs bound to launches
 
   // Snapshot for machine-readable reporting (bench JSON).
   std::map<std::string, uint64_t> counters() const {
@@ -122,6 +140,8 @@ struct InterpStats {
         {"plan_launches", plan_launches.load()},
         {"plan_scalar_blocks", plan_scalar_blocks.load()},
         {"plan_hoisted_buffers", plan_hoisted_buffers.load()},
+        {"vexec_launches", vexec_launches.load()},
+        {"vexec_superinstrs", vexec_superinstrs.load()},
     };
   }
 };

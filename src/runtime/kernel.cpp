@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "ir/visit.hpp"
+#include "runtime/vexec.hpp"
+#include "support/fault.hpp"
 
 namespace npad::rt {
 
@@ -857,9 +859,23 @@ void reduce_span(const KernelLaunch& L, double* r1, double* rw, double* lane_scr
   }
 }
 
+// Shared entry gate for every vexec dispatch (one textual fault site serves
+// all five drivers — site names must be unique per location). True when the
+// launch carries a vexec attachment and the dispatch should proceed.
+bool vexec_gate(const KernelLaunch& L) {
+  if (L.vx == nullptr || L.vops == nullptr) return false;
+  NPAD_FAULT_SITE("vexec.dispatch", FaultKind::Chunk);
+  if (L.vexec_spans != nullptr) L.vexec_spans->fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 } // namespace
 
 void KernelLaunch::run(int64_t lo, int64_t hi) const {
+  if (vexec_gate(*this)) {
+    vops->run(*vx, *this, lo, hi);
+    return;
+  }
   const int W = lanes;
   if (W > 1 && hi - lo >= W) {
     if (batched_spans != nullptr) batched_spans->fetch_add(1, std::memory_order_relaxed);
@@ -880,6 +896,10 @@ void KernelLaunch::run(int64_t lo, int64_t hi) const {
 }
 
 void KernelLaunch::run_reduce(int64_t lo, int64_t hi, double* partials) const {
+  if (vexec_gate(*this)) {
+    vops->run_reduce(*vx, *this, lo, hi, partials);
+    return;
+  }
   const Kernel& kk = *k;
   // Scalar register file reused for the lane combines and the tail loop.
   std::vector<double> r1(static_cast<size_t>(kk.num_regs), 0.0);
@@ -896,6 +916,10 @@ void KernelLaunch::run_reduce(int64_t lo, int64_t hi, double* partials) const {
 }
 
 void KernelLaunch::run_segred_chunk(int64_t seg_lo, int64_t seg_hi, int64_t seg_len) const {
+  if (vexec_gate(*this)) {
+    vops->run_segred_chunk(*vx, *this, seg_lo, seg_hi, seg_len);
+    return;
+  }
   const Kernel& kk = *k;
   const size_t nred = kk.reds.size();
   // One register-file setup for the whole chunk of segments — this is the
@@ -926,6 +950,10 @@ void KernelLaunch::run_segred_chunk(int64_t seg_lo, int64_t seg_hi, int64_t seg_
 }
 
 void KernelLaunch::run_scan_chunk(int64_t lo, int64_t hi, double* carry) const {
+  if (vexec_gate(*this)) {
+    vops->run_scan_chunk(*vx, *this, lo, hi, carry);
+    return;
+  }
   const Kernel& kk = *k;
   std::vector<double> r1(static_cast<size_t>(kk.num_regs), 0.0);
   init_invariant(*this, r1.data(), 1);
@@ -969,6 +997,9 @@ void KernelLaunch::combine_partials(double* acc, const double* other) const {
 
 int64_t KernelLaunch::run_hist_chunk(int64_t lo, int64_t hi, double* bins, int64_t m,
                                      const int64_t* inds) const {
+  if (vexec_gate(*this)) {
+    return vops->run_hist_chunk(*vx, *this, lo, hi, bins, m, inds);
+  }
   const Kernel& kk = *k;
   assert(kk.reds.size() == 1 && "hist kernels are single-result folds");
   const int32_t acc_reg = kk.reds[0].acc_reg;

@@ -37,6 +37,11 @@
 
 namespace npad::rt {
 
+namespace vexec {
+struct Entry;
+struct Ops;
+} // namespace vexec
+
 enum class KOp : uint8_t {
   ConstF, Mov,
   Add, Sub, Mul, Div, IDiv, Pow, Min, Max, Mod,
@@ -162,6 +167,18 @@ struct KernelLaunch {
   // result j to scalar_out[j] instead of an output array — no output
   // buffers, no iteration space, one lane.
   double* scalar_out = nullptr;
+
+  // Vectorized execution tier (runtime/vexec.hpp): when `vx` and `vops` are
+  // both set, run/run_reduce/run_segred_chunk/run_scan_chunk/run_hist_chunk
+  // dispatch to the pre-decoded SIMD schedule instead of the register
+  // machine — bit-exact by contract, so binding it is purely a speed choice.
+  // Only attached for cache- or plan-owned kernels (`owned == nullptr`):
+  // vexec entries are keyed by kernel address and must never outlive `k`.
+  // `vexec_spans` feeds InterpStats::vexec_launches, one tick per
+  // dispatched span.
+  const vexec::Entry* vx = nullptr;
+  const vexec::Ops* vops = nullptr;
+  std::atomic<uint64_t>* vexec_spans = nullptr;
 
   // Executes iterations [lo, hi) (map kernels).
   void run(int64_t lo, int64_t hi) const;

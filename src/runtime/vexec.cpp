@@ -1,0 +1,574 @@
+// vexec lowering: KInstr program -> pre-decoded VInstr schedule (prologue
+// extraction, superinstruction fusion, fused loop forms), plus the immortal
+// (kernel, lanes) entry cache and runtime ISA dispatch. All transforms here
+// are value-preserving per lane: fused handlers execute the same IEEE
+// operation sequence with the same operand order (see vexec_engine.inc), so
+// the lowered program is bit-exact against the register machine.
+
+#include "runtime/vexec.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace npad::rt::vexec {
+
+namespace {
+
+// ---- usage analysis -------------------------------------------------------
+
+// Per-register read/write counts over the whole program, plus the `special`
+// set: registers the launch mechanics seed or read from outside the
+// instruction stream (free scalars, reduction acc/elem registers, loop
+// trip/ivar/acc/neutral). Fusion may only coalesce away plain temporaries —
+// reads == 1 && writes == 1 && !special.
+struct Usage {
+  std::vector<int> reads, writes;
+  std::vector<uint8_t> special;
+
+  bool ok_temp(int32_t r) const {
+    return r >= 0 && reads[static_cast<size_t>(r)] == 1 &&
+           writes[static_cast<size_t>(r)] == 1 && special[static_cast<size_t>(r)] == 0;
+  }
+};
+
+Usage analyze(const Kernel& k) {
+  Usage u;
+  const auto n = static_cast<size_t>(k.num_regs);
+  u.reads.assign(n, 0);
+  u.writes.assign(n, 0);
+  u.special.assign(n, 0);
+  for (int32_t r : k.free_scalar_regs) u.special[static_cast<size_t>(r)] = 1;
+  for (const auto& rs : k.reds) {
+    u.special[static_cast<size_t>(rs.acc_reg)] = 1;
+    u.special[static_cast<size_t>(rs.elem_reg)] = 1;
+  }
+  for (const auto& il : k.loops) {
+    u.special[static_cast<size_t>(il.trip_reg)] = 1;
+    u.special[static_cast<size_t>(il.ivar_reg)] = 1;
+    if (il.acc_reg >= 0) u.special[static_cast<size_t>(il.acc_reg)] = 1;
+    if (il.neutral_reg >= 0) u.special[static_cast<size_t>(il.neutral_reg)] = 1;
+  }
+  auto rd = [&](int32_t r) {
+    if (r >= 0) ++u.reads[static_cast<size_t>(r)];
+  };
+  for (const auto& in : k.instrs) {
+    switch (in.op) {
+      case KOp::InlineLoop: break;  // mechanics touch only special registers
+      case KOp::StoreOut:
+        rd(in.a);
+        break;
+      case KOp::UpdAcc:
+        rd(in.a);
+        for (int32_t d = 0; d < in.nidx; ++d) rd(in.idx[d]);
+        break;
+      case KOp::Gather:
+        ++u.writes[static_cast<size_t>(in.dst)];
+        for (int32_t d = 0; d < in.nidx; ++d) rd(in.idx[d]);
+        break;
+      default:
+        ++u.writes[static_cast<size_t>(in.dst)];
+        rd(in.a);
+        rd(in.b);
+        rd(in.c);
+        break;
+    }
+  }
+  return u;
+}
+
+// ---- straight-line op mapping ---------------------------------------------
+
+// ConstF/LoadLen/InlineLoop are handled by the caller; everything else is a
+// 1:1 rename.
+VOp map_op(KOp op) {
+  switch (op) {
+    case KOp::Mov: return VOp::Mov;
+    case KOp::Add: return VOp::Add;
+    case KOp::Sub: return VOp::Sub;
+    case KOp::Mul: return VOp::Mul;
+    case KOp::Div: return VOp::Div;
+    case KOp::IDiv: return VOp::IDiv;
+    case KOp::Pow: return VOp::Pow;
+    case KOp::Min: return VOp::Min;
+    case KOp::Max: return VOp::Max;
+    case KOp::Mod: return VOp::Mod;
+    case KOp::Eq: return VOp::Eq;
+    case KOp::Ne: return VOp::Ne;
+    case KOp::Lt: return VOp::Lt;
+    case KOp::Le: return VOp::Le;
+    case KOp::Gt: return VOp::Gt;
+    case KOp::Ge: return VOp::Ge;
+    case KOp::And: return VOp::And;
+    case KOp::Or: return VOp::Or;
+    case KOp::Neg: return VOp::Neg;
+    case KOp::Exp: return VOp::Exp;
+    case KOp::Log: return VOp::Log;
+    case KOp::Sqrt: return VOp::Sqrt;
+    case KOp::Sin: return VOp::Sin;
+    case KOp::Cos: return VOp::Cos;
+    case KOp::Tanh: return VOp::Tanh;
+    case KOp::Abs: return VOp::Abs;
+    case KOp::Sign: return VOp::Sign;
+    case KOp::LGamma: return VOp::LGamma;
+    case KOp::Digamma: return VOp::Digamma;
+    case KOp::Not: return VOp::Not;
+    case KOp::Trunc: return VOp::Trunc;
+    case KOp::Select: return VOp::Select;
+    case KOp::LoadElem: return VOp::LoadElem;
+    case KOp::Gather: return VOp::Gather;
+    case KOp::UpdAcc: return VOp::UpdAcc;
+    case KOp::StoreOut: return VOp::StoreOut;
+    default: return VOp::Mov;  // unreachable
+  }
+}
+
+// ---- fused loop-form analysis ---------------------------------------------
+
+// Register-space lowering result (offsets baked per width afterwards).
+struct Lowered {
+  std::vector<VInstr> code;
+  std::vector<VInit> prologue;
+  std::vector<VLoop> loops;
+  uint32_t fold_begin = 0, fold_end = 0;
+  std::vector<int32_t> red_acc, red_elem;
+  int num_regs = 0;
+  int superinstrs = 0;
+};
+
+// True when `reg` is written by any instruction of the body, or is the loop
+// variable (rewritten by the loop mechanics each trip).
+bool body_writes(const Kernel& k, const Kernel::InlineLoop& il, int32_t reg) {
+  if (reg == il.ivar_reg) return true;
+  for (uint32_t i = il.body_begin; i < il.body_end; ++i) {
+    const KInstr& in = k.instrs[i];
+    if (in.op == KOp::StoreOut || in.op == KOp::UpdAcc || in.op == KOp::InlineLoop) continue;
+    if (in.dst == reg) return true;
+  }
+  return false;
+}
+
+// Validates a full-indexing gather/scatter whose trailing index is the loop
+// variable and whose leading indexes are body-invariant; copies the leading
+// indexes out. Returns false when the access does not form a stride-1 stream.
+bool stream_access(const Kernel& k, const Kernel::InlineLoop& il, const KInstr& in,
+                   int32_t* lead, int32_t& nlead) {
+  if (in.nidx < 1 || in.nidx > 4) return false;
+  if (in.idx[in.nidx - 1] != il.ivar_reg) return false;
+  nlead = in.nidx - 1;
+  for (int32_t d = 0; d < nlead; ++d) {
+    if (body_writes(k, il, in.idx[d])) return false;
+    lead[d] = in.idx[d];
+  }
+  return true;
+}
+
+// Recognizes the two dominant InlineLoop shapes and fills the fused VLoop
+// fields (register space). Returns the marker op to emit: DotLoop /
+// Axpy2Loop when fused, Loop otherwise.
+VOp classify_loop(const Kernel& k, const Kernel::InlineLoop& il, const Usage& u, VLoop& vl) {
+  // Collect the significant body instructions (ConstF/LoadLen leave the
+  // stream via the prologue and are transparent to the patterns).
+  std::vector<const KInstr*> sig;
+  for (uint32_t i = il.body_begin; i < il.body_end; ++i) {
+    const KInstr& in = k.instrs[i];
+    if (in.op == KOp::ConstF || in.op == KOp::LoadLen) continue;
+    sig.push_back(&in);
+  }
+
+  // Dot-product fold: Gather, Gather, Mul, Add(with acc), Mov(-> acc).
+  if (sig.size() == 5 && il.acc_reg >= 0 && il.neutral_reg >= 0 &&
+      sig[0]->op == KOp::Gather && sig[1]->op == KOp::Gather && sig[2]->op == KOp::Mul &&
+      sig[3]->op == KOp::Add && sig[4]->op == KOp::Mov) {
+    const int32_t t1 = sig[0]->dst, t2 = sig[1]->dst, t3 = sig[2]->dst, t4 = sig[3]->dst;
+    const bool temps = u.ok_temp(t1) && u.ok_temp(t2) && u.ok_temp(t3) && u.ok_temp(t4);
+    const bool mul_fw = sig[2]->a == t1 && sig[2]->b == t2;
+    const bool mul_bw = sig[2]->a == t2 && sig[2]->b == t1;
+    const bool add_pa = sig[3]->a == t3 && sig[3]->b == il.acc_reg;
+    const bool add_ap = sig[3]->a == il.acc_reg && sig[3]->b == t3;
+    const bool wb = sig[4]->dst == il.acc_reg && sig[4]->a == t4;
+    if (temps && (mul_fw || mul_bw) && (add_pa || add_ap) && wb &&
+        stream_access(k, il, *sig[0], vl.a_idx, vl.a_nidx) &&
+        stream_access(k, il, *sig[1], vl.b_idx, vl.b_nidx)) {
+      vl.a_slot = sig[0]->slot;
+      vl.b_slot = sig[1]->slot;
+      vl.dot_flags = static_cast<uint8_t>((mul_bw ? 1 : 0) | (add_pa ? 2 : 0));
+      return VOp::DotLoop;
+    }
+  }
+
+  // Dual-scatter map: Gather, Gather, Mul, Mul, UpdAcc, UpdAcc.
+  if (sig.size() == 6 && il.acc_reg < 0 && sig[0]->op == KOp::Gather &&
+      sig[1]->op == KOp::Gather && sig[2]->op == KOp::Mul && sig[3]->op == KOp::Mul &&
+      sig[4]->op == KOp::UpdAcc && sig[5]->op == KOp::UpdAcc) {
+    const int32_t t1 = sig[0]->dst, t2 = sig[1]->dst;
+    const int32_t p1 = sig[2]->dst, p2 = sig[3]->dst;
+    const bool temps = u.ok_temp(t1) && u.ok_temp(t2) && u.ok_temp(p1) && u.ok_temp(p2);
+    // Each Mul reads exactly one gathered stream; the other operand is a
+    // body-invariant scalar.
+    auto mul_form = [&](const KInstr& m, bool& reads_t1, bool& s_first, int32_t& s) {
+      const bool a_g = m.a == t1 || m.a == t2;
+      const bool b_g = m.b == t1 || m.b == t2;
+      if (a_g == b_g) return false;  // exactly one stream operand
+      const int32_t g = a_g ? m.a : m.b;
+      s = a_g ? m.b : m.a;
+      reads_t1 = g == t1;
+      s_first = !a_g;  // stream operand second => scalar first
+      if (body_writes(k, il, s)) return false;
+      return true;
+    };
+    bool m1_t1 = false, m1_sf = false, m2_t1 = false, m2_sf = false;
+    int32_t s1 = -1, s2 = -1;
+    if (temps && mul_form(*sig[2], m1_t1, m1_sf, s1) && mul_form(*sig[3], m2_t1, m2_sf, s2) &&
+        m1_t1 != m2_t1 && ((sig[4]->a == p1 && sig[5]->a == p2) ||
+                           (sig[4]->a == p2 && sig[5]->a == p1)) &&
+        stream_access(k, il, *sig[0], vl.a_idx, vl.a_nidx) &&
+        stream_access(k, il, *sig[1], vl.b_idx, vl.b_nidx) &&
+        stream_access(k, il, *sig[4], vl.u1_idx, vl.u1_nidx) &&
+        stream_access(k, il, *sig[5], vl.u2_idx, vl.u2_nidx)) {
+      vl.a_slot = sig[0]->slot;
+      vl.b_slot = sig[1]->slot;
+      vl.s1 = s1;
+      vl.s2 = s2;
+      vl.u1_slot = sig[4]->slot;
+      vl.u2_slot = sig[5]->slot;
+      vl.ax_flags = static_cast<uint8_t>((m1_t1 ? 1 : 0) | (m1_sf ? 2 : 0) |
+                                         (m2_t1 ? 4 : 0) | (m2_sf ? 8 : 0) |
+                                         (sig[4]->a == p1 ? 16 : 0));
+      return VOp::Axpy2Loop;
+    }
+  }
+
+  return VOp::Loop;
+}
+
+// ---- lowering pass 1: prologue extraction + 1:1 translation ---------------
+
+bool lower_pass1(const Kernel& k, const Usage& u, Lowered& out) {
+  out.num_regs = k.num_regs;
+  for (size_t i = 0; i < k.free_scalar_regs.size(); ++i) {
+    out.prologue.push_back({k.free_scalar_regs[i], VInit::Kind::FreeScalar,
+                            static_cast<int32_t>(i), 0.0});
+  }
+  out.loops.resize(k.loops.size());
+  std::vector<VOp> loop_ops(k.loops.size(), VOp::Loop);
+  for (size_t s = 0; s < k.loops.size(); ++s) {
+    VLoop& vl = out.loops[s];
+    vl.trip = k.loops[s].trip_reg;
+    vl.ivar = k.loops[s].ivar_reg;
+    vl.acc = k.loops[s].acc_reg;
+    vl.neutral = k.loops[s].neutral_reg;
+    loop_ops[s] = classify_loop(k, k.loops[s], u, vl);
+  }
+
+  const size_t n = k.instrs.size();
+  std::vector<uint32_t> posmap(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    posmap[i] = static_cast<uint32_t>(out.code.size());
+    const KInstr& in = k.instrs[i];
+    if (in.op == KOp::ConstF || in.op == KOp::LoadLen) {
+      // Prologue-extracted; sound only for single-writer destinations (the
+      // builder's invariant-register contract — verified, not assumed).
+      if (u.writes[static_cast<size_t>(in.dst)] != 1) return false;
+      if (in.op == KOp::ConstF) {
+        out.prologue.push_back({in.dst, VInit::Kind::Imm, -1, in.imm});
+      } else {
+        out.prologue.push_back({in.dst, VInit::Kind::ArrayLen, in.slot, 0.0});
+      }
+      continue;
+    }
+    VInstr v;
+    v.op = in.op == KOp::InlineLoop ? loop_ops[static_cast<size_t>(in.slot)] : map_op(in.op);
+    v.slot = in.slot;
+    v.d = in.dst;
+    v.a = in.a;
+    v.b = in.b;
+    v.c = in.c;
+    v.nidx = in.nidx;
+    for (int32_t d = 0; d < in.nidx; ++d) v.idx[d] = in.idx[d];
+    out.code.push_back(v);
+  }
+  posmap[n] = static_cast<uint32_t>(out.code.size());
+
+  out.fold_begin = posmap[k.fold_begin];
+  out.fold_end = posmap[k.fold_end];
+  for (size_t s = 0; s < k.loops.size(); ++s) {
+    out.loops[s].body_begin = posmap[k.loops[s].body_begin];
+    out.loops[s].body_end = posmap[k.loops[s].body_end];
+  }
+  for (const auto& rs : k.reds) {
+    out.red_acc.push_back(rs.acc_reg);
+    out.red_elem.push_back(rs.elem_reg);
+  }
+  return true;
+}
+
+// ---- lowering pass 2: peephole fusion -------------------------------------
+
+bool instr_reads(const VInstr& in, int32_t reg) {
+  if (in.op == VOp::Loop || in.op == VOp::DotLoop || in.op == VOp::Axpy2Loop) return false;
+  if (in.a == reg || in.b == reg || in.c == reg) return true;
+  for (int32_t d = 0; d < in.nidx; ++d) {
+    if (in.idx[d] == reg) return true;
+  }
+  return false;
+}
+
+void subst_read(VInstr& in, int32_t from, int32_t to) {
+  if (in.a == from) { in.a = to; return; }
+  if (in.b == from) { in.b = to; return; }
+  if (in.c == from) { in.c = to; return; }
+  for (int32_t d = 0; d < in.nidx; ++d) {
+    if (in.idx[d] == from) { in.idx[d] = to; return; }
+  }
+}
+
+bool produces_value(const VInstr& in) {
+  switch (in.op) {
+    case VOp::StoreOut: case VOp::UpdAcc: case VOp::MulStore: case VOp::AddStore:
+    case VOp::Loop: case VOp::DotLoop: case VOp::Axpy2Loop:
+      return false;
+    default:
+      return in.d >= 0;
+  }
+}
+
+// Adjacent-pair superinstruction selection: prev's destination is a plain
+// temporary consumed (once) by cur. Returns true and writes the fused
+// replacement to `fused`.
+bool try_pair(const VInstr& prev, const VInstr& cur, int32_t t, VInstr& fused) {
+  fused = VInstr{};
+  fused.d = cur.d;
+  if (prev.op == VOp::Mul || prev.op == VOp::Add) {
+    // arith + store
+    if (cur.op == VOp::StoreOut && cur.a == t) {
+      fused.op = prev.op == VOp::Mul ? VOp::MulStore : VOp::AddStore;
+      fused.slot = cur.slot;
+      fused.d = -1;
+      fused.a = prev.a;
+      fused.b = prev.b;
+      return true;
+    }
+    // arith + arith second-stage
+    const bool second_add = cur.op == VOp::Add, second_sub = cur.op == VOp::Sub,
+               second_mul = cur.op == VOp::Mul;
+    if ((second_add || second_sub || second_mul) && (cur.a == t) != (cur.b == t)) {
+      if (prev.op == VOp::Mul && second_add) fused.op = VOp::MulAdd;
+      else if (prev.op == VOp::Mul && second_sub) fused.op = VOp::MulSub;
+      else if (prev.op == VOp::Mul && second_mul) fused.op = VOp::MulMul;
+      else if (prev.op == VOp::Add && second_add) fused.op = VOp::AddAdd;
+      else return false;
+      fused.a = prev.a;
+      fused.b = prev.b;
+      fused.c = cur.a == t ? cur.b : cur.a;
+      fused.flags = cur.a == t ? 0 : 1;  // flag: t is the second operand
+      return true;
+    }
+    return false;
+  }
+  if (prev.op == VOp::Neg && cur.op == VOp::Exp && cur.a == t) {
+    fused.op = VOp::NegExp;
+    fused.a = prev.a;
+    return true;
+  }
+  if (prev.op == VOp::Gather && (cur.op == VOp::Mul || cur.op == VOp::Add) &&
+      (cur.a == t) != (cur.b == t)) {
+    fused.op = cur.op == VOp::Mul ? VOp::GatherMul : VOp::GatherAdd;
+    fused.slot = prev.slot;
+    fused.nidx = prev.nidx;
+    for (int32_t d = 0; d < prev.nidx; ++d) fused.idx[d] = prev.idx[d];
+    fused.b = cur.a == t ? cur.b : cur.a;
+    fused.flags = cur.a == t ? 0 : 1;  // flag: gathered value is second operand
+    return true;
+  }
+  return false;
+}
+
+void lower_pass2(const Kernel& k, Usage& u, Lowered& low) {
+  const size_t n = low.code.size();
+  // Fusion barriers: positions the launch mechanics re-enter or re-seed at
+  // (fold subprogram bounds, loop body bounds) — no pair may straddle one.
+  // Bodies of fused loop forms are fully barred: their VLoop stream/scalar
+  // fields reference the registers the *original* body reads, so rewriting
+  // the fallback body must not change them.
+  std::vector<uint8_t> barrier(n + 1, 0);
+  barrier[low.fold_begin] = 1;
+  barrier[low.fold_end] = 1;
+  for (size_t s = 0; s < low.loops.size(); ++s) {
+    const VLoop& vl = low.loops[s];
+    const bool fused_form = vl.a_slot >= 0;
+    for (uint32_t i = vl.body_begin; i <= vl.body_end; ++i) {
+      if (fused_form || i == vl.body_begin || i == vl.body_end) barrier[i] = 1;
+    }
+  }
+
+  std::vector<VInstr> out;
+  std::vector<int> seg;  // per emitted instr: barrier-segment id
+  std::vector<uint32_t> posmap(n + 1, 0);
+  out.reserve(n);
+  seg.reserve(n);
+  int cur_seg = 0;
+  auto kill = [&](int32_t r) {
+    u.reads[static_cast<size_t>(r)] = 0;
+    u.writes[static_cast<size_t>(r)] = 0;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (barrier[i]) ++cur_seg;
+    posmap[i] = static_cast<uint32_t>(out.size());
+    VInstr cur = low.code[i];
+    bool emitted = false;
+    while (!out.empty() && seg.back() == cur_seg) {
+      const VInstr& prev = out.back();
+      // Copy propagation: prev is `Mov t, x` with t a plain temporary read
+      // (exactly once) by cur — drop the Mov, read x directly.
+      if (prev.op == VOp::Mov && u.ok_temp(prev.d) && instr_reads(cur, prev.d)) {
+        const int32_t t = prev.d, x = prev.a;
+        subst_read(cur, t, x);
+        kill(t);
+        out.pop_back();
+        seg.pop_back();
+        continue;  // cur may now combine with the newly exposed predecessor
+      }
+      // Pair fusion into a superinstruction.
+      VInstr fused;
+      if (produces_value(prev) && u.ok_temp(prev.d) && instr_reads(cur, prev.d) &&
+          try_pair(prev, cur, prev.d, fused)) {
+        kill(prev.d);
+        out.back() = fused;
+        ++low.superinstrs;
+        emitted = true;
+        break;
+      }
+      // Mov retarget: cur is `Mov d2, t` with t = prev's plain-temporary
+      // result — make prev write d2 directly (fold write-backs collapse).
+      if (cur.op == VOp::Mov && produces_value(prev) && cur.a == prev.d &&
+          u.ok_temp(prev.d)) {
+        kill(prev.d);
+        out.back().d = cur.d;
+        emitted = true;
+        break;
+      }
+      break;
+    }
+    if (!emitted) {
+      out.push_back(cur);
+      seg.push_back(cur_seg);
+    }
+  }
+  posmap[n] = static_cast<uint32_t>(out.size());
+
+  low.fold_begin = posmap[low.fold_begin];
+  low.fold_end = posmap[low.fold_end];
+  for (auto& vl : low.loops) {
+    vl.body_begin = posmap[vl.body_begin];
+    vl.body_end = posmap[vl.body_end];
+  }
+  (void)k;
+  low.code = std::move(out);
+}
+
+// ---- width baking ---------------------------------------------------------
+
+int32_t scale(int32_t reg, int W) { return reg >= 0 ? reg * W : reg; }
+
+VProgram bake(const Lowered& low, int W) {
+  VProgram p;
+  p.W = W;
+  p.num_regs = low.num_regs;
+  p.fold_begin = low.fold_begin;
+  p.fold_end = low.fold_end;
+  p.code = low.code;
+  for (auto& in : p.code) {
+    in.d = scale(in.d, W);
+    in.a = scale(in.a, W);
+    in.b = scale(in.b, W);
+    in.c = scale(in.c, W);
+    for (int32_t d = 0; d < in.nidx; ++d) in.idx[d] = scale(in.idx[d], W);
+  }
+  p.loops = low.loops;
+  for (auto& vl : p.loops) {
+    vl.trip = scale(vl.trip, W);
+    vl.ivar = scale(vl.ivar, W);
+    vl.acc = scale(vl.acc, W);
+    vl.neutral = scale(vl.neutral, W);
+    vl.s1 = scale(vl.s1, W);
+    vl.s2 = scale(vl.s2, W);
+    for (int d = 0; d < 3; ++d) {
+      vl.a_idx[d] = scale(vl.a_idx[d], W);
+      vl.b_idx[d] = scale(vl.b_idx[d], W);
+      vl.u1_idx[d] = scale(vl.u1_idx[d], W);
+      vl.u2_idx[d] = scale(vl.u2_idx[d], W);
+    }
+  }
+  p.prologue = low.prologue;
+  for (auto& in : p.prologue) in.off = scale(in.off, W);
+  for (int32_t r : low.red_acc) p.red_acc_off.push_back(scale(r, W));
+  for (int32_t r : low.red_elem) p.red_elem_off.push_back(scale(r, W));
+  return p;
+}
+
+// ---- entry cache ----------------------------------------------------------
+
+struct Key {
+  const Kernel* k;
+  int lanes;
+  bool operator==(const Key& o) const { return k == o.k && lanes == o.lanes; }
+};
+struct KeyHash {
+  size_t operator()(const Key& x) const {
+    return std::hash<const void*>()(x.k) * 31u ^ static_cast<size_t>(x.lanes);
+  }
+};
+
+std::shared_mutex cache_mu;
+// Process-wide and immortal, like the kernel cache the keys point into. A
+// null value records a kernel that failed to lower (never re-attempted).
+std::unordered_map<Key, std::unique_ptr<Entry>, KeyHash>& cache() {
+  static auto* c = new std::unordered_map<Key, std::unique_ptr<Entry>, KeyHash>();
+  return *c;
+}
+
+} // namespace
+
+const Entry* lookup(const Kernel& k, int lanes) {
+  // Wide programs exist for the compile-time lane counts only; other widths
+  // stay on the register machine (they share its `default:` runtime-W path,
+  // which vexec does not replicate).
+  if (lanes != 1 && lanes != 4 && lanes != 8 && lanes != 16) return nullptr;
+  const Key key{&k, lanes};
+  {
+    std::shared_lock lk(cache_mu);
+    auto it = cache().find(key);
+    if (it != cache().end()) return it->second.get();
+  }
+  std::unique_ptr<Entry> e;
+  Usage u = analyze(k);
+  Lowered low;
+  if (lower_pass1(k, u, low)) {
+    lower_pass2(k, u, low);
+    e = std::make_unique<Entry>();
+    e->narrow = bake(low, 1);
+    if (lanes > 1) e->wide = bake(low, lanes);
+    e->superinstrs = low.superinstrs;
+  }
+  std::unique_lock lk(cache_mu);
+  auto [it, inserted] = cache().emplace(key, std::move(e));
+  return it->second.get();
+}
+
+const Ops* select_ops(bool force_portable) {
+#ifdef NPAD_VEXEC_HAVE_AVX2
+  if (!force_portable) {
+    static const bool have_avx2 = __builtin_cpu_supports("avx2");
+    if (have_avx2) return avx2::ops();
+  }
+#else
+  (void)force_portable;
+#endif
+  return portable::ops();
+}
+
+} // namespace npad::rt::vexec

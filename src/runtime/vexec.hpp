@@ -1,0 +1,169 @@
+#pragma once
+
+// Vectorized execution tier for the kernel machine (ROADMAP item 1, the
+// "JIT tier"): at first launch, a compiled kernel's KInstr program is
+// lowered — once per (kernel, lane width), cached alongside the immortal
+// KernelCache entry it came from — into a dense pre-decoded schedule of
+// VInstrs whose handlers are compiled per ISA (a portable auto-vectorized
+// build, plus an AVX2 build selected by runtime CPU detection). The
+// lowering does three things the per-KInstr switch cannot:
+//
+//  1. Prologue extraction: ConstF/LoadLen/free-scalar broadcasts leave the
+//     instruction stream entirely (a compact init list applied once per
+//     register file), so the per-batch loop dispatches only real work, and
+//     every operand is a precomputed element offset (reg * W) instead of a
+//     per-instruction multiply.
+//  2. Superinstruction fusion: dominant adjacent pairs collapse into one
+//     handler (mul+add, add+add, mul+mul, neg+exp, gather+arith,
+//     arith+store), and copy chains (Mov glue, fold write-backs) are
+//     coalesced away. Every fused handler keeps each intermediate's own
+//     IEEE rounding — fusion amortizes dispatch, it NEVER contracts to a
+//     hardware FMA (the engine TUs build with -ffp-contract=off).
+//  3. Whole-loop micro-kernels: the two dominant InlineLoop shapes — the
+//     dot-product fold (gather·gather → mul → fold-add) and the backward
+//     dual-scatter (two gathers, two scaled products, two UpdAcc streams)
+//     — run as single handlers over precomputed per-lane streams, instead
+//     of per-trip dispatch through a recursive span. Any other loop body
+//     runs through a generic in-place trip loop.
+//
+// Bit-exactness contract: for any launch, the vexec tier produces the same
+// bits as the W-lane register machine at the same lane width. Lane/batch
+// splits, fold lane-blocking, combine order, UpdAcc instruction-major lane
+// order, and scalar tails all mirror runtime/kernel.cpp exactly; per-lane
+// elementwise SIMD is bit-identical by IEEE; fused pairs preserve operand
+// order and intermediate roundings. The scalar register machine remains
+// the always-available fallback (InterpOptions::use_vexec, NPAD_VEXEC).
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/kernel.hpp"
+
+namespace npad::rt::vexec {
+
+enum class VOp : uint8_t {
+  // straight-line ops, 1:1 with the KOp they lower from
+  Mov, Add, Sub, Mul, Div, IDiv, Pow, Min, Max, Mod,
+  Eq, Ne, Lt, Le, Gt, Ge, And, Or,
+  Neg, Exp, Log, Sqrt, Sin, Cos, Tanh, Abs, Sign, LGamma, Digamma, Not, Trunc,
+  Select,
+  LoadElem, Gather, UpdAcc, StoreOut,
+  // superinstructions (fused adjacent pairs; flags bit 0 = swapped operand
+  // order of the second op, preserving IEEE NaN-propagation order)
+  MulAdd,     // d = (a*b) + c     [flag: d = c + (a*b)]
+  MulSub,     // d = (a*b) - c     [flag: d = c - (a*b)]
+  AddAdd,     // d = (a+b) + c     [flag: d = c + (a+b)]
+  MulMul,     // d = (a*b) * c     [flag: d = c * (a*b)]
+  NegExp,     // d = exp(-a)
+  GatherMul,  // g = free[slot][idx...]; d = g * b   [flag: d = b * g]
+  GatherAdd,  // g = free[slot][idx...]; d = g + b   [flag: d = b + g]
+  MulStore,   // output[slot] element = a * b
+  AddStore,   // output[slot] element = a + b
+  // inline SOAC blocks (slot = VProgram::loops index)
+  Loop,       // generic: run [body_begin, body_end) trip times
+  DotLoop,    // fused dot-product fold (falls back to the body on non-f64)
+  Axpy2Loop,  // fused dual-scatter map loop (same fallback)
+};
+
+struct VInstr {
+  VOp op = VOp::Mov;
+  uint8_t flags = 0;
+  int32_t slot = -1;                 // array slot, or loops[] index
+  int32_t d = -1, a = -1, b = -1, c = -1;  // register-file element offsets
+  int32_t idx[4] = {-1, -1, -1, -1};       // gather/UpdAcc index offsets
+  int32_t nidx = 0;
+};
+
+// Lowered InlineLoop block. All register references are element offsets.
+struct VLoop {
+  uint32_t body_begin = 0, body_end = 0;  // VInstr range (generic/fallback)
+  int32_t trip = -1, ivar = -1, acc = -1, neutral = -1;
+  // DotLoop: acc folds A[baseA(l)+t] * B[baseB(l)+t] over t in [0, trip).
+  // a_/b_idx hold the leading (loop-invariant) gather index offsets; the
+  // trailing index is the loop variable, stride 1 by full-indexing.
+  int32_t a_slot = -1, b_slot = -1;
+  int32_t a_idx[3] = {-1, -1, -1}, b_idx[3] = {-1, -1, -1};
+  int32_t a_nidx = 0, b_nidx = 0;
+  uint8_t dot_flags = 0;  // bit0: product computed as B*A; bit1: fold is prod+acc
+  // Axpy2Loop: p1 = mul1, p2 = mul2 (each an invariant scalar times one of
+  // the gathered streams), then acc[u1_slot][u1_idx...,t] += {p1|p2} and
+  // acc[u2_slot][...] += the other, in instruction-major lane order.
+  int32_t s1 = -1, s2 = -1;  // invariant multiplier offsets
+  // ax_flags: bit0 m1 reads g1 (else g2); bit1 m1 computes s*g (else g*s);
+  //           bit2/bit3 same for m2; bit4 u1 adds m1's product (else m2's).
+  uint8_t ax_flags = 0;
+  int32_t u1_slot = -1, u2_slot = -1;
+  int32_t u1_idx[3] = {-1, -1, -1}, u2_idx[3] = {-1, -1, -1};
+  int32_t u1_nidx = 0, u2_nidx = 0;
+};
+
+// Prologue init: one launch-invariant register broadcast.
+struct VInit {
+  enum class Kind : uint8_t { Imm, FreeScalar, ArrayLen };
+  int32_t off = 0;  // register-file element offset (reg * W)
+  Kind kind = Kind::Imm;
+  int32_t src = -1;  // free-scalar index / free-array slot
+  double imm = 0.0;
+};
+
+// One lowered program at a fixed lane width W (operand offsets are baked
+// for that width, so wide and narrow variants are separate programs).
+struct VProgram {
+  int W = 0;  // 0 = absent
+  int num_regs = 0;
+  std::vector<VInstr> code;
+  std::vector<VInit> prologue;
+  std::vector<VLoop> loops;              // parallel to Kernel::loops
+  uint32_t fold_begin = 0, fold_end = 0; // remapped fold-subprogram bounds
+  std::vector<int32_t> red_acc_off, red_elem_off;
+};
+
+// Cached vexec artifact for one (kernel, lane width): the wide program (W =
+// lanes; absent when lanes == 1) plus the W=1 program driving scalar tails,
+// scans, hist chunks, scalar blocks and fold combines.
+struct Entry {
+  VProgram wide;
+  VProgram narrow;
+  int superinstrs = 0;  // fused superinstructions in one program's code
+};
+
+// Per-ISA driver table. Each function mirrors the corresponding
+// KernelLaunch method on runtime/kernel.cpp bit-exactly.
+struct Ops {
+  void (*run)(const Entry&, const KernelLaunch&, int64_t lo, int64_t hi);
+  void (*run_reduce)(const Entry&, const KernelLaunch&, int64_t lo, int64_t hi,
+                     double* partials);
+  void (*run_segred_chunk)(const Entry&, const KernelLaunch&, int64_t seg_lo, int64_t seg_hi,
+                           int64_t seg_len);
+  void (*run_scan_chunk)(const Entry&, const KernelLaunch&, int64_t lo, int64_t hi,
+                         double* carry);
+  int64_t (*run_hist_chunk)(const Entry&, const KernelLaunch&, int64_t lo, int64_t hi,
+                            double* bins, int64_t m, const int64_t* inds);
+  void (*run_scalar)(const Entry&, const Kernel&, const double* frees, double* out);
+  const char* name;
+};
+
+// Lazily lowers (and caches process-wide, immortal) the vexec entry for `k`
+// at lane width `lanes`. `k` must itself be immortal — owned by the kernel
+// cache or an execution plan, never by the launch. Returns nullptr when the
+// width is unsupported (wide programs exist for W in {4, 8, 16} only) or
+// the program does not lower; the caller then stays on the register machine.
+const Entry* lookup(const Kernel& k, int lanes);
+
+// ISA dispatch: the AVX2 table when compiled in and the CPU reports
+// avx2+fma support, else the portable table. `force_portable` pins the
+// portable handlers (NPAD_VEXEC=portable, conformance fallback row).
+const Ops* select_ops(bool force_portable);
+
+// Engine entry tables defined by the per-ISA TUs (vexec_engine.inc).
+namespace portable {
+const Ops* ops();
+}
+#ifdef NPAD_VEXEC_HAVE_AVX2
+namespace avx2 {
+const Ops* ops();
+}
+#endif
+
+} // namespace npad::rt::vexec

@@ -551,6 +551,13 @@ TEST(FaultSweep, AtLeastTwentyDistinctSitesExercised) {
   EXPECT_TRUE(sites.count("plan.compile")) << all;
   EXPECT_TRUE(sites.count("plan.step")) << all;
   EXPECT_TRUE(sites.count("plan.loop_iter")) << all;
+  // The vectorized execution tier: when vexec is on (the default; the
+  // NPAD_VEXEC=0 CI leg disables it), the sweeps above dispatch through the
+  // gate in front of the SIMD schedules, so that site must have been crossed
+  // (and survived arming) by at least one vectorized launch.
+  if (default_use_vexec()) {
+    EXPECT_TRUE(sites.count("vexec.dispatch")) << all;
+  }
 }
 
 } // namespace

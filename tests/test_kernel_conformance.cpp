@@ -1118,4 +1118,195 @@ TEST(FlattenConformance, RowViewInputStaysFlat) {
   EXPECT_EQ(flat_in.stats().segred_launches.load(), 1u);
 }
 
+// ------------------------------------------------- vexec conformance grid --
+
+// The vectorized execution tier (runtime/vexec.hpp) must be bit-exact
+// against the scalar register machine on every launch shape it can take
+// over: {vexec on, off} x {map, fused redomap, segred, hist, scalar block,
+// inline loop} x {empty, tail-only, large}, plus a forced-portable row
+// (AVX2 hosts exercising the auto-vectorized handler build).
+
+enum class VexKind { Map, Redomap, Segred, Hist, ScalarBlock, InlineLoop };
+
+struct VexCase {
+  VexKind kind;
+  int64_t n;  // driving extent: 0 = empty, 3 = tail-only (< lane width), 4096 = large
+};
+
+// map(λx. Σ_i ws[i]*x) over a virtual iota domain: after fusion the inner
+// redomap compiles to an InlineLoop inside the outer map's kernel — the
+// shape the vexec tier lowers to its whole-loop micro-kernels.
+Prog inline_loop_prog() {
+  ProgBuilder pb("il");
+  Var xs = pb.param("xs", arr_f64(1));
+  Var ws = pb.param("ws", arr_f64(1));
+  Builder& b = pb.body();
+  Var out = b.map1(
+      b.lam({f64()},
+            [&](Builder& c, const std::vector<Var>& p) {
+              Var is = c.iota(Atom(c.length(ws)));
+              Var prods = c.map1(c.lam({i64()},
+                                       [&](Builder& cc, const std::vector<Var>& q) {
+                                         Var w = cc.index(ws, {Atom(q[0])});
+                                         return std::vector<Atom>{Atom(cc.mul(w, p[0]))};
+                                       }),
+                                 {is});
+              return std::vector<Atom>{Atom(c.reduce1(c.add_op(), cf64(0.0), {prods}))};
+            }),
+      {xs});
+  Prog p = pb.finish({Atom(out)});
+  typecheck(p);
+  opt::FuseStats fs;
+  p = opt::fuse_maps(p, &fs);
+  typecheck(p);
+  return p;
+}
+
+// A scalar-only body: with plans on this lowers to one Scalars step, which
+// the vexec tier executes through its width-1 program (run_scalar).
+Prog scalar_block_prog() {
+  ProgBuilder pb("sb");
+  Var x = pb.param("x", f64());
+  Var y = pb.param("y", f64());
+  Builder& b = pb.body();
+  Var t = b.mul(x, y);
+  Var u = b.tanh(Atom(b.add(t, Atom(b.sin(x)))));
+  Var v = b.max(u, Atom(b.mul(t, cf64(0.5))));
+  Prog p = pb.finish({Atom(v)});
+  typecheck(p);
+  return p;
+}
+
+// Flattens every output (arrays element-wise, scalars directly) so one
+// comparison loop covers all workload shapes. EXPECT_EQ on doubles is the
+// bit-exactness check (no NaNs in these workloads).
+std::vector<double> flatten_outputs(const std::vector<Value>& vs) {
+  std::vector<double> out;
+  for (const auto& v : vs) {
+    if (rt::is_array(v)) {
+      const auto& a = rt::as_array(v);
+      for (int64_t i = 0; i < a.elems(); ++i) out.push_back(a.get_f64(i));
+    } else {
+      out.push_back(rt::as_f64(v));
+    }
+  }
+  return out;
+}
+
+class VexecConformance : public ::testing::TestWithParam<VexCase> {};
+
+TEST_P(VexecConformance, BitExactAgainstRegisterMachine) {
+  const auto [kind, n] = GetParam();
+  support::Rng rng(static_cast<uint64_t>(n) * 13 + static_cast<uint64_t>(kind) + 3);
+
+  Prog p = [&] {
+    switch (kind) {
+      case VexKind::Map: {
+        ProgBuilder pb("vm");
+        Var xs = pb.param("xs", arr_f64(1));
+        Builder& b = pb.body();
+        Var out = b.map1(b.lam({f64()},
+                               [](Builder& c, const std::vector<Var>& q) {
+                                 Var t = c.mul(q[0], cf64(1.3));
+                                 return std::vector<Atom>{Atom(c.tanh(Atom(c.add(t, cf64(0.2)))))};
+                               }),
+                         {xs});
+        Prog r = pb.finish({Atom(out)});
+        typecheck(r);
+        return r;
+      }
+      case VexKind::Redomap: {
+        Prog r = redomap_prog(/*with_map=*/true);
+        opt::FuseStats fs;
+        r = opt::fuse_maps(r, &fs);
+        typecheck(r);
+        return r;
+      }
+      case VexKind::Segred: {
+        // LSE fold: a multi-statement op keeps the segmented launch off the
+        // hand tier and on run_segred_chunk, the entry vexec takes over.
+        Prog r = nested_lse_prog();
+        opt::FlattenStats st;
+        r = opt::flatten_nested(r, &st);
+        typecheck(r);
+        return r;
+      }
+      case VexKind::Hist: {
+        Prog r = hist_prog(HistOp::SlowAdd, /*with_map=*/true);
+        opt::FuseStats fs;
+        r = opt::fuse_maps(r, &fs);
+        typecheck(r);
+        return r;
+      }
+      case VexKind::ScalarBlock: return scalar_block_prog();
+      case VexKind::InlineLoop: return inline_loop_prog();
+    }
+    return scalar_block_prog();
+  }();
+
+  std::vector<Value> args;
+  switch (kind) {
+    case VexKind::Map:
+    case VexKind::Redomap:
+      args.push_back(rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -1.0, 1.0), {n}));
+      break;
+    case VexKind::Segred:
+      args.push_back(
+          rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n * 7), -1.0, 1.0), {n, 7}));
+      break;
+    case VexKind::Hist: {
+      args.push_back(rt::make_f64_array(rng.uniform_vec(8, -1.0, 1.0), {8}));  // dest
+      std::vector<int64_t> inds(static_cast<size_t>(n));
+      for (size_t i = 0; i < inds.size(); ++i) inds[i] = static_cast<int64_t>(i) % 8;
+      args.push_back(rt::make_i64_array(std::move(inds), {n}));
+      args.push_back(rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -1.0, 1.0), {n}));
+      break;
+    }
+    case VexKind::ScalarBlock:
+      args.emplace_back(0.37 + 0.01 * static_cast<double>(n));
+      args.emplace_back(-1.21);
+      break;
+    case VexKind::InlineLoop:
+      args.push_back(rt::make_f64_array(rng.uniform_vec(static_cast<size_t>(n), -1.0, 1.0), {n}));
+      args.push_back(rt::make_f64_array(rng.uniform_vec(9, -1.0, 1.0), {9}));
+      break;
+  }
+
+  rt::InterpOptions base{.parallel = false, .use_kernels = true, .kernel_lanes = 8};
+  base.use_vexec = false;
+  rt::Interp off{base};
+  const auto ref = flatten_outputs(off.run(p, args));
+  EXPECT_EQ(off.stats().vexec_launches.load(), 0u);
+
+  for (bool portable : {false, true}) {
+    rt::InterpOptions vo = base;
+    vo.use_vexec = true;
+    vo.vexec_portable = portable;
+    rt::Interp on{vo};
+    const auto got = flatten_outputs(on.run(p, args));
+    ASSERT_EQ(got.size(), ref.size()) << "portable=" << portable;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], ref[i]) << "portable=" << portable << " at " << i;  // bit-identical
+    }
+    // Counter movement: the large rows (and the scalar block, whose plan
+    // step always dispatches) must actually route through the tier; empty
+    // and tail-only rows may legitimately skip it (no launch at all).
+    if (n >= 4096 || kind == VexKind::ScalarBlock) {
+      EXPECT_GT(on.stats().vexec_launches.load(), 0u) << "portable=" << portable;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, VexecConformance,
+    ::testing::Values(VexCase{VexKind::Map, 0}, VexCase{VexKind::Map, 3},
+                      VexCase{VexKind::Map, 4096}, VexCase{VexKind::Redomap, 0},
+                      VexCase{VexKind::Redomap, 3}, VexCase{VexKind::Redomap, 4096},
+                      VexCase{VexKind::Segred, 0}, VexCase{VexKind::Segred, 3},
+                      VexCase{VexKind::Segred, 4096}, VexCase{VexKind::Hist, 0},
+                      VexCase{VexKind::Hist, 3}, VexCase{VexKind::Hist, 4096},
+                      VexCase{VexKind::ScalarBlock, 0}, VexCase{VexKind::ScalarBlock, 3},
+                      VexCase{VexKind::ScalarBlock, 4096}, VexCase{VexKind::InlineLoop, 0},
+                      VexCase{VexKind::InlineLoop, 3}, VexCase{VexKind::InlineLoop, 4096}));
+
 } // namespace
