@@ -20,6 +20,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/buffer_pool.hpp"
@@ -90,19 +91,22 @@ inline int64_t scale_factor() {
   return 1;
 }
 
-// Runs all registered benchmarks and returns the collected timings. Unless
-// the caller passes its own --benchmark_repetitions, every benchmark runs a
-// minimum of 3 repetitions: that is what makes the reported stddev real
-// (sample stddev across repetition means) and floors the reported iteration
-// count, so slow entries stop showing up as unrepeatable "n: 1" points in
-// the BENCH JSON trajectory.
-inline Collector run_benchmarks(int argc, char** argv) {
+// Runs all registered benchmarks and returns the collected timings. A
+// caller-provided --benchmark_repetitions always wins; otherwise every
+// benchmark runs `default_repetitions` repetitions: that is what makes the
+// reported stddev real (sample stddev across repetition means) and floors
+// the reported iteration count, so slow entries stop showing up as
+// unrepeatable "n: 1" points in the BENCH JSON trajectory.
+inline Collector run_benchmarks(int argc, char** argv, int default_repetitions = 3) {
   std::vector<char*> args(argv, argv + argc);
-  static char reps_flag[] = "--benchmark_repetitions=3";
   bool has_reps = false;
   for (int i = 1; i < argc; ++i)
     if (std::string(argv[i]).rfind("--benchmark_repetitions", 0) == 0) has_reps = true;
-  if (!has_reps) args.push_back(reps_flag);
+  static std::string reps_flag;
+  if (!has_reps && default_repetitions > 0) {
+    reps_flag = "--benchmark_repetitions=" + std::to_string(default_repetitions);
+    args.push_back(reps_flag.data());
+  }
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   Collector c;
@@ -121,7 +125,8 @@ inline std::string ratio(double num, double den, int prec = 2) {
 // Buffer-pool live-footprint counters are always included, so a leak
 // regression (outstanding buffers surviving a run) shows up in the
 // trajectory, not just in the fault-injection tests.
-inline void write_bench_json(const std::string& name, const Collector& col,
+inline void write_bench_json(const std::string& name,
+                             const std::map<std::string, Measurement>& rows,
                              std::map<std::string, uint64_t> counters = {}) {
   const rt::BufferPool::Counters pc = rt::BufferPool::global().stats();
   counters["pool_outstanding_bytes"] = pc.outstanding_bytes;
@@ -140,7 +145,7 @@ inline void write_bench_json(const std::string& name, const Collector& col,
   os << "  \"scale\": " << scale_factor() << ",\n";
   os << "  \"results\": [";
   bool first = true;
-  for (const auto& [bname, m] : col.runs()) {
+  for (const auto& [bname, m] : rows) {
     os << (first ? "" : ",") << "\n    {\"name\": \"" << esc(bname) << "\", \"n\": "
        << m.iterations << ", \"mean_ms\": " << m.mean_ms << ", \"stddev\": " << m.stddev_ms
        << "}";
@@ -153,6 +158,11 @@ inline void write_bench_json(const std::string& name, const Collector& col,
     first = false;
   }
   os << "\n  }\n}\n";
+}
+
+inline void write_bench_json(const std::string& name, const Collector& col,
+                             std::map<std::string, uint64_t> counters = {}) {
+  write_bench_json(name, col.runs(), std::move(counters));
 }
 
 } // namespace npad::bench

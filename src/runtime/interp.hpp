@@ -105,6 +105,8 @@ struct InterpStats {
   std::atomic<uint64_t> plan_hoisted_buffers{0}; // launch buffers reused via loop hoisting
   std::atomic<uint64_t> vexec_launches{0};       // spans dispatched through the vexec tier
   std::atomic<uint64_t> vexec_superinstrs{0};    // fused superinstrs in programs bound to launches
+  std::atomic<uint64_t> batched_prog_runs{0};    // stacked multi-request runs (run_batched, B>1)
+  std::atomic<uint64_t> batched_prog_requests{0};// requests entering run_batched (any B)
 
   // Snapshot for machine-readable reporting (bench JSON).
   std::map<std::string, uint64_t> counters() const {
@@ -142,6 +144,8 @@ struct InterpStats {
         {"plan_hoisted_buffers", plan_hoisted_buffers.load()},
         {"vexec_launches", vexec_launches.load()},
         {"vexec_superinstrs", vexec_superinstrs.load()},
+        {"batched_prog_runs", batched_prog_runs.load()},
+        {"batched_prog_requests", batched_prog_requests.load()},
     };
   }
 };
@@ -151,6 +155,15 @@ public:
   explicit Interp(InterpOptions opts = {}) : opts_(opts) {}
 
   std::vector<Value> run(const ir::Prog& p, const std::vector<Value>& args) const;
+
+  // Batched entry point (runtime/batch.cpp): executes B same-program request
+  // argument lists as one launch of the program's batched form — every param
+  // lifted one rank and the original body mapped over the stacked axis — and
+  // de-stacks the results back into per-request vectors. B == 1 passes
+  // through to run(). With parallelism off this is bit-exact against running
+  // the B requests sequentially through run().
+  std::vector<std::vector<Value>> run_batched(
+      const ir::Prog& p, const std::vector<std::vector<Value>>& batch) const;
 
   const InterpStats& stats() const { return stats_; }
   const InterpOptions& options() const { return opts_; }

@@ -1,0 +1,308 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <variant>
+
+#include "support/error.hpp"
+#include "support/fault.hpp"
+
+namespace npad::serve {
+
+using rt::Value;
+
+namespace {
+
+char scalar_char(ir::ScalarType t) {
+  switch (t) {
+    case ir::ScalarType::F64: return 'f';
+    case ir::ScalarType::I64: return 'i';
+    case ir::ScalarType::Bool: return 'b';
+  }
+  return '?';
+}
+
+ir::ScalarType value_scalar_type(const Value& v) {
+  if (std::holds_alternative<double>(v)) return ir::ScalarType::F64;
+  if (std::holds_alternative<int64_t>(v)) return ir::ScalarType::I64;
+  return ir::ScalarType::Bool;
+}
+
+// Validates `args` against the program's parameter list (arity, scalar vs
+// array, element type, rank) and builds the grouping key: requests stack
+// only when program, mode and every argument signature (including concrete
+// shapes) agree, so a shape mismatch forms its own group instead of
+// poisoning a batch.
+std::string validate_and_key(const ProgramEntry& entry, const Request& r) {
+  const ir::Prog& prog = entry.prog(r.mode);
+  const auto& params = prog.fn.params;
+  if (r.args.size() != params.size()) {
+    throw TypeError("program '" + entry.name + "' (" + mode_name(r.mode) + ") takes " +
+                    std::to_string(params.size()) + " argument(s), got " +
+                    std::to_string(r.args.size()));
+  }
+  std::string key = entry.name;
+  key += r.mode == Mode::Objective ? "|o" : "|j";
+  for (size_t i = 0; i < params.size(); ++i) {
+    const ir::Type& t = params[i].type;
+    const Value& v = r.args[i];
+    if (rt::is_acc(v) || t.is_acc) {
+      throw TypeError("program '" + entry.name + "': accumulator argument " +
+                      std::to_string(i) + " cannot be served");
+    }
+    if (t.rank == 0) {
+      if (rt::is_array(v)) {
+        throw TypeError("program '" + entry.name + "': argument " + std::to_string(i) +
+                        " expects a scalar, got a rank-" +
+                        std::to_string(rt::as_array(v).rank()) + " array");
+      }
+      if (value_scalar_type(v) != t.elem) {
+        throw TypeError("program '" + entry.name + "': argument " + std::to_string(i) +
+                        " scalar type mismatch");
+      }
+      key += '|';
+      key += scalar_char(t.elem);
+    } else {
+      if (!rt::is_array(v)) {
+        throw TypeError("program '" + entry.name + "': argument " + std::to_string(i) +
+                        " expects a rank-" + std::to_string(t.rank) + " array, got a scalar");
+      }
+      const rt::ArrayVal& a = rt::as_array(v);
+      if (a.elem != t.elem) {
+        throw TypeError("program '" + entry.name + "': argument " + std::to_string(i) +
+                        " element type mismatch");
+      }
+      if (a.rank() != t.rank) {
+        throw ShapeError("program '" + entry.name + "': argument " + std::to_string(i) +
+                         " expects rank " + std::to_string(t.rank) + ", got rank " +
+                         std::to_string(a.rank()));
+      }
+      key += '|';
+      key += scalar_char(t.elem);
+      for (int64_t d : a.shape) {
+        key += 'x';
+        key += std::to_string(d);
+      }
+    }
+  }
+  return key;
+}
+
+} // namespace
+
+Batcher::Batcher(BatcherOptions opts) : opts_(opts), interp_(opts.interp) {
+  if (opts_.max_batch < 1) opts_.max_batch = 1;
+  if (opts_.workers < 1) opts_.workers = 1;
+  if (opts_.start) start();
+}
+
+Batcher::~Batcher() { stop(); }
+
+void Batcher::start() {
+  std::lock_guard lk(mu_);
+  if (started_ || stop_) return;
+  started_ = true;
+  threads_.reserve(static_cast<size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Batcher::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  // Never-started batcher (or a race straggler): reject what is left.
+  std::deque<Pending> leftovers;
+  {
+    std::lock_guard lk(mu_);
+    leftovers.swap(queue_);
+  }
+  for (auto& p : leftovers) {
+    Response resp;
+    resp.error_kind = "ResourceError";
+    resp.error = "ResourceError: batcher stopped before the request executed";
+    stats_.responses_error.fetch_add(1, std::memory_order_relaxed);
+    p.prom.set_value(std::move(resp));
+  }
+}
+
+std::future<Response> Batcher::submit(Request r) {
+  std::promise<Response> prom;
+  std::future<Response> fut = prom.get_future();
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  try {
+    NPAD_FAULT_SITE("serve.enqueue", FaultKind::Alloc);
+    auto entry = Registry::global().find(r.program);
+    if (!entry) throw TypeError("unknown program '" + r.program + "'");
+    Pending p;
+    p.key = validate_and_key(*entry, r);
+    p.entry = std::move(entry);
+    p.req = std::move(r);
+    p.t_enq = Clock::now();
+    {
+      std::lock_guard lk(mu_);
+      if (stop_) throw ResourceError("batcher is stopped");
+      p.prom = std::move(prom);
+      queue_.push_back(std::move(p));
+      ++submit_seq_;
+    }
+    cv_.notify_all();
+  } catch (const npad::Error& e) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    stats_.responses_error.fetch_add(1, std::memory_order_relaxed);
+    Response resp;
+    resp.error_kind = e.kind();
+    resp.error = e.what();
+    prom.set_value(std::move(resp));
+  }
+  return fut;
+}
+
+void Batcher::take_matching_locked(std::vector<Pending>& batch, const std::string& key) {
+  for (auto it = queue_.begin();
+       it != queue_.end() && static_cast<int>(batch.size()) < opts_.max_batch;) {
+    if (it->key == key) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Batcher::worker_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::vector<Pending> batch;
+    const std::string key = queue_.front().key;
+    const Clock::time_point first_enq = queue_.front().t_enq;
+    take_matching_locked(batch, key);
+    if (opts_.stack && opts_.window_us > 0 && !stop_) {
+      // Hold the group open until it fills or the window (measured from its
+      // FIRST request's enqueue) expires. Waits key on submit_seq_, so other
+      // workers freely drain non-matching groups in the meantime.
+      const auto deadline = first_enq + std::chrono::microseconds(opts_.window_us);
+      while (static_cast<int>(batch.size()) < opts_.max_batch && !stop_) {
+        const uint64_t seq = submit_seq_;
+        if (!cv_.wait_until(lk, deadline, [&] { return stop_ || submit_seq_ != seq; })) {
+          break;  // window expired
+        }
+        take_matching_locked(batch, key);
+      }
+    }
+    lk.unlock();
+    exec_batch(std::move(batch));
+    lk.lock();
+  }
+}
+
+void Batcher::exec_batch(std::vector<Pending> batch) {
+  const int b = static_cast<int>(batch.size());
+  if (b == 0) return;
+  const Clock::time_point t_start = Clock::now();
+
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev_max = stats_.max_batch.load(std::memory_order_relaxed);
+  while (static_cast<uint64_t>(b) > prev_max &&
+         !stats_.max_batch.compare_exchange_weak(prev_max, static_cast<uint64_t>(b),
+                                                 std::memory_order_relaxed)) {
+  }
+
+  std::vector<Response> resps(static_cast<size_t>(b));
+  uint64_t wait_us_total = 0;
+  for (int i = 0; i < b; ++i) {
+    const auto wait =
+        std::chrono::duration_cast<std::chrono::microseconds>(t_start - batch[i].t_enq);
+    resps[i].queue_wait_ms = static_cast<double>(wait.count()) / 1e3;
+    resps[i].batch_size = b;
+    wait_us_total += static_cast<uint64_t>(wait.count());
+  }
+  stats_.queue_wait_us.fetch_add(wait_us_total, std::memory_order_relaxed);
+
+  const ProgramEntry& entry = *batch[0].entry;
+  const ir::Prog& prog = entry.prog(batch[0].req.mode);
+
+  auto fail = [&](int i, const npad::Error& err) {
+    resps[i].results.clear();
+    resps[i].error_kind = err.kind();
+    resps[i].error = err.what();
+  };
+
+  if (b == 1 || !opts_.stack) {
+    stats_.single_requests.fetch_add(static_cast<uint64_t>(b), std::memory_order_relaxed);
+    for (int i = 0; i < b; ++i) {
+      try {
+        resps[i].results = interp_.run(prog, batch[i].req.args);
+      } catch (const npad::Error& err) {
+        fail(i, err);
+      }
+    }
+  } else {
+    std::vector<std::vector<Value>> argsv;
+    argsv.reserve(static_cast<size_t>(b));
+    for (auto& p : batch) argsv.push_back(std::move(p.req.args));
+
+    bool stacked_ok = false;
+    std::vector<std::vector<Value>> outs;
+    std::string batch_err_kind, batch_err;
+    try {
+      outs = interp_.run_batched(prog, argsv);
+      stacked_ok = true;
+    } catch (const npad::Error& err) {
+      batch_err_kind = err.kind();
+      batch_err = err.what();
+    }
+
+    if (stacked_ok) {
+      stats_.stacked_batches.fetch_add(1, std::memory_order_relaxed);
+      stats_.stacked_requests.fetch_add(static_cast<uint64_t>(b), std::memory_order_relaxed);
+      for (int i = 0; i < b; ++i) {
+        try {
+          // Per-request de-stacking failure point: an injected fault here
+          // must hit THIS request only, never its batchmates.
+          NPAD_FAULT_SITE("serve.batch_exec", FaultKind::Chunk);
+          resps[i].results = std::move(outs[static_cast<size_t>(i)]);
+        } catch (const npad::Error& err) {
+          fail(i, err);
+        }
+      }
+    } else {
+      // A stacked failure cannot be attributed to one request: re-run each
+      // request alone so the typed error lands on the request that caused it
+      // and its batchmates still succeed (bit-exact, same interpreter).
+      stats_.fallback_requests.fetch_add(static_cast<uint64_t>(b), std::memory_order_relaxed);
+      for (int i = 0; i < b; ++i) {
+        try {
+          resps[i].results = interp_.run(prog, argsv[static_cast<size_t>(i)]);
+        } catch (const npad::Error& err) {
+          fail(i, err);
+        }
+      }
+    }
+  }
+
+  const auto exec =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t_start);
+  stats_.exec_us.fetch_add(static_cast<uint64_t>(exec.count()), std::memory_order_relaxed);
+  for (int i = 0; i < b; ++i) {
+    resps[i].exec_ms = static_cast<double>(exec.count()) / 1e3;
+    if (resps[i].ok()) {
+      stats_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.responses_error.fetch_add(1, std::memory_order_relaxed);
+    }
+    batch[i].prom.set_value(std::move(resps[i]));
+  }
+}
+
+} // namespace npad::serve

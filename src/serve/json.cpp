@@ -1,0 +1,279 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace npad::serve {
+
+const Json* Json::get(const std::string& key) const {
+  if (kind != Kind::Obj) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  kind = Kind::Obj;
+  for (auto& [k, existing] : obj) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  obj.emplace_back(key, std::move(v));
+  return obj.back().second;
+}
+
+// -------------------------------------------------------------------- parse --
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw TypeError("JSON parse error at byte " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const size_t n = std::char_traits<char>::length(word);
+    if (s_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    if (depth_ > 64) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return Json::string(string_lit());
+    if (c == 't') { if (literal("true")) return Json::boolean(true); fail("bad literal"); }
+    if (c == 'f') { if (literal("false")) return Json::boolean(false); fail("bad literal"); }
+    if (c == 'n') { if (literal("null")) return Json::null(); fail("bad literal"); }
+    return number_lit();
+  }
+
+  Json object() {
+    ++depth_;
+    expect('{');
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') { ++pos_; --depth_; return out; }
+    for (;;) {
+      skip_ws();
+      std::string key = string_lit();
+      skip_ws();
+      expect(':');
+      out.obj.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      break;
+    }
+    --depth_;
+    return out;
+  }
+
+  Json array() {
+    ++depth_;
+    expect('[');
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') { ++pos_; --depth_; return out; }
+    for (;;) {
+      out.arr.push_back(value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      break;
+    }
+    --depth_;
+    return out;
+  }
+
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape digit");
+            }
+            // UTF-8 encode (no surrogate-pair recombination; BMP is enough
+            // for the serving payloads, lone surrogates pass through).
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Json number_lit() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("malformed number '" + tok + "'");
+    return Json::number(v);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void dump_to(const Json& j, std::string& out) {
+  switch (j.kind) {
+    case Json::Kind::Null: out += "null"; break;
+    case Json::Kind::Bool: out += j.b ? "true" : "false"; break;
+    case Json::Kind::Num: {
+      const double v = j.num;
+      if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+        out += buf;
+      } else if (std::isfinite(v)) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no inf/nan
+      }
+      break;
+    }
+    case Json::Kind::Str: {
+      out += '"';
+      for (char c : j.str) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char buf[8];
+              std::snprintf(buf, sizeof buf, "\\u%04x", c);
+              out += buf;
+            } else {
+              out += c;
+            }
+        }
+      }
+      out += '"';
+      break;
+    }
+    case Json::Kind::Arr: {
+      out += '[';
+      for (size_t i = 0; i < j.arr.size(); ++i) {
+        if (i) out += ',';
+        dump_to(j.arr[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Kind::Obj: {
+      out += '{';
+      for (size_t i = 0; i < j.obj.size(); ++i) {
+        if (i) out += ',';
+        dump_to(Json::string(j.obj[i].first), out);
+        out += ':';
+        dump_to(j.obj[i].second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+} // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(*this, out);
+  return out;
+}
+
+} // namespace npad::serve

@@ -1,0 +1,53 @@
+#pragma once
+
+// Minimal dependency-free JSON value: recursive-descent parser and
+// serializer, just enough for the serving front-end's request/response
+// bodies. Object keys keep insertion order; numbers are doubles (integral
+// values serialize without a fractional part). Parse errors throw
+// npad::TypeError with position information.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace npad::serve {
+
+struct Json {
+  enum class Kind : uint8_t { Null, Bool, Num, Str, Arr, Obj };
+
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool v) { Json j; j.kind = Kind::Bool; j.b = v; return j; }
+  static Json number(double v) { Json j; j.kind = Kind::Num; j.num = v; return j; }
+  static Json string(std::string v) { Json j; j.kind = Kind::Str; j.str = std::move(v); return j; }
+  static Json array() { Json j; j.kind = Kind::Arr; return j; }
+  static Json object() { Json j; j.kind = Kind::Obj; return j; }
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_num() const { return kind == Kind::Num; }
+  bool is_str() const { return kind == Kind::Str; }
+  bool is_arr() const { return kind == Kind::Arr; }
+  bool is_obj() const { return kind == Kind::Obj; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Json* get(const std::string& key) const;
+  Json& set(const std::string& key, Json v);  // add/replace member
+  void push(Json v) { arr.push_back(std::move(v)); }
+
+  int64_t as_i64() const { return static_cast<int64_t>(num); }
+
+  // Throws npad::TypeError on malformed input (with byte position).
+  static Json parse(const std::string& text);
+
+  std::string dump() const;
+};
+
+} // namespace npad::serve

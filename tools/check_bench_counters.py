@@ -48,6 +48,40 @@ CEILINGS = [
     ("BENCH_table5_gmm.json", "batched_launches", ["npad_"], 30000, 14100),
 ]
 
+# Counter-over-counter ceilings: (json file, numerator counters (summed),
+# denominator counter, ceiling, measured ratio when checked in). Used where
+# the natural per-unit denominator is itself a counter rather than benchmark
+# iterations — for the serving snapshot, "per served request".
+#
+# serving/serve_batches: executed groups per request. Cross-request batching
+# is the whole point of the serving tier — a lone closed-loop client runs at
+# 1.0 (every request its own group), the 8- and 64-client levels fill
+# max_batch-sized groups, and the measured blend sits near 0.23. A ratio
+# drifting toward 1.0 means stacking silently stopped grouping (key
+# mismatch, window regression), so 0.7 fails CI well before that.
+#
+# serving/launches: execution-tier span launches per request (vexec when the
+# SIMD tier is on, the scalar batched kernel machine when it is off — one of
+# the two is always zero). Measured ~104/request on the 3:1 objective:
+# jacobian gmm mix; 500 guards against per-row launches sneaking into the
+# stacked lowering while staying insensitive to the client-mix blend.
+RATIO_CEILINGS = [
+    (
+        "BENCH_serving.json",
+        ["serve_batches"],
+        "serve_requests",
+        0.7,
+        0.23,
+    ),
+    (
+        "BENCH_serving.json",
+        ["vexec_launches", "batched_launches"],
+        "serve_requests",
+        500,
+        104,
+    ),
+]
+
 
 def main() -> int:
     bench_dir = sys.argv[1] if len(sys.argv) > 1 else "."
@@ -83,6 +117,33 @@ def main() -> int:
             failures.append(
                 f"{fname}: {counter} at {per_iter:.0f}/iter exceeds ceiling {ceiling} "
                 f"— a launch-count regression (per-row/per-gate launches reintroduced?)"
+            )
+    for fname, num_counters, den_counter, ceiling, measured in RATIO_CEILINGS:
+        path = os.path.join(bench_dir, fname)
+        if not os.path.exists(path):
+            failures.append(f"{fname}: missing (bench smoke did not produce it)")
+            continue
+        with open(path) as f:
+            counters = json.load(f).get("counters", {})
+        missing = [c for c in num_counters + [den_counter] if c not in counters]
+        if missing:
+            failures.append(f"{fname}: counter(s) {missing} absent from JSON")
+            continue
+        den = counters[den_counter]
+        if den <= 0:
+            failures.append(f"{fname}: denominator {den_counter!r} is zero")
+            continue
+        num = sum(counters[c] for c in num_counters)
+        rate = num / den
+        status = "OK" if rate <= ceiling else "FAIL"
+        print(
+            f"{status:4} {fname}: {'+'.join(num_counters)}={num} / {den_counter}={den} "
+            f"-> {rate:.2f}/request (ceiling {ceiling}, was {measured} when checked in)"
+        )
+        if rate > ceiling:
+            failures.append(
+                f"{fname}: {'+'.join(num_counters)} at {rate:.2f} per {den_counter} "
+                f"exceeds ceiling {ceiling} — the serving batcher stopped amortizing"
             )
     if failures:
         print("\nlaunch-count regression guard failed:", file=sys.stderr)
