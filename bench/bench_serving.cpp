@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -135,9 +136,20 @@ double mean(const std::vector<double>& v) {
   return s / static_cast<double>(v.size());
 }
 
-Measurement row(double value_ms, uint64_t n) {
+// Sample stddev across per-request latencies — the real spread of the
+// measured distribution, not a repetition artifact.
+double sample_stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+Measurement row(double value_ms, uint64_t n, double stddev_ms = 0.0) {
   Measurement m;
   m.mean_ms = value_ms;
+  m.stddev_ms = stddev_ms;
   m.iterations = static_cast<int64_t>(n);
   return m;
 }
@@ -164,9 +176,10 @@ std::map<int, double> drive(const std::string& host, int port,
     rates[clients] = r.req_per_s;
     const std::string pre = "serve_c" + std::to_string(clients);
     if (rows) {
-      (*rows)[pre + "/latency_p50_ms"] = row(p50, r.requests);
-      (*rows)[pre + "/latency_p99_ms"] = row(p99, r.requests);
-      (*rows)[pre + "/latency_mean_ms"] = row(mean(r.latencies_ms), r.requests);
+      const double sd = sample_stddev(r.latencies_ms);
+      (*rows)[pre + "/latency_p50_ms"] = row(p50, r.requests, sd);
+      (*rows)[pre + "/latency_p99_ms"] = row(p99, r.requests, sd);
+      (*rows)[pre + "/latency_mean_ms"] = row(mean(r.latencies_ms), r.requests, sd);
     }
     if (counters) {
       (*counters)[pre + "_requests"] = r.requests;

@@ -437,8 +437,10 @@ inline uint64_t structural_hash(const Function& f) { return structural_hash(stru
 //     though its contents change (e.g. a map over an invariant domain).
 // Anything unproven is conservatively variant; any launch/constructor whose
 // extent cannot be proven invariant makes the whole loop non-plannable
-// (return false). Nested loops recurse; OpIf/while-loops are rejected here
-// (the planner has no branch steps — those bodies fall back to eval).
+// (return false). Nested loops and OpIf arms recurse (each arm must prove
+// its launches invariant on its own; the if's results only inherit
+// invariance facts when the condition is invariant and both arms agree);
+// while-loops are rejected here.
 
 namespace detail {
 
@@ -577,7 +579,48 @@ inline bool loop_extents_invariant_body(const Body& b,
               }
               bind(st, false, sh);
             },
-            [&](const OpIf&) { ok = false; },
+            [&](const OpIf& o) {
+              // Either arm may run on any iteration, so every launch inside
+              // each arm must prove invariant extents on its own (against a
+              // copy of the current facts — arm-local bindings stay local).
+              // The facts each arm proves for its results are captured so
+              // the if's own bindings can inherit them below.
+              auto arm = [&](const Body& ab, std::vector<bool>* val_inv,
+                             std::vector<bool>* shp_inv) {
+                std::unordered_set<uint32_t> v2 = variant, s2 = inv_scalar,
+                                             e2 = inv_extent;
+                if (!loop_extents_invariant_body(ab, v2, s2, e2)) return false;
+                for (const Atom& a : ab.result) {
+                  bool vi = true, si = true;
+                  if (a.is_var()) {
+                    const uint32_t id = a.var().id;
+                    vi = !v2.count(id) || s2.count(id);
+                    si = !v2.count(id) || e2.count(id);
+                  }
+                  val_inv->push_back(vi);
+                  shp_inv->push_back(si);
+                }
+                return true;
+              };
+              std::vector<bool> tv, ts, fv, fs;
+              ok = arm(*o.tb, &tv, &ts) && arm(*o.fb, &fv, &fs);
+              if (!ok) return;
+              // A variant condition may take different arms on different
+              // iterations, so results are invariant (in value OR shape)
+              // only when the condition is invariant and both arms prove
+              // the fact; launches inside the arms need no such guard.
+              const bool cinv = atom_inv(o.c);
+              for (size_t j = 0; j < st.vars.size(); ++j) {
+                const Var v = st.vars[j];
+                variant.insert(v.id);
+                if (cinv && j < tv.size() && j < fv.size() && tv[j] && fv[j]) {
+                  inv_scalar.insert(v.id);
+                }
+                if (cinv && j < ts.size() && j < fs.size() && ts[j] && fs[j]) {
+                  inv_extent.insert(v.id);
+                }
+              }
+            },
         },
         st.e);
     if (!ok) return false;
@@ -588,8 +631,7 @@ inline bool loop_extents_invariant_body(const Body& b,
 } // namespace detail
 
 // True when a for-loop's body provably launches with the same extents every
-// iteration (see above). While-loops and bodies containing OpIf are not
-// analyzable and return false.
+// iteration (see above). While-loops are not analyzable and return false.
 inline bool loop_extents_invariant(const OpLoop& o) {
   if (o.while_cond != nullptr) return false;
   std::unordered_set<uint32_t> variant, inv_scalar, inv_extent;

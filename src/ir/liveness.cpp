@@ -1,0 +1,70 @@
+#include "ir/liveness.hpp"
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/visit.hpp"
+
+namespace npad::ir {
+
+namespace {
+
+// Visits every variable an Exp uses, recursing into nested bodies and
+// lambdas. Shadowing inside nested scopes is ignored on purpose: counting a
+// shadowed use against the outer variable only lengthens its computed
+// lifetime (see header).
+template <class Fn>
+void for_each_use_deep(const Exp& e, Fn&& fn);
+
+template <class Fn>
+void body_uses_deep(const Body& b, Fn&& fn) {
+  for (const Stm& st : b.stms) for_each_use_deep(st.e, fn);
+  for (const Atom& a : b.result) {
+    if (a.is_var()) fn(a.var());
+  }
+}
+
+template <class Fn>
+void for_each_use_deep(const Exp& e, Fn&& fn) {
+  for_each_atom(e, [&](const Atom& a) {
+    if (a.is_var()) fn(a.var());
+  });
+  for_each_nested(e, [&](const NestedScope& s) { body_uses_deep(*s.body, fn); });
+}
+
+} // namespace
+
+BodyLiveness body_liveness(const Body& body) {
+  const size_t n = body.stms.size();
+  BodyLiveness lv;
+  lv.releases.resize(n);
+
+  // Last use (statement index) per variable bound by this body. A binding
+  // with no later use releases at its own statement.
+  std::unordered_map<uint32_t, size_t> last_use;
+  for (size_t i = 0; i < n; ++i) {
+    const Stm& st = body.stms[i];
+    for_each_use_deep(st.e, [&](Var v) {
+      auto it = last_use.find(v.id);
+      if (it != last_use.end()) it->second = i;
+    });
+    // Bindings register after uses: `x = f(x)`-style re-binding (shadowing
+    // within one body) starts a fresh lifetime at i.
+    for (Var v : st.vars) last_use[v.id] = i;
+  }
+
+  // Escapees — result atoms — are never released.
+  std::unordered_set<uint32_t> escaped;
+  for (const Atom& a : body.result) {
+    if (a.is_var()) escaped.insert(a.var().id);
+  }
+
+  for (const auto& [id, i] : last_use) {
+    if (escaped.count(id)) continue;
+    lv.releases[i].push_back(Var{id});
+  }
+  return lv;
+}
+
+} // namespace npad::ir

@@ -1,0 +1,41 @@
+#pragma once
+
+// Statement-level liveness for plan-directed memory reuse (runtime/plan.cpp).
+//
+// For one Body, computes per-statement *release lists*: the variables bound
+// by that body's own statements whose last syntactic use — anywhere in the
+// remaining statements, including nested bodies/lambdas, and in the body's
+// result atoms — is at statement i. After statement i completes, the
+// evaluator may drop its environment reference to those variables, making
+// sole-ownership (`use_count() == 1`) launch buffers reclaimable by the
+// per-thread arena while the plan is still running.
+//
+// The analysis is deliberately conservative about aliasing:
+//   - it never releases a variable that appears in the body's result atoms
+//     (it escapes the body);
+//   - uses inside nested scopes count as uses at the enclosing statement,
+//     even where an inner re-binding shadows the outer variable (shadowing
+//     only ever *extends* a computed lifetime, never shortens it);
+//   - a rename (`y = x`) releases x at its last use but y still holds the
+//     same underlying value, so shared buffers stay alive through aliases —
+//     actual buffer reuse remains gated on the runtime's use_count()==1
+//     discipline, which sees every alias.
+// Variables bound outside the body (params, loop indices, captures) are
+// never in a release list: only this body's evaluator frame owns the slots
+// being cleared.
+
+#include <vector>
+
+#include "ir/ast.hpp"
+
+namespace npad::ir {
+
+struct BodyLiveness {
+  // releases[i]: vars bound by body.stms[0..i] whose last use is at stm i
+  // (a var never used after its binding statement is released right there).
+  std::vector<std::vector<Var>> releases;
+};
+
+BodyLiveness body_liveness(const Body& body);
+
+} // namespace npad::ir

@@ -7,6 +7,7 @@
 
 #include "ir/patterns.hpp"
 #include "ir/visit.hpp"
+#include "runtime/buffer_pool.hpp"
 #include "runtime/kernel.hpp"
 #include "runtime/kernel_cache.hpp"
 #include "runtime/plan.hpp"
@@ -45,6 +46,16 @@ bool default_vexec_portable() {
     return env != nullptr && std::strcmp(env, "portable") == 0;
   }();
   return portable;
+}
+
+bool default_use_plans() {
+  static const bool on = [] {
+    if (const char* env = std::getenv("NPAD_USE_PLANS")) {
+      if (std::strcmp(env, "0") == 0) return false;
+    }
+    return true;
+  }();
+  return on;
 }
 
 namespace {
@@ -176,11 +187,39 @@ void merge_private(std::vector<ArrayVal>& bufs, ArrayVal& dst, int64_t grain) {
 // is inert (never read or written through), and the ring dies with the loop —
 // on completion or unwind its buffers release to the global pool, restoring
 // the pre-loop pool footprint (the fault-injection retry contract).
+//
+// The same structure doubles as the plan-scoped *launch arena* (ISSUE 10):
+// planned runs install an `arena` ring around the whole top-level body, and
+// the general map path installs one per parallel chunk, so straight-line and
+// branchy plan regions recycle their non-escaping launch intermediates too —
+// the liveness release lists (runtime/plan.hpp) are what drop the frame
+// references that make use_count()==1 reuse possible mid-body. The `arena`
+// flag only affects stats attribution (arena_reuses vs plan_hoisted_buffers)
+// and the buffer pool's parked-bytes gauge; the reuse discipline is
+// identical.
 struct LoopBufRing {
   std::vector<ArrayVal> bufs;
+  bool arena = false;
 };
 
 thread_local LoopBufRing* tl_loop_ring = nullptr;
+
+// Dynamic extent of a planned hoisted loop on this thread: ring handouts
+// inside it count as plan_hoisted_buffers (the PR 7 loop-ring contract);
+// handouts outside it came from a plan arena and count as arena_reuses.
+thread_local int tl_hoisted_loop_depth = 0;
+
+struct HoistedLoopScope {
+  bool on;
+  explicit HoistedLoopScope(bool enable) : on(enable) {
+    if (on) ++tl_hoisted_loop_depth;
+  }
+  ~HoistedLoopScope() {
+    if (on) --tl_hoisted_loop_depth;
+  }
+  HoistedLoopScope(const HoistedLoopScope&) = delete;
+  HoistedLoopScope& operator=(const HoistedLoopScope&) = delete;
+};
 
 // Number of inert ring references on `a`'s buffer (0 or 1). The in-place
 // consumption tests (update/hist/scatter/with_acc destinations) budget their
@@ -195,22 +234,41 @@ inline int64_t ring_refs(const ArrayVal& a) {
   return 0;
 }
 
-// Installs a ring for the dynamic extent of a planned loop. Only the
-// outermost planned loop on this thread owns a ring: nested planned loops
-// park their scratch in the enclosing ring (their iteration counts multiply,
-// so hoisting to the outermost scope recycles across the whole nest).
+// Installs a ring for the dynamic extent of a planned loop or a plan arena.
+// By default only the outermost scope on this thread owns a ring: nested
+// planned loops park their scratch in the enclosing ring (their iteration
+// counts multiply, so hoisting to the outermost scope recycles across the
+// whole nest). `scoped` guards instead shadow any enclosing ring for their
+// extent and restore it afterwards — per-chunk launch arenas use this so a
+// chunk recycles identically whether it lands on a worker (no enclosing
+// ring) or on the caller thread (run/loop ring present); without it, reuse
+// would depend on thread scheduling and pool traffic would be
+// nondeterministic. On destruction — completion or unwind — the parked
+// buffers release to the global pool and the arena gauge is rebalanced, so
+// the pre-scope pool footprint is restored (the fault-injection contract).
 struct HoistRingGuard {
   LoopBufRing ring;
+  LoopBufRing* prev = nullptr;
   bool installed = false;
 
-  explicit HoistRingGuard(bool enable) {
-    if (enable && tl_loop_ring == nullptr) {
+  explicit HoistRingGuard(bool enable, bool arena = false, bool scoped = false) {
+    if (enable && (scoped || tl_loop_ring == nullptr)) {
+      ring.arena = arena;
+      prev = tl_loop_ring;
       tl_loop_ring = &ring;
       installed = true;
     }
   }
   ~HoistRingGuard() {
-    if (installed) tl_loop_ring = nullptr;
+    if (!installed) return;
+    tl_loop_ring = prev;
+    uint64_t bytes = 0;
+    for (const ArrayVal& e : ring.bufs) {
+      if (e.buf) bytes += e.buf->cap_bytes;
+    }
+    if (!ring.bufs.empty()) {
+      BufferPool::global().note_arena_unpark(ring.bufs.size(), bytes);
+    }
   }
   HoistRingGuard(const HoistRingGuard&) = delete;
   HoistRingGuard& operator=(const HoistRingGuard&) = delete;
@@ -261,6 +319,17 @@ public:
     return "%" + rp_->mod->name(v) + "_" + std::to_string(v.id);
   }
 
+  // Plan-directed slot release (ir/liveness.hpp via PlanStep::releases):
+  // drops this frame's reference to a binding past its statically-proven
+  // last use, so a sole-owner launch buffer becomes reclaimable by the
+  // per-thread arena while the plan is still running. Only vars bound by
+  // this activation's own statements ever appear in a release list.
+  void release(ir::Var v) {
+    const SlotRef r = rp_->slots[v.id];
+    assert(r.valid() && r.level == level_ && "releasing outside its own activation");
+    slots_[r.slot] = Value{};
+  }
+
 private:
   const Env* parent_;
   const ResolvedProg* rp_;
@@ -295,11 +364,24 @@ public:
     return out;
   }
 
+  // Lambda application. When the enclosing resolved program's compiled
+  // schedule tabled a plan for this body (runtime/plan.hpp), the application
+  // routes through the planned evaluator — same frames, same results, plus
+  // scalar-block/map-launch fast steps and liveness releases; everything
+  // else stays on plain eval_body.
   std::vector<Value> apply(const Lambda& f, std::vector<Value> args, const Env& captured) const {
     assert(args.size() == f.params.size());
     EvalDepthGuard depth_guard(opts_.max_eval_depth);
     Env env(captured, f.activation_id);
     for (size_t i = 0; i < args.size(); ++i) env.bind(f.params[i].var, std::move(args[i]));
+    if (lambda_plans_ != nullptr) {
+      auto it = lambda_plans_->find(&f);
+      if (it != lambda_plans_->end()) {
+        NPAD_FAULT_SITE("plan.apply_body", FaultKind::Chunk);
+        stats_->plan_lambda_bodies.fetch_add(1, std::memory_order_relaxed);
+        return eval_body_planned(f.body, *it->second, env);
+      }
+    }
     return eval_body(f.body, env);
   }
 
@@ -332,12 +414,42 @@ public:
         case PlanStep::Kind::Scalars: run_scalar_step(b, s, env); break;
         case PlanStep::Kind::MapLaunch: run_map_step(b, s, env); break;
         case PlanStep::Kind::Loop: run_loop_step(b, s, env); break;
+        case PlanStep::Kind::If: run_if_step(b, s, env); break;
       }
+      // Liveness releases run between steps on the calling thread — every
+      // launch of the step has completed, so no in-flight reader exists and
+      // the dropped reference can make an arena buffer sole-owner.
+      for (ir::Var v : s.releases) env.release(v);
     }
     std::vector<Value> out;
     out.reserve(b.result.size());
     for (const auto& a : b.result) out.push_back(eval_atom(a, env));
     return out;
+  }
+
+  // If step: the planned mirror of eval_exp's OpIf — the condition evaluates
+  // as a plan step and the taken arm runs its own nested plan in the
+  // enclosing frame (if-arm bodies are not activations; their bindings have
+  // slots in this frame). Error frames replicate the general path exactly:
+  // arm statements add their own exec_stm frames, and this step adds the
+  // same "in if binding" frame exec_stm would.
+  void run_if_step(const Body& b, const PlanStep& s, Env& env) const {
+    const Stm& st = b.stms[s.stm];
+    const auto& o = std::get<OpIf>(st.e);
+    try {
+      NPAD_FAULT_SITE("plan.if_arm", FaultKind::Chunk);
+      const bool c = as_bool(eval_atom(o.c, env));
+      stats_->plan_if_arms.fetch_add(1, std::memory_order_relaxed);
+      std::vector<Value> vals = c ? eval_body_planned(*o.tb, *s.if_true, env)
+                                  : eval_body_planned(*o.fb, *s.if_false, env);
+      assert(vals.size() == st.vars.size());
+      for (size_t i = 0; i < vals.size(); ++i) env.bind(st.vars[i], std::move(vals[i]));
+    } catch (npad::Error& err) {
+      std::string frame = "in if";
+      if (!st.vars.empty()) frame += " binding " + env.name_of(st.vars[0]);
+      err.add_context(std::move(frame));
+      throw;
+    }
   }
 
   // Scalars step: one extent-1 kernel execution replaces the folded run of
@@ -402,7 +514,8 @@ public:
       const Value& v = env.lookup(o.args[i]);
       if (!is_array(v)) return std::nullopt;
       const ArrayVal& a = as_array(v);
-      if (a.rank() != 1) return std::nullopt;
+      // Ranks are validated by bind_map_launch (rank-1 elements, rank-2 row
+      // arguments); only the shared outer extent is checked here.
       if (n < 0) {
         n = a.outer();
       } else if (a.outer() != n) {
@@ -454,6 +567,7 @@ public:
       const int64_t n = as_i64(eval_atom(o.count, env));
       if (n > 0) {
         HoistRingGuard ring(s.hoist_buffers);
+        HoistedLoopScope hoisted(s.hoist_buffers);
         Env it_env(env, o.activation_id);
         for (int64_t i = 0; i < n; ++i) {
           if (o.idx.valid()) it_env.bind(o.idx, i);
@@ -877,13 +991,20 @@ public:
   // Launch-buffer allocation with pool accounting: buffers for kernel
   // outputs and map results are fully overwritten by the launch, so they take
   // the uninitialized path; privatized accumulators need the zero-fill.
-  // Inside a planned loop (tl_loop_ring set) buffers are recycled from the
-  // loop-local ring instead of round-tripping the global pool.
+  // Inside a planned loop or plan arena (tl_loop_ring set) buffers are
+  // recycled from the thread-local ring instead of round-tripping the global
+  // pool; the counter ticked records which mechanism earned the reuse.
   ArrayVal alloc_launch_buf(ScalarType t, std::vector<int64_t> shp, bool uninit) const {
     if (LoopBufRing* ring = tl_loop_ring) {
+      if (ring->arena) {
+        // Arena acquisitions are their own fault site: the arena is new
+        // control flow whose unwind must restore the pool footprint.
+        NPAD_FAULT_SITE("plan.arena_acquire", FaultKind::Alloc);
+      }
       for (ArrayVal& e : ring->bufs) {
         if (e.elem == t && e.shape == shp && e.buf.use_count() == 1) {
-          stats_->plan_hoisted_buffers.fetch_add(1, std::memory_order_relaxed);
+          (tl_hoisted_loop_depth > 0 ? stats_->plan_hoisted_buffers : stats_->arena_reuses)
+              .fetch_add(1, std::memory_order_relaxed);
           if (!uninit) {
             std::memset(e.buf->raw, 0, static_cast<size_t>(e.elems()) * scalar_bytes(t));
           }
@@ -894,9 +1015,12 @@ public:
       ArrayVal a = uninit ? ArrayVal::alloc_uninit(t, std::move(shp), &hit)
                           : ArrayVal::alloc(t, std::move(shp), &hit);
       (hit ? stats_->pool_hits : stats_->pool_misses).fetch_add(1, std::memory_order_relaxed);
-      // Park a reference for later iterations (bounded: a runaway shape mix
-      // must not pin unbounded memory for the loop's whole lifetime).
-      if (ring->bufs.size() < 64) ring->bufs.push_back(a);
+      // Park a reference for later acquisitions (bounded: a runaway shape
+      // mix must not pin unbounded memory for the ring's whole lifetime).
+      if (ring->bufs.size() < 64) {
+        ring->bufs.push_back(a);
+        BufferPool::global().note_arena_park(1, a.buf ? a.buf->cap_bytes : 0);
+      }
       return a;
     }
     bool hit = false;
@@ -1072,6 +1196,12 @@ public:
       if (priv.empty()) {
         const auto body = [&](int64_t lo, int64_t hi) {
           NPAD_FAULT_SITE("map.general_chunk", FaultKind::Chunk);
+          // Per-chunk launch arena: each element's apply() drops its frame
+          // when it returns, so per-element launch intermediates become
+          // sole-owner and the next element reuses them instead of
+          // round-tripping the pool once per element. On the caller thread
+          // an enclosing ring (run arena or loop ring) already absorbs them.
+          HoistRingGuard arena(opts_.use_plans, /*arena=*/true, /*scoped=*/true);
           for (int64_t i = std::max<int64_t>(lo, 1); i < hi; ++i) {
             std::vector<Value> vals = apply(f, elem_args(i, base_accs), env);
             store_result(i, vals);
@@ -1103,6 +1233,7 @@ public:
         support::parallel_for(chunks, 1, [&](int64_t clo, int64_t chi) {
           for (int64_t c = clo; c < chi; ++c) {
             NPAD_FAULT_SITE("map.general_priv_chunk", FaultKind::Chunk);
+            HoistRingGuard arena(opts_.use_plans, /*arena=*/true, /*scoped=*/true);
             const int64_t lo = std::max<int64_t>(c * per, 1);
             const int64_t hi = std::min(n, (c + 1) * per);
             for (int64_t i = lo; i < hi; ++i) {
@@ -1123,11 +1254,34 @@ public:
     return outs;
   }
 
+  // Stream guards (runtime/kernel.hpp): a kernel whose inline SOACs consume
+  // stream arguments assumed shape facts the builder could not verify — the
+  // rank of a bare free array, length agreement between the streams of one
+  // fold. A binding that violates them must not launch: the general path
+  // both raises the exact shape error for genuinely mismatched rows and
+  // handles shape-polymorphic reuse of the lambda correctly.
+  static bool stream_guards_ok(const Kernel& k, const std::vector<ArrayVal>& arrs) {
+    for (const auto& g : k.stream_rank_guards) {
+      if (static_cast<int32_t>(arrs[static_cast<size_t>(g.slot)].shape.size()) != g.rank) {
+        return false;
+      }
+    }
+    for (const auto& g : k.stream_len_guards) {
+      const auto& a = arrs[static_cast<size_t>(g.slot_a)].shape;
+      const auto& b = arrs[static_cast<size_t>(g.slot_b)].shape;
+      if (static_cast<size_t>(g.dim_a) >= a.size() ||
+          static_cast<size_t>(g.dim_b) >= b.size()) {
+        return false;
+      }
+      if (a[static_cast<size_t>(g.dim_a)] != b[static_cast<size_t>(g.dim_b)]) return false;
+    }
+    return true;
+  }
+
   std::optional<KernelLaunch> try_kernel(const OpMap& o, const std::vector<ArrayVal>& inputs,
                                          const Env& env) const {
-    for (const auto& a : inputs) {
-      if (a.rank() != 1) return std::nullopt;
-    }
+    // Input ranks are validated in bind_map_launch against the kernel's
+    // row-param table: rank-1 element inputs, rank-2 row-stream arguments.
     // The kernel is owned by the process-wide cache (immortal entries) or,
     // with caching disabled, by the launch itself — either way it outlives
     // every use, including launches from nested maps.
@@ -1158,17 +1312,38 @@ public:
     KernelLaunch L;
     L.k = k;
     L.owned = std::move(owned);
-    L.inputs = inputs;
+    // Partition the non-acc arguments: rank-1 element inputs take LoadElem
+    // slots in order; rank-2 row arguments bind into the free-array slots
+    // reserved by their row-stream params. Any other rank falls back.
+    const auto& rows = k->row_param_slots;
+    if (!rows.empty() && rows.size() != inputs.size()) return std::nullopt;
+    std::vector<uint8_t> from_row(k->free_arrays.size(), 0);
+    for (int32_t s : rows) {
+      if (s >= 0) from_row[static_cast<size_t>(s)] = 1;
+    }
+    L.free_array_vals.resize(k->free_arrays.size());
+    for (size_t j = 0; j < inputs.size(); ++j) {
+      const int32_t s = rows.empty() ? -1 : rows[j];
+      if (s < 0) {
+        if (inputs[j].rank() != 1) return std::nullopt;
+        L.inputs.push_back(inputs[j]);
+      } else {
+        if (inputs[j].rank() != 2) return std::nullopt;
+        L.free_array_vals[static_cast<size_t>(s)] = inputs[j];
+      }
+    }
     for (ir::Var v : k->free_scalars) {
       const Value& val = env.lookup(v);
       if (is_array(val) || is_acc(val)) return std::nullopt;
       L.free_scalar_vals.push_back(as_f64(val));
     }
-    for (ir::Var v : k->free_arrays) {
-      const Value& val = env.lookup(v);
+    for (size_t i = 0; i < k->free_arrays.size(); ++i) {
+      if (from_row[i] != 0) continue;  // filled from the row arguments above
+      const Value& val = env.lookup(k->free_arrays[i]);
       if (!is_array(val)) return std::nullopt;
-      L.free_array_vals.push_back(as_array(val));
+      L.free_array_vals[i] = as_array(val);
     }
+    if (!stream_guards_ok(*k, L.free_array_vals)) return std::nullopt;
     for (const auto& ab : k->accs) {
       Value val;
       if (ab.param_index >= 0) {
@@ -1389,7 +1564,10 @@ public:
         k = owned.get();
       }
     }
-    if (k == nullptr || !k->accs.empty() || flat.size() != k->num_inputs) return std::nullopt;
+    if (k == nullptr || !k->accs.empty() || !k->row_param_slots.empty() ||
+        flat.size() != k->num_inputs) {
+      return std::nullopt;
+    }
     KernelLaunch L;
     L.k = k;
     L.owned = std::move(owned);
@@ -1404,6 +1582,7 @@ public:
       if (!is_array(val)) return std::nullopt;
       L.free_array_vals.push_back(as_array(val));
     }
+    if (!stream_guards_ok(*k, L.free_array_vals)) return std::nullopt;
     const int64_t total = n * m;
     for (ScalarType t : k->out_elems) {
       L.outputs.push_back(alloc_launch_buf(t, {total}, /*uninit=*/true));
@@ -1567,6 +1746,7 @@ public:
       if (!is_array(val)) return std::nullopt;
       L.free_array_vals.push_back(as_array(val));
     }
+    if (!stream_guards_ok(*k, L.free_array_vals)) return std::nullopt;
     L.red_neutral.reserve(neutral.size());
     for (const auto& v : neutral) {
       if (is_array(v) || is_acc(v)) return std::nullopt;
@@ -2179,9 +2359,18 @@ public:
     return out;
   }
 
+  // Lambda-body plan table of the resolved program being run (nullptr when
+  // plans are off): set once by Interp::run before evaluation starts, read
+  // by apply() on every application. The table is immutable after plan
+  // compilation, so concurrent readers need no synchronization.
+  void set_lambda_plans(const ProgPlans* plans) {
+    lambda_plans_ = plans != nullptr ? &plans->lambdas : nullptr;
+  }
+
 private:
   InterpOptions opts_;
   InterpStats* stats_;
+  const std::unordered_map<const Lambda*, std::unique_ptr<const Plan>>* lambda_plans_ = nullptr;
 };
 
 } // namespace
@@ -2202,9 +2391,16 @@ std::vector<Value> Interp::run(const ir::Prog& p, const std::vector<Value>& args
   // cache, so they are only sound to execute when kernels are enabled.
   if (opts_.use_plans && opts_.use_kernels) {
     uint64_t compiled = 0;
-    const Plan* plan = PlanCache::global().get(rp, &compiled);
+    const ProgPlans* plans = PlanCache::global().get(rp, &compiled);
     if (compiled > 0) stats_.plans_compiled.fetch_add(compiled, std::memory_order_relaxed);
-    return ctx.eval_body_planned(rp->fn.body, *plan, env);
+    ctx.set_lambda_plans(plans);
+    // The run-level launch arena: liveness releases make straight-line and
+    // branchy plan intermediates sole-owner mid-run, so this ring recycles
+    // them exactly like the loop ring recycles loop scratch. Installed
+    // inside the run (not around it): an unwinding fault tears it down and
+    // restores the pool footprint before the error reaches the caller.
+    HoistRingGuard arena(/*enable=*/true, /*arena=*/true);
+    return ctx.eval_body_planned(rp->fn.body, *plans->top, env);
   }
   return ctx.eval_body(rp->fn.body, env);
 }

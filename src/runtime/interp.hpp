@@ -34,6 +34,11 @@ int default_max_eval_depth();
 bool default_use_vexec();
 bool default_vexec_portable();
 
+// Execution-plan default from the environment: NPAD_USE_PLANS=0 disables
+// compiled execution plans (per-statement eval dispatch everywhere). Unset
+// or any other value: on.
+bool default_use_plans();
+
 struct InterpOptions {
   bool parallel = true;         // use the thread pool for SOACs
   bool use_kernels = true;      // enable the kernel-compiled map fast path
@@ -44,7 +49,8 @@ struct InterpOptions {
   // (pre-bound kernels, folded scalar glue, hoisted loop buffers) instead of
   // per-statement eval dispatch. Requires use_kernels; anything
   // non-plannable falls back to the general interpreter per statement.
-  bool use_plans = true;
+  // NPAD_USE_PLANS=0 disables the default.
+  bool use_plans = default_use_plans();
   // Kernel lane width W: compiled maps execute in batches of W iterations
   // over an SoA register file (amortized dispatch, contiguous element
   // loads/stores), with a scalar tail loop. 1 = scalar execution.
@@ -103,6 +109,9 @@ struct InterpStats {
   std::atomic<uint64_t> plan_launches{0};        // SOAC launches issued from plan steps
   std::atomic<uint64_t> plan_scalar_blocks{0};   // kernelized scalar-glue block executions
   std::atomic<uint64_t> plan_hoisted_buffers{0}; // launch buffers reused via loop hoisting
+  std::atomic<uint64_t> plan_lambda_bodies{0};   // apply() calls routed through lambda-body plans
+  std::atomic<uint64_t> plan_if_arms{0};         // OpIf arms executed as nested plan steps
+  std::atomic<uint64_t> arena_reuses{0};         // launch buffers recycled by arenas outside hoisted loops
   std::atomic<uint64_t> vexec_launches{0};       // spans dispatched through the vexec tier
   std::atomic<uint64_t> vexec_superinstrs{0};    // fused superinstrs in programs bound to launches
   std::atomic<uint64_t> batched_prog_runs{0};    // stacked multi-request runs (run_batched, B>1)
@@ -142,6 +151,9 @@ struct InterpStats {
         {"plan_launches", plan_launches.load()},
         {"plan_scalar_blocks", plan_scalar_blocks.load()},
         {"plan_hoisted_buffers", plan_hoisted_buffers.load()},
+        {"plan_lambda_bodies", plan_lambda_bodies.load()},
+        {"plan_if_arms", plan_if_arms.load()},
+        {"arena_reuses", arena_reuses.load()},
         {"vexec_launches", vexec_launches.load()},
         {"vexec_superinstrs", vexec_superinstrs.load()},
         {"batched_prog_runs", batched_prog_runs.load()},

@@ -155,8 +155,11 @@ public:
   }
 
   std::optional<Kernel> build() {
-    // Parameters: scalars become element inputs; accumulators become slots.
+    // Parameters: scalars become element inputs; accumulators become slots;
+    // rank-1 params become row streams over a rank-2 argument.
     int32_t param_index = 0;
+    int32_t idx_reg = -1;
+    bool any_rows = false;
     for (const auto& p : f_.params) {
       if (p.type.is_acc) {
         acc_slot_[p.var.id] = add_acc(p.var, param_index++);
@@ -169,10 +172,37 @@ public:
         in.dst = r;
         in.slot = static_cast<int32_t>(k_.num_inputs++);
         k_.instrs.push_back(in);
+        k_.row_param_slots.push_back(-1);
+      } else if (p.type.rank == 1) {
+        // Row-stream param: the launch iterates the rows of a rank-2
+        // argument (the general path's row_view slicing); the param becomes
+        // a stream over the current row, read via [LoadIdx, i] Gathers. The
+        // argument array binds into a reserved free-array slot — bind_map_
+        // launch enforces rank 2 and eval_map has already checked that its
+        // outer extent matches the launch extent.
+        ++param_index;
+        if (idx_reg < 0) {
+          idx_reg = new_reg();
+          KInstr in;
+          in.op = KOp::LoadIdx;
+          in.dst = idx_reg;
+          k_.instrs.push_back(in);
+        }
+        const auto slot = static_cast<int32_t>(k_.free_arrays.size());
+        k_.free_arrays.push_back(Var{});  // placeholder, bound from the argument
+        Stream s;
+        s.slot = slot;
+        s.nlead = 1;
+        s.lead[0] = idx_reg;
+        s.len_reg = load_len(slot, 1);
+        stream_.emplace(p.var.id, s);
+        k_.row_param_slots.push_back(slot);
+        any_rows = true;
       } else {
-        return std::nullopt;  // array-element params are not kernelizable
+        return std::nullopt;  // higher-rank params are not kernelizable
       }
     }
+    if (!any_rows) k_.row_param_slots.clear();
     for (const auto& st : f_.body.stms) {
       if (!stm(st)) return std::nullopt;
     }
@@ -211,6 +241,49 @@ private:
     int32_t val_reg = -1;  // replicate payload; -1 = iota (value is the index)
   };
 
+  // Stream: a rank-1 view of a free array consumed element-by-element by an
+  // inline loop — `index(A, leads…)` (nlead >= 1) or a whole free rank-1
+  // array (nlead == 0, rank enforced by a bind-time guard). Element i reads
+  // free_array[slot][leads…, i] via a full-indexing Gather; len_reg holds
+  // shape[nlead] of the base array (launch-invariant — shapes are uniform
+  // across the launch even when the lead indexes vary per lane). Like a
+  // Dom, any use outside scalar indexing / OpLength / an inline-SOAC
+  // argument position poisons the compilation.
+  struct Stream {
+    int32_t slot = -1;
+    int32_t nlead = 0;
+    int32_t lead[3] = {-1, -1, -1};
+    int32_t len_reg = -1;
+  };
+
+  // Virtual map: a value-producing map over doms/streams/vmaps that is never
+  // materialized — its body is re-inlined per element at each consuming site
+  // (an inline fold argument or an array-valued upd_acc). Recomputation per
+  // consumer is deliberate: the body is scalar glue, and re-running it is
+  // cheaper than materializing a per-lane array the register machine cannot
+  // hold. Referenced by index into vmap_infos_ (stable across growth).
+  struct VmapRef {
+    int32_t info = -1;
+    int32_t ret = 0;  // which lambda result this var names
+  };
+
+  // Inline-SOAC argument source: exactly one member is meaningful. Dom and
+  // Stream are held by value — compiling a nested body may grow dom_/stream_
+  // and invalidate pointers into them.
+  struct ArgSrc {
+    enum class K : uint8_t { DomA, StreamA, VmapA };
+    K k = K::DomA;
+    Dom dom;
+    Stream stream;
+    VmapRef vm;
+  };
+
+  struct VmapInfo {
+    const OpMap* op = nullptr;  // IR-owned, stable for the compile
+    std::vector<ArgSrc> srcs;   // resolved at registration time
+    int32_t trip = -1;
+  };
+
   int new_reg(bool invariant = false) {
     reg_inv_.push_back(invariant ? 1 : 0);
     return next_reg_++;
@@ -241,8 +314,8 @@ private:
     }
     auto it = reg_.find(a.var().id);
     if (it != reg_.end()) return it->second;
-    if (dom_.count(a.var().id)) {
-      failed_ = true;  // virtual domains have no scalar register
+    if (dom_.count(a.var().id) || stream_.count(a.var().id) || vmap_.count(a.var().id)) {
+      failed_ = true;  // virtual domains, streams and vmaps have no scalar register
       return 0;
     }
     // Free scalar variable: reserve a register filled at launch time.
@@ -257,11 +330,225 @@ private:
   int32_t array_slot(Var v) {
     auto it = arr_slot_.find(v.id);
     if (it != arr_slot_.end()) return it->second;
-    if (reg_.count(v.id) || acc_slot_.count(v.id) || dom_.count(v.id)) return -1;
+    if (reg_.count(v.id) || acc_slot_.count(v.id) || dom_.count(v.id) ||
+        stream_.count(v.id) || vmap_.count(v.id)) {
+      return -1;
+    }
     const auto slot = static_cast<int32_t>(k_.free_arrays.size());
     k_.free_arrays.push_back(v);
     arr_slot_[v.id] = slot;
     return slot;
+  }
+
+  // Invariant register holding free_array[slot].shape[dim], deduplicated per
+  // (slot, dim) so repeated stream creation does not bloat the register file.
+  int32_t load_len(int32_t slot, int32_t dim) {
+    const int64_t key = static_cast<int64_t>(slot) * 8 + dim;
+    auto it = len_reg_.find(key);
+    if (it != len_reg_.end()) return it->second;
+    KInstr in;
+    in.op = KOp::LoadLen;
+    in.slot = slot;
+    in.b = dim;
+    in.dst = new_reg(true);
+    k_.instrs.push_back(in);
+    len_reg_[key] = in.dst;
+    return in.dst;
+  }
+
+  void add_rank_guard(int32_t slot, int32_t rank) {
+    for (const auto& g : k_.stream_rank_guards) {
+      if (g.slot == slot) return;  // one guard per slot suffices (same rank)
+    }
+    k_.stream_rank_guards.push_back(Kernel::StreamRankGuard{slot, rank});
+  }
+
+  void add_len_guard(const Stream& a, const Stream& b) {
+    if (a.slot == b.slot && a.nlead == b.nlead) return;  // statically equal
+    for (const auto& g : k_.stream_len_guards) {
+      if (g.slot_a == a.slot && g.dim_a == a.nlead && g.slot_b == b.slot &&
+          g.dim_b == b.nlead) {
+        return;
+      }
+    }
+    k_.stream_len_guards.push_back(Kernel::StreamLenGuard{a.slot, a.nlead, b.slot, b.nlead});
+  }
+
+  // Resolves an inline SOAC's arguments to domains (virtual iota/replicate),
+  // streams (rank-1 views and whole free rank-1 arrays) and virtual maps,
+  // and unifies their extents into one trip register. Iota extents and vmap
+  // trips pin the trip exactly (register equality — OpLength aliasing makes
+  // `length`-derived extents share registers); without one, the first
+  // stream's length defines the trip and bind-time guards tie the other
+  // streams to it. A stream whose length register differs from an exactly
+  // pinned trip is rejected: the equality cannot be checked until arrays
+  // are bound, and there is no guard form tying a register to a shape.
+  // Returns the trip register, or -1 when the arguments fit no form.
+  int32_t soac_trip(const std::vector<Var>& args, std::vector<ArgSrc>& srcs) {
+    if (args.empty()) return -1;
+    for (Var a : args) {
+      ArgSrc s;
+      if (auto it = dom_.find(a.id); it != dom_.end()) {
+        s.k = ArgSrc::K::DomA;
+        s.dom = it->second;
+      } else if (auto sit = stream_.find(a.id); sit != stream_.end()) {
+        s.k = ArgSrc::K::StreamA;
+        s.stream = sit->second;
+      } else if (auto vit = vmap_.find(a.id); vit != vmap_.end()) {
+        s.k = ArgSrc::K::VmapA;
+        s.vm = vit->second;
+      } else {
+        // Whole free array consumed as a stream. The builder cannot see its
+        // rank, so rank 1 is assumed here and enforced when it is bound.
+        const int32_t slot = array_slot(a);
+        if (slot < 0) return -1;
+        s.k = ArgSrc::K::StreamA;
+        s.stream.slot = slot;
+        s.stream.nlead = 0;
+        s.stream.len_reg = load_len(slot, 0);
+        add_rank_guard(slot, 1);
+      }
+      srcs.push_back(std::move(s));
+    }
+    int32_t trip = -1;
+    bool exact = false;  // trip pinned by an iota extent or a vmap trip
+    for (const ArgSrc& s : srcs) {
+      int32_t t = -1;
+      if (s.k == ArgSrc::K::DomA && s.dom.val_reg < 0) t = s.dom.len_reg;
+      if (s.k == ArgSrc::K::VmapA) t = vmap_infos_[static_cast<size_t>(s.vm.info)].trip;
+      if (t < 0) continue;
+      if (trip >= 0 && trip != t) return -1;
+      trip = t;
+      exact = true;
+    }
+    const ArgSrc* trip_stream = nullptr;
+    if (trip < 0) {
+      for (const ArgSrc& s : srcs) {
+        if (s.k == ArgSrc::K::StreamA) {
+          trip_stream = &s;
+          trip = s.stream.len_reg;
+          break;
+        }
+      }
+      if (trip < 0) return -1;  // replicates alone do not pin the space
+    }
+    for (const ArgSrc& s : srcs) {
+      switch (s.k) {
+        case ArgSrc::K::DomA:
+          if (s.dom.len_reg != trip) return -1;
+          break;
+        case ArgSrc::K::StreamA:
+          if (s.stream.len_reg == trip) break;
+          if (exact) return -1;
+          add_len_guard(trip_stream->stream, s.stream);
+          break;
+        case ArgSrc::K::VmapA:
+          break;  // unified above
+      }
+    }
+    return trip;
+  }
+
+  // Element read for an inline-loop iteration: domains alias ivar or the
+  // replicate payload; streams emit a full-indexing Gather [leads…, ivar]
+  // inside the loop body; vmaps re-inline their body at the call site.
+  int32_t soac_elem(const ArgSrc& s, int32_t ivar) {
+    if (s.k == ArgSrc::K::DomA) return s.dom.val_reg < 0 ? ivar : s.dom.val_reg;
+    if (s.k == ArgSrc::K::VmapA) return vmap_elem(s.vm, ivar);
+    KInstr in;
+    in.op = KOp::Gather;
+    in.slot = s.stream.slot;
+    in.nidx = s.stream.nlead + 1;
+    for (int32_t d = 0; d < s.stream.nlead; ++d) in.idx[d] = s.stream.lead[d];
+    in.idx[s.stream.nlead] = ivar;
+    in.dst = new_reg();
+    k_.instrs.push_back(in);
+    return in.dst;
+  }
+
+  // Inlines a vmap's body for one element: binds the lambda params to the
+  // sources' element reads and compiles the body in place (statements land
+  // inside whatever loop body is currently open). Re-inlining the same
+  // lambda at a second consumer rebinds its vars — reg_/dom_/stream_/vmap_
+  // entries are assigned, not emplaced, so each inline sees fresh registers.
+  int32_t vmap_elem(VmapRef vm, int32_t ivar) {
+    // By value: compiling the body can grow vmap_infos_ and move the entry.
+    const VmapInfo vi = vmap_infos_[static_cast<size_t>(vm.info)];
+    const Lambda& f = *vi.op->f;
+    for (size_t j = 0; j < f.params.size(); ++j) {
+      reg_[f.params[j].var.id] = soac_elem(vi.srcs[j], ivar);
+    }
+    if (failed_) return 0;
+    for (const auto& s : f.body.stms) {
+      if (!stm(s)) {
+        failed_ = true;
+        return 0;
+      }
+    }
+    return use(f.body.result[static_cast<size_t>(vm.ret)]);
+  }
+
+  // Registers a value-producing map over doms/streams/vmaps as a virtual
+  // map: nothing is emitted here; each consumer re-inlines the body per
+  // element. Recomputation across consumers is deliberate — the body is
+  // scalar glue, and re-running it beats materializing a per-lane array the
+  // register machine cannot hold.
+  bool vmap_register(const OpMap& o, const Stm& st) {
+    const Lambda& f = *o.f;
+    if (f.params.size() != o.args.size() || f.rets.size() != st.vars.size()) return false;
+    for (const auto& p : f.params) {
+      if (p.type.rank != 0 || p.type.is_acc) return false;
+    }
+    for (size_t r = 0; r < f.rets.size(); ++r) {
+      if (f.rets[r].rank != 0 || f.rets[r].is_acc) return false;
+      if (st.types[r].rank != 1 || st.types[r].is_acc) return false;
+    }
+    VmapInfo vi;
+    vi.op = &o;
+    vi.trip = soac_trip(o.args, vi.srcs);
+    if (vi.trip < 0 || failed_) return false;
+    const auto idx = static_cast<int32_t>(vmap_infos_.size());
+    vmap_infos_.push_back(std::move(vi));
+    for (size_t r = 0; r < st.vars.size(); ++r) {
+      vmap_[st.vars[r].id] = VmapRef{idx, static_cast<int32_t>(r)};
+    }
+    return true;
+  }
+
+  // Array-valued `upd_acc acc [leads…] += vmap` -> inline loop of scalar
+  // UpdAccs at [leads…, i], re-inlining the vmap body per element. Matches
+  // the general path's elementwise add of the map result into the acc row.
+  bool acc_vmap_loop(const OpUpdAcc& o, VmapRef vm, int32_t slot, Var dst) {
+    if (o.idx.size() + 1 > 4) return false;
+    int32_t lead[3];
+    for (size_t i = 0; i < o.idx.size(); ++i) lead[i] = use(o.idx[i]);
+    if (failed_) return false;
+    const int32_t trip = vmap_infos_[static_cast<size_t>(vm.info)].trip;
+    const int32_t ivar = new_reg();
+    const auto lslot = static_cast<int32_t>(k_.loops.size());
+    k_.loops.emplace_back();
+    KInstr mk;
+    mk.op = KOp::InlineLoop;
+    mk.slot = lslot;
+    k_.instrs.push_back(mk);
+    Kernel::InlineLoop il;
+    il.trip_reg = trip;
+    il.ivar_reg = ivar;
+    il.body_begin = static_cast<uint32_t>(k_.instrs.size());
+    const int32_t v = vmap_elem(vm, ivar);
+    if (failed_) return false;
+    KInstr in;
+    in.op = KOp::UpdAcc;
+    in.slot = slot;
+    in.a = v;
+    in.nidx = static_cast<int32_t>(o.idx.size()) + 1;
+    for (size_t i = 0; i < o.idx.size(); ++i) in.idx[i] = lead[i];
+    in.idx[o.idx.size()] = ivar;
+    k_.instrs.push_back(in);
+    il.body_end = static_cast<uint32_t>(k_.instrs.size());
+    k_.loops[static_cast<size_t>(lslot)] = il;
+    acc_slot_[dst.id] = slot;
+    return true;
   }
 
   bool stm(const Stm& st) {
@@ -272,7 +559,18 @@ private:
       if (m == nullptr) return false;
       return inline_map(*m) && !failed_;
     }
-    if (st.vars.size() != 1) return false;
+    // Value-producing maps become virtual maps (consumers inline the body).
+    if (const auto* vm = std::get_if<OpMap>(&st.e); vm != nullptr) {
+      return vmap_register(*vm, st) && !failed_;
+    }
+    if (st.vars.size() != 1) {
+      // Multi-result reduce (jvp (primal, tangent) pairs, argmin tuples):
+      // one inline fold with parallel accumulators.
+      if (const auto* rd = std::get_if<OpReduce>(&st.e); rd != nullptr) {
+        return inline_fold(*rd, st) && !failed_;
+      }
+      return false;
+    }
     const Var dst = st.vars[0];
     const Type dt = st.types[0];
     auto simple = [&](KOp op, int32_t a, int32_t b = -1, int32_t c = -1) {
@@ -334,7 +632,40 @@ private:
             },
             [&](const OpSelect& o) { return simple(KOp::Select, use(o.c), use(o.t), use(o.f)); },
             [&](const OpIndex& o) {
-              if (o.idx.empty() || o.idx.size() > 4 || dt.rank != 0) return false;
+              if (o.idx.empty() || o.idx.size() > 4) return false;
+              auto sit = stream_.find(o.arr.id);
+              if (sit != stream_.end()) {
+                // Scalar read through a stream view: compose [leads…, idx].
+                if (dt.rank != 0 || o.idx.size() != 1) return false;
+                const Stream& s = sit->second;
+                KInstr in;
+                in.op = KOp::Gather;
+                in.slot = s.slot;
+                in.nidx = s.nlead + 1;
+                for (int32_t d = 0; d < s.nlead; ++d) in.idx[d] = s.lead[d];
+                in.idx[s.nlead] = use(o.idx[0]);
+                in.dst = new_reg();
+                k_.instrs.push_back(in);
+                reg_[dst.id] = in.dst;
+                return true;
+              }
+              if (dt.rank == 1 && !dt.is_acc && o.idx.size() <= 3) {
+                // Rank-1 row view of a free array: a stream — never
+                // materialized, only consumed by inline SOACs, scalar
+                // indexing and OpLength. Typecheck pins the base rank at
+                // idx.size() + 1, matching the Gather's full indexing.
+                const int32_t slot = array_slot(o.arr);
+                if (slot < 0) return false;
+                Stream s;
+                s.slot = slot;
+                s.nlead = static_cast<int32_t>(o.idx.size());
+                for (size_t i = 0; i < o.idx.size(); ++i) s.lead[i] = use(o.idx[i]);
+                s.len_reg = load_len(slot, s.nlead);
+                if (failed_) return false;
+                stream_[dst.id] = s;  // assign: vmap re-inlining rebinds ids
+                return true;
+              }
+              if (dt.rank != 0) return false;
               const int32_t slot = array_slot(o.arr);
               if (slot < 0) return false;
               KInstr in;
@@ -352,7 +683,7 @@ private:
               if (dt.rank != 1 || dt.is_acc) return false;
               const int32_t n = use(o.n);
               if (failed_ || !inv(n)) return false;
-              dom_.emplace(dst.id, Dom{n, -1});
+              dom_[dst.id] = Dom{n, -1};  // assign: vmap re-inlining rebinds ids
               return true;
             },
             [&](const OpReplicate& o) {
@@ -360,7 +691,7 @@ private:
               const int32_t n = use(o.n);
               const int32_t v = use(o.v);
               if (failed_ || !inv(n)) return false;
-              dom_.emplace(dst.id, Dom{n, v});
+              dom_[dst.id] = Dom{n, v};  // assign: vmap re-inlining rebinds ids
               return true;
             },
             [&](const OpLength& o) {
@@ -370,17 +701,22 @@ private:
                 reg_[dst.id] = dit->second.len_reg;  // alias the domain extent
                 return true;
               }
+              auto sit = stream_.find(o.arr.id);
+              if (sit != stream_.end()) {
+                reg_[dst.id] = sit->second.len_reg;  // alias the stream length
+                return true;
+              }
+              auto vit = vmap_.find(o.arr.id);
+              if (vit != vmap_.end()) {
+                reg_[dst.id] = vmap_infos_[static_cast<size_t>(vit->second.info)].trip;
+                return true;
+              }
               const int32_t slot = array_slot(o.arr);
               if (slot < 0) return false;
-              KInstr in;
-              in.op = KOp::LoadLen;
-              in.slot = slot;
-              in.dst = new_reg(true);
-              k_.instrs.push_back(in);
-              reg_[dst.id] = in.dst;
+              reg_[dst.id] = load_len(slot, 0);
               return true;
             },
-            [&](const OpReduce& o) { return inline_fold(o, dst, dt); },
+            [&](const OpReduce& o) { return inline_fold(o, st); },
             [&](const OpUpdAcc& o) {
               if (!allow_accs_) return false;  // reduction kernels are acc-free
               auto it = acc_slot_.find(o.acc.id);
@@ -388,9 +724,18 @@ private:
               if (it != acc_slot_.end()) {
                 slot = it->second;
               } else {
-                if (reg_.count(o.acc.id) || arr_slot_.count(o.acc.id)) return false;
+                if (reg_.count(o.acc.id) || arr_slot_.count(o.acc.id) ||
+                    dom_.count(o.acc.id) || stream_.count(o.acc.id) ||
+                    vmap_.count(o.acc.id)) {
+                  return false;
+                }
                 slot = add_acc(o.acc, -1);
                 acc_slot_[o.acc.id] = slot;
+              }
+              // Array-valued update from a virtual map: inline UpdAcc loop.
+              if (o.v.is_var()) {
+                auto vit = vmap_.find(o.v.var().id);
+                if (vit != vmap_.end()) return acc_vmap_loop(o, vit->second, slot, dst);
               }
               if (o.idx.empty() || o.idx.size() > 4) return false;
               KInstr in;
@@ -409,60 +754,47 @@ private:
     return ok && !failed_;
   }
 
-  // Resolves the virtual domains of a nested SOAC's arguments: every arg
-  // must be a dom var, at least one an iota, and all extents the same
-  // launch-uniform register (aliased through OpLength in practice). Returns
-  // the shared trip register, or -1.
-  int32_t domain_trip(const std::vector<Var>& args, std::vector<const Dom*>& doms) {
-    int32_t trip = -1;
-    for (Var a : args) {
-      auto it = dom_.find(a.id);
-      if (it == dom_.end()) return -1;
-      const Dom& d = it->second;
-      if (d.val_reg < 0) {
-        if (trip >= 0 && trip != d.len_reg) return -1;
-        trip = d.len_reg;
-      }
-      doms.push_back(&d);
+  // Scalar-result redomap/reduce over virtual domains or streams -> inline
+  // fold block, with k parallel accumulators for k-result folds (the jvp
+  // programs' (primal, tangent) and argmin-style reduce tuples). Sequential
+  // element order — identical float grouping to the general interpreter's
+  // fold, so kernelizing the enclosing lambda never perturbs results
+  // (runtime/README.md).
+  bool inline_fold(const OpReduce& o, const Stm& st) {
+    const size_t k = st.vars.size();
+    for (const auto& t : st.types) {
+      if (t.rank != 0 || t.is_acc) return false;
     }
-    if (trip < 0) return -1;  // need an iota to pin the iteration space
-    for (const Dom* d : doms) {
-      if (d->len_reg != trip) return -1;
-    }
-    return trip;
-  }
-
-  // Scalar-result redomap/reduce over virtual domains -> inline fold block.
-  // Sequential element order — identical float grouping to the general
-  // interpreter's fold, so kernelizing the enclosing lambda never perturbs
-  // results (runtime/README.md).
-  bool inline_fold(const OpReduce& o, Var dst, Type dt) {
-    if (dt.rank != 0 || dt.is_acc) return false;
     const Lambda& op = *o.op;
-    if (op.params.size() != 2 || op.rets.size() != 1 || op.body.result.size() != 1 ||
-        o.neutral.size() != 1 || o.args.empty()) {
+    if (op.params.size() != 2 * k || op.rets.size() != k || op.body.result.size() != k ||
+        o.neutral.size() != k || o.args.empty()) {
       return false;
     }
     for (const auto& p : op.params) {
       if (p.type.rank != 0 || p.type.is_acc) return false;
     }
-    if (op.rets[0].rank != 0 || op.rets[0].is_acc) return false;
-    std::vector<const Dom*> doms;
-    const int32_t trip = domain_trip(o.args, doms);
+    for (const auto& t : op.rets) {
+      if (t.rank != 0 || t.is_acc) return false;
+    }
+    std::vector<ArgSrc> srcs;
+    const int32_t trip = soac_trip(o.args, srcs);
     if (trip < 0) return false;
     if (o.pre != nullptr) {
-      if (o.pre->params.size() != o.args.size() || o.pre->rets.size() != 1 ||
-          o.pre->body.result.size() != 1) {
+      if (o.pre->params.size() != o.args.size() || o.pre->rets.size() != k ||
+          o.pre->body.result.size() != k) {
         return false;
       }
       for (const auto& p : o.pre->params) {
         if (p.type.rank != 0 || p.type.is_acc) return false;
       }
-      if (o.pre->rets[0].rank != 0 || o.pre->rets[0].is_acc) return false;
-    } else if (o.args.size() != 1) {
+      for (const auto& t : o.pre->rets) {
+        if (t.rank != 0 || t.is_acc) return false;
+      }
+    } else if (o.args.size() != k) {
       return false;
     }
-    const int32_t ne = use(o.neutral[0]);
+    std::vector<int32_t> ne(k);
+    for (size_t j = 0; j < k; ++j) ne[j] = use(o.neutral[j]);
     if (failed_) return false;
     const int32_t ivar = new_reg();
     const auto lslot = static_cast<int32_t>(k_.loops.size());
@@ -475,44 +807,69 @@ private:
     il.trip_reg = trip;
     il.ivar_reg = ivar;
     il.body_begin = static_cast<uint32_t>(k_.instrs.size());
-    int32_t elem;
+    std::vector<int32_t> elems(k);
     if (o.pre != nullptr) {
       for (size_t j = 0; j < o.args.size(); ++j) {
-        reg_[o.pre->params[j].var.id] = doms[j]->val_reg < 0 ? ivar : doms[j]->val_reg;
+        reg_[o.pre->params[j].var.id] = soac_elem(srcs[j], ivar);
       }
       for (const auto& s : o.pre->body.stms) {
         if (!stm(s)) return false;
       }
-      elem = use(o.pre->body.result[0]);
+      for (size_t j = 0; j < k; ++j) elems[j] = use(o.pre->body.result[j]);
     } else {
-      elem = doms[0]->val_reg < 0 ? ivar : doms[0]->val_reg;
+      for (size_t j = 0; j < k; ++j) elems[j] = soac_elem(srcs[j], ivar);
     }
-    const int32_t acc = new_reg();
-    reg_[op.params[0].var.id] = acc;
-    reg_[op.params[1].var.id] = elem;
+    std::vector<int32_t> accs(k);
+    for (size_t j = 0; j < k; ++j) {
+      accs[j] = new_reg();
+      reg_[op.params[j].var.id] = accs[j];
+      reg_[op.params[k + j].var.id] = elems[j];
+    }
     for (const auto& s : op.body.stms) {
       if (!stm(s)) return false;
     }
-    const int32_t res = use(op.body.result[0]);
+    std::vector<int32_t> res(k);
+    for (size_t j = 0; j < k; ++j) res[j] = use(op.body.result[j]);
     if (failed_) return false;
-    if (res != acc) {
+    // Writeback acc_j <- result_j, through temporaries when k > 1 so a fold
+    // returning a permutation of its accumulators cannot clobber a
+    // not-yet-moved one (same scheme as build_reduce).
+    if (k > 1) {
+      for (size_t j = 0; j < k; ++j) {
+        const int t = new_reg();
+        KInstr mv;
+        mv.op = KOp::Mov;
+        mv.dst = t;
+        mv.a = res[j];
+        k_.instrs.push_back(mv);
+        res[j] = t;
+      }
+    }
+    for (size_t j = 0; j < k; ++j) {
+      if (res[j] == accs[j]) continue;
       KInstr mv;
       mv.op = KOp::Mov;
-      mv.dst = acc;
-      mv.a = res;
+      mv.dst = accs[j];
+      mv.a = res[j];
       k_.instrs.push_back(mv);
     }
     il.body_end = static_cast<uint32_t>(k_.instrs.size());
-    il.acc_reg = acc;
-    il.neutral_reg = ne;
+    il.acc_reg = accs[0];
+    il.neutral_reg = ne[0];
+    for (size_t j = 1; j < k; ++j) {
+      il.more_accs.push_back(accs[j]);
+      il.more_neutrals.push_back(ne[j]);
+    }
     k_.loops[static_cast<size_t>(lslot)] = il;
-    reg_[dst.id] = acc;
+    for (size_t j = 0; j < k; ++j) {
+      reg_[st.vars[j].id] = accs[j];  // assign: vmap re-inlining rebinds ids
+    }
     return true;
   }
 
-  // Unit-result map over virtual domains whose body is scalar glue plus
-  // upd_acc side effects -> inline side-effect loop (the reverse sweep's
-  // scatter-style accumulation pattern).
+  // Unit-result map over virtual domains or streams whose body is scalar
+  // glue plus upd_acc side effects -> inline side-effect loop (the reverse
+  // sweep's scatter-style accumulation pattern).
   bool inline_map(const OpMap& o) {
     if (!allow_accs_) return false;
     const Lambda& f = *o.f;
@@ -521,8 +878,8 @@ private:
     for (const auto& p : f.params) {
       if (p.type.rank != 0 || p.type.is_acc) return false;
     }
-    std::vector<const Dom*> doms;
-    const int32_t trip = domain_trip(o.args, doms);
+    std::vector<ArgSrc> srcs;
+    const int32_t trip = soac_trip(o.args, srcs);
     if (trip < 0) return false;
     const int32_t ivar = new_reg();
     const auto lslot = static_cast<int32_t>(k_.loops.size());
@@ -536,7 +893,7 @@ private:
     il.ivar_reg = ivar;
     il.body_begin = static_cast<uint32_t>(k_.instrs.size());
     for (size_t j = 0; j < f.params.size(); ++j) {
-      reg_[f.params[j].var.id] = doms[j]->val_reg < 0 ? ivar : doms[j]->val_reg;
+      reg_[f.params[j].var.id] = soac_elem(srcs[j], ivar);
     }
     for (const auto& s : f.body.stms) {
       if (!stm(s)) return false;
@@ -556,7 +913,19 @@ private:
   std::unordered_map<uint32_t, int32_t> arr_slot_;
   std::unordered_map<uint32_t, int32_t> acc_slot_;
   std::unordered_map<uint32_t, Dom> dom_;
+  std::unordered_map<uint32_t, Stream> stream_;
+  std::unordered_map<uint32_t, VmapRef> vmap_;
+  std::vector<VmapInfo> vmap_infos_;
+  std::unordered_map<int64_t, int32_t> len_reg_;  // (slot * 8 + dim) -> register
 };
+
+// Data-dependent gather/UpdAcc indices must raise the same typed error the
+// general interpreter raises, not read out of bounds (streams let arbitrary
+// scalar indices reach kernels). Cold path, kept out of the address loops.
+[[noreturn]] static void throw_kernel_oob(int64_t i, int32_t axis, int64_t extent) {
+  throw ShapeError("index " + std::to_string(i) + " out of bounds for kernel array axis " +
+                   std::to_string(axis) + " of extent " + std::to_string(extent));
+}
 
 inline int64_t flat_index(const ArrayVal& a, const double* regs, const int32_t* idx,
                           int32_t nidx) {
@@ -565,8 +934,10 @@ inline int64_t flat_index(const ArrayVal& a, const double* regs, const int32_t* 
   // idx covers the leading `nidx` dims of a rank-nidx array (full indexing).
   for (int32_t d = nidx - 1; d >= 0; --d) {
     const auto i = static_cast<int64_t>(regs[idx[d]]);
+    const auto ext = a.shape[static_cast<size_t>(d)];
+    if (i < 0 || i >= ext) throw_kernel_oob(i, d, ext);
     off += i * stride;
-    stride *= a.shape[static_cast<size_t>(d)];
+    stride *= ext;
   }
   return off;
 }
@@ -578,8 +949,10 @@ inline int64_t flat_index_lane(const ArrayVal& a, const double* regs, int W, int
   int64_t stride = 1;
   for (int32_t d = nidx - 1; d >= 0; --d) {
     const auto i = static_cast<int64_t>(regs[idx[d] * W + l]);
+    const auto ext = a.shape[static_cast<size_t>(d)];
+    if (i < 0 || i >= ext) throw_kernel_oob(i, d, ext);
     off += i * stride;
-    stride *= a.shape[static_cast<size_t>(d)];
+    stride *= ext;
   }
   return off;
 }
@@ -596,7 +969,9 @@ void init_invariant(const KernelLaunch& L, double* r, int W) {
       for (int l = 0; l < W; ++l) r[in.dst * W + l] = in.imm;
     } else if (in.op == KOp::LoadLen) {
       const ArrayVal& arr = L.free_array_vals[static_cast<size_t>(in.slot)];
-      const double v = static_cast<double>(arr.shape.empty() ? 0 : arr.shape[0]);
+      const auto dim = static_cast<size_t>(in.b > 0 ? in.b : 0);
+      const double v =
+          static_cast<double>(dim < arr.shape.size() ? arr.shape[dim] : 0);
       for (int l = 0; l < W; ++l) r[in.dst * W + l] = v;
     }
   }
@@ -750,6 +1125,12 @@ void exec_span(const KernelLaunch& L, double* r, int64_t lo, int64_t hi, size_t 
           break;
         }
         case KOp::LoadLen: break;  // broadcast in the preamble (launch-invariant)
+        case KOp::LoadIdx:
+          // Current iteration index per lane — same lane layout as LoadElem.
+          for (int l = 0; l < W; ++l) {
+            d[l] = static_cast<double>(base + static_cast<int64_t>(l) * lane_stride);
+          }
+          break;
         case KOp::InlineLoop: {
           // Inline SOAC block: run [body_begin, body_end) trip times with the
           // inner index broadcast, then resume past the body. The trip
@@ -761,6 +1142,11 @@ void exec_span(const KernelLaunch& L, double* r, int64_t lo, int64_t hi, size_t 
           if (il.acc_reg >= 0) {
             double* ac = r + static_cast<int64_t>(il.acc_reg) * W;
             const double* ne = r + static_cast<int64_t>(il.neutral_reg) * W;
+            for (int l = 0; l < W; ++l) ac[l] = ne[l];
+          }
+          for (size_t j = 0; j < il.more_accs.size(); ++j) {
+            double* ac = r + static_cast<int64_t>(il.more_accs[j]) * W;
+            const double* ne = r + static_cast<int64_t>(il.more_neutrals[j]) * W;
             for (int l = 0; l < W; ++l) ac[l] = ne[l];
           }
           double* iv = r + static_cast<int64_t>(il.ivar_reg) * W;

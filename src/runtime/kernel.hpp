@@ -27,6 +27,20 @@
 // lanes, with no per-row launch, no environment frame and no materialized
 // iota/replicate array. This is what turns a dot-product row lambda (8
 // fused redomaps + glue) into ONE kernel launch per row.
+//
+// Stream arguments: inline SOACs also accept *real* rank-1 arrays as
+// arguments — a row view `index(A, leads…)` of a free array, or a whole
+// free rank-1 array — consumed element-by-element inside the inline loop
+// via full-indexing Gathers ([leads…, ivar]). The trip count is the first
+// stream's length (a LoadLen of the base array's dim `nlead`, launch-
+// invariant). Shape facts the builder cannot see statically — the rank of
+// a bare free array, length agreement between the streams of one fold —
+// are recorded as stream guards on the Kernel and validated when the free
+// arrays are bound: a violating binding makes the launch fall back to the
+// general interpreter, which raises the exact shape error (or handles the
+// shapes generically). Mixing virtual domains and streams in one SOAC is
+// rejected — an iota extent cannot be checked against a stream length at
+// bind time.
 
 #include <atomic>
 #include <optional>
@@ -52,7 +66,8 @@ enum class KOp : uint8_t {
   Gather,     // dst = free_array[slot][flatten(idx regs)]
   UpdAcc,     // acc_array[slot][flatten(idx regs)] += reg a (atomic)
   StoreOut,   // output[slot] element at current iteration = reg a
-  LoadLen,    // dst = outer extent of free_array[slot] (launch-invariant)
+  LoadLen,    // dst = extent of free_array[slot] along dim max(b, 0) (launch-invariant)
+  LoadIdx,    // dst = current iteration index (per lane; row-stream params)
   InlineLoop, // run Kernel::loops[slot] body, then skip past it
 };
 
@@ -96,19 +111,39 @@ struct Kernel {
   // so kernelizing a lambda this way never changes float grouping. The map
   // form (acc_reg < 0) is a pure side-effect loop (upd_acc bodies). Bodies
   // contain no LoadElem/StoreOut; nested InlineLoop markers are allowed.
+  // Multi-result folds (the jvp programs' (primal, tangent) reduce pairs)
+  // carry results 1..k-1 in more_accs/more_neutrals, seeded on loop entry
+  // exactly like acc_reg.
   struct InlineLoop {
     uint32_t body_begin = 0, body_end = 0;
     int32_t trip_reg = -1;
     int32_t ivar_reg = -1;
     int32_t acc_reg = -1;     // fold result register, -1 for map form
     int32_t neutral_reg = -1; // fold seed, -1 for map form
+    std::vector<int32_t> more_accs, more_neutrals;  // parallel; results 1..
+  };
+
+  // Stream guards: shape facts a stream-consuming inline SOAC assumed at
+  // compile time but that only the bound arrays can confirm. Checked against
+  // free_array_vals at every bind (interp's stream_guards_ok); any failure
+  // falls the launch back to the general path.
+  struct StreamRankGuard {
+    int32_t slot = -1;   // free-array slot
+    int32_t rank = 0;    // required rank of the bound array
+  };
+  struct StreamLenGuard {
+    int32_t slot_a = -1, dim_a = 0;  // shape[dim_a] of free_array[slot_a]
+    int32_t slot_b = -1, dim_b = 0;  // must equal shape[dim_b] of free_array[slot_b]
   };
 
   std::vector<KInstr> instrs;
   int num_regs = 0;
   std::vector<ir::Var> free_scalars;     // resolved to registers at launch
   std::vector<int32_t> free_scalar_regs;
-  std::vector<ir::Var> free_arrays;      // gather sources
+  // Gather sources, resolved from the environment at bind time — except the
+  // slots named by row_param_slots, whose entries are placeholders filled
+  // from the launch's rank-2 map arguments instead.
+  std::vector<ir::Var> free_arrays;
   std::vector<AccBinding> accs;          // accumulator targets
   std::vector<int32_t> acc_upd_counts;   // UpdAcc instructions per acc slot
   std::vector<int32_t> ret_acc_slot;     // per lambda result: acc slot or -1
@@ -117,6 +152,16 @@ struct Kernel {
   std::vector<RedSlot> reds;             // reduction registers (fold results)
   size_t fold_begin = 0, fold_end = 0;   // fold-body subprogram bounds
   std::vector<InlineLoop> loops;         // inline SOAC blocks (marker order)
+  std::vector<StreamRankGuard> stream_rank_guards;
+  std::vector<StreamLenGuard> stream_len_guards;
+  // Row-stream parameters (map kernels): one entry per non-acc argument
+  // position. -1 = element input (rank-1, LoadElem slot in order); >= 0 =
+  // the free-array slot the rank-2 argument binds into, with the param
+  // compiled as a stream over the current row ([LoadIdx, i] Gathers). Empty
+  // means all-element (the common case). This is what lets a lambda taking
+  // a row of a rank-2 array — per-point kmeans/GMM bodies — compile into a
+  // single launch over all rows instead of one inner launch per row.
+  std::vector<int32_t> row_param_slots;
 };
 
 // Attempts to compile `f` applied element-wise over non-acc `args`.

@@ -1,6 +1,8 @@
 #include "runtime/plan.hpp"
 
 #include "ir/analysis.hpp"
+#include "ir/liveness.hpp"
+#include "ir/visit.hpp"
 #include "runtime/kernel_cache.hpp"
 #include "support/fault.hpp"
 
@@ -25,11 +27,30 @@ bool scalar_glue(const Stm& st) {
 
 std::unique_ptr<const Plan> compile_body_plan(const Body& body, uint64_t* nplans);
 
+// A plan worth routing through the planned evaluator: it either compiled
+// real structure (any non-General step) or its release lists reclaim frame
+// slots mid-body. All-General, release-free plans behave exactly like
+// eval_body and are not worth the indirection.
+bool plan_earns_keep(const Plan& plan) {
+  for (const PlanStep& s : plan.steps) {
+    if (s.kind != PlanStep::Kind::General || !s.releases.empty()) return true;
+  }
+  return false;
+}
+
+// Attaches the liveness release lists of stms [begin, end) to `step`.
+void attach_releases(const ir::BodyLiveness& lv, size_t begin, size_t end, PlanStep& step) {
+  for (size_t i = begin; i < end && i < lv.releases.size(); ++i) {
+    step.releases.insert(step.releases.end(), lv.releases[i].begin(), lv.releases[i].end());
+  }
+}
+
 // Folds stms [begin, end) — a run of >= 2 scalar-glue bindings — into one
 // extent-1 kernel step. Falls back to per-statement General steps when the
 // kernel compiler rejects the synthetic lambda (it never should for the ops
 // scalar_glue admits, but plans must not be load-bearing for correctness).
-void add_scalar_run(const Body& body, size_t begin, size_t end, Plan& plan) {
+void add_scalar_run(const Body& body, const ir::BodyLiveness& lv, size_t begin, size_t end,
+                    Plan& plan) {
   Lambda glue;
   glue.body.stms.assign(body.stms.begin() + static_cast<ptrdiff_t>(begin),
                         body.stms.begin() + static_cast<ptrdiff_t>(end));
@@ -45,6 +66,7 @@ void add_scalar_run(const Body& body, size_t begin, size_t end, Plan& plan) {
       PlanStep s;
       s.kind = PlanStep::Kind::General;
       s.stm = static_cast<uint32_t>(i);
+      attach_releases(lv, i, i + 1, s);
       plan.steps.push_back(std::move(s));
     }
     return;
@@ -58,11 +80,13 @@ void add_scalar_run(const Body& body, size_t begin, size_t end, Plan& plan) {
     s.out_vars.push_back(body.stms[i].vars[0]);
     s.out_types.push_back(body.stms[i].types[0].elem);
   }
+  attach_releases(lv, begin, end, s);
   plan.steps.push_back(std::move(s));
 }
 
 std::unique_ptr<const Plan> compile_body_plan(const Body& body, uint64_t* nplans) {
   auto plan = std::make_unique<Plan>();
+  const ir::BodyLiveness lv = ir::body_liveness(body);
   const auto& stms = body.stms;
   size_t i = 0;
   while (i < stms.size()) {
@@ -71,7 +95,7 @@ std::unique_ptr<const Plan> compile_body_plan(const Body& body, uint64_t* nplans
       size_t j = i + 1;
       while (j < stms.size() && scalar_glue(stms[j])) ++j;
       if (j - i >= 2) {
-        add_scalar_run(body, i, j, *plan);
+        add_scalar_run(body, lv, i, j, *plan);
         i = j;
         continue;
       }
@@ -92,6 +116,7 @@ std::unique_ptr<const Plan> compile_body_plan(const Body& body, uint64_t* nplans
           s.kind = PlanStep::Kind::MapLaunch;
           s.stm = static_cast<uint32_t>(i);
           s.kernel = k;
+          attach_releases(lv, i, i + 1, s);
           plan->steps.push_back(std::move(s));
           ++i;
           continue;
@@ -99,8 +124,8 @@ std::unique_ptr<const Plan> compile_body_plan(const Body& body, uint64_t* nplans
       }
     }
     // For-loops with provably loop-invariant body extents get a nested plan
-    // and the hoisted loop-buffer ring. While-loops, OpIf bodies and
-    // data-dependent extents stay on the general evaluator.
+    // and the hoisted loop-buffer ring. While-loops and data-dependent
+    // extents stay on the general evaluator.
     if (const auto* lp = std::get_if<OpLoop>(&stms[i].e)) {
       if (!lp->while_cond && loop_extents_invariant(*lp)) {
         PlanStep s;
@@ -108,6 +133,25 @@ std::unique_ptr<const Plan> compile_body_plan(const Body& body, uint64_t* nplans
         s.stm = static_cast<uint32_t>(i);
         s.loop_body = compile_body_plan(*lp->body, nplans);
         s.hoist_buffers = true;
+        attach_releases(lv, i, i + 1, s);
+        plan->steps.push_back(std::move(s));
+        ++i;
+        continue;
+      }
+    }
+    // OpIf arms get nested plans run in the enclosing frame when at least
+    // one arm carries structure worth planning; trivial scalar ifs stay on
+    // the general evaluator (same results, less indirection).
+    if (const auto* br = std::get_if<OpIf>(&stms[i].e)) {
+      auto tb = compile_body_plan(*br->tb, nplans);
+      auto fb = compile_body_plan(*br->fb, nplans);
+      if (plan_earns_keep(*tb) || plan_earns_keep(*fb)) {
+        PlanStep s;
+        s.kind = PlanStep::Kind::If;
+        s.stm = static_cast<uint32_t>(i);
+        s.if_true = std::move(tb);
+        s.if_false = std::move(fb);
+        attach_releases(lv, i, i + 1, s);
         plan->steps.push_back(std::move(s));
         ++i;
         continue;
@@ -116,11 +160,46 @@ std::unique_ptr<const Plan> compile_body_plan(const Body& body, uint64_t* nplans
     PlanStep s;
     s.kind = PlanStep::Kind::General;
     s.stm = static_cast<uint32_t>(i);
+    attach_releases(lv, i, i + 1, s);
     plan->steps.push_back(std::move(s));
     ++i;
   }
   if (nplans != nullptr) ++*nplans;
   return plan;
+}
+
+// Collects every lambda reachable from `b` (SOAC lambdas, redomap
+// pre-lambdas, while conditions), recursing through nested bodies and the
+// collected lambdas' own bodies. Pointer identity dedups shared subtrees.
+void collect_lambdas(const Body& b, std::vector<const Lambda*>& out);
+
+void collect_lambdas_exp(const Exp& e, std::vector<const Lambda*>& out) {
+  auto lam = [&](const LambdaPtr& l) {
+    if (!l) return;
+    out.push_back(l.get());
+    collect_lambdas(l->body, out);
+  };
+  std::visit(Overload{
+                 [&](const OpIf& o) {
+                   collect_lambdas(*o.tb, out);
+                   collect_lambdas(*o.fb, out);
+                 },
+                 [&](const OpLoop& o) {
+                   collect_lambdas(*o.body, out);
+                   lam(o.while_cond);
+                 },
+                 [&](const OpMap& o) { lam(o.f); },
+                 [&](const OpReduce& o) { lam(o.op); lam(o.pre); },
+                 [&](const OpScan& o) { lam(o.op); lam(o.pre); },
+                 [&](const OpHist& o) { lam(o.op); lam(o.pre); },
+                 [&](const OpWithAcc& o) { lam(o.f); },
+                 [&](const auto&) {},
+             },
+             e);
+}
+
+void collect_lambdas(const Body& b, std::vector<const Lambda*>& out) {
+  for (const Stm& st : b.stms) collect_lambdas_exp(st.e, out);
 }
 
 } // namespace
@@ -136,7 +215,8 @@ PlanCache& PlanCache::global() {
   return *cache;
 }
 
-const Plan* PlanCache::get(const std::shared_ptr<const ResolvedProg>& rp, uint64_t* compiled) {
+const ProgPlans* PlanCache::get(const std::shared_ptr<const ResolvedProg>& rp,
+                                uint64_t* compiled) {
   // Crossed on every lookup (not just the compiling one) so the fault sweep
   // exercises the acquisition path deterministically despite the cache being
   // immortal: the site's crossing count is per run, not per process.
@@ -147,15 +227,25 @@ const Plan* PlanCache::get(const std::shared_ptr<const ResolvedProg>& rp, uint64
     if (it != by_rp_.end()) return it->second.get();
   }
   uint64_t n = 0;
-  std::unique_ptr<const Plan> plan = compile_plan(rp->fn.body, &n);
+  auto plans = std::make_unique<ProgPlans>();
+  plans->top = compile_plan(rp->fn.body, &n);
+  // Lambda bodies entered via apply() compile alongside the top-level plan;
+  // only plans that earn their keep are tabled (see plan.hpp).
+  std::vector<const ir::Lambda*> lams;
+  collect_lambdas(rp->fn.body, lams);
+  for (const ir::Lambda* l : lams) {
+    if (plans->lambdas.count(l)) continue;
+    auto lp = compile_body_plan(l->body, &n);
+    if (plan_earns_keep(*lp)) plans->lambdas.emplace(l, std::move(lp));
+  }
   std::unique_lock lk(mu_);
   auto [it, fresh] = by_rp_.try_emplace(rp.get(), nullptr);
   if (fresh) {
-    it->second = std::move(plan);
+    it->second = std::move(plans);
     pinned_.push_back(rp);
     if (compiled != nullptr) *compiled = n;
   }
-  // A losing race discards this thread's plan; the winner's is equivalent
+  // A losing race discards this thread's plans; the winner's are equivalent
   // (compilation is deterministic) and already published.
   return it->second.get();
 }

@@ -51,6 +51,8 @@ Usage analyze(const Kernel& k) {
     u.special[static_cast<size_t>(il.ivar_reg)] = 1;
     if (il.acc_reg >= 0) u.special[static_cast<size_t>(il.acc_reg)] = 1;
     if (il.neutral_reg >= 0) u.special[static_cast<size_t>(il.neutral_reg)] = 1;
+    for (int32_t a : il.more_accs) u.special[static_cast<size_t>(a)] = 1;
+    for (int32_t n2 : il.more_neutrals) u.special[static_cast<size_t>(n2)] = 1;
   }
   auto rd = [&](int32_t r) {
     if (r >= 0) ++u.reads[static_cast<size_t>(r)];
@@ -68,6 +70,10 @@ Usage analyze(const Kernel& k) {
       case KOp::Gather:
         ++u.writes[static_cast<size_t>(in.dst)];
         for (int32_t d = 0; d < in.nidx; ++d) rd(in.idx[d]);
+        break;
+      case KOp::LoadLen:
+        // `b` holds the shape dimension, not a register operand.
+        ++u.writes[static_cast<size_t>(in.dst)];
         break;
       default:
         ++u.writes[static_cast<size_t>(in.dst)];
@@ -119,6 +125,7 @@ VOp map_op(KOp op) {
     case KOp::Trunc: return VOp::Trunc;
     case KOp::Select: return VOp::Select;
     case KOp::LoadElem: return VOp::LoadElem;
+    case KOp::LoadIdx: return VOp::LoadIdx;
     case KOp::Gather: return VOp::Gather;
     case KOp::UpdAcc: return VOp::UpdAcc;
     case KOp::StoreOut: return VOp::StoreOut;
@@ -170,6 +177,8 @@ bool stream_access(const Kernel& k, const Kernel::InlineLoop& il, const KInstr& 
 // fields (register space). Returns the marker op to emit: DotLoop /
 // Axpy2Loop when fused, Loop otherwise.
 VOp classify_loop(const Kernel& k, const Kernel::InlineLoop& il, const Usage& u, VLoop& vl) {
+  // Multi-accumulator folds never match the single-acc fused forms.
+  if (!il.more_accs.empty()) return VOp::Loop;
   // Collect the significant body instructions (ConstF/LoadLen leave the
   // stream via the prologue and are transparent to the patterns).
   std::vector<const KInstr*> sig;
@@ -261,6 +270,8 @@ bool lower_pass1(const Kernel& k, const Usage& u, Lowered& out) {
     vl.ivar = k.loops[s].ivar_reg;
     vl.acc = k.loops[s].acc_reg;
     vl.neutral = k.loops[s].neutral_reg;
+    vl.accs2 = k.loops[s].more_accs;
+    vl.neutrals2 = k.loops[s].more_neutrals;
     loop_ops[s] = classify_loop(k, k.loops[s], u, vl);
   }
 
@@ -276,7 +287,8 @@ bool lower_pass1(const Kernel& k, const Usage& u, Lowered& out) {
       if (in.op == KOp::ConstF) {
         out.prologue.push_back({in.dst, VInit::Kind::Imm, -1, in.imm});
       } else {
-        out.prologue.push_back({in.dst, VInit::Kind::ArrayLen, in.slot, 0.0});
+        out.prologue.push_back(
+            {in.dst, VInit::Kind::ArrayLen, in.slot, 0.0, in.b > 0 ? in.b : 0});
       }
       continue;
     }
@@ -494,6 +506,8 @@ VProgram bake(const Lowered& low, int W) {
     vl.ivar = scale(vl.ivar, W);
     vl.acc = scale(vl.acc, W);
     vl.neutral = scale(vl.neutral, W);
+    for (auto& a : vl.accs2) a = scale(a, W);
+    for (auto& n2 : vl.neutrals2) n2 = scale(n2, W);
     vl.s1 = scale(vl.s1, W);
     vl.s2 = scale(vl.s2, W);
     for (int d = 0; d < 3; ++d) {

@@ -48,7 +48,7 @@ enum class VOp : uint8_t {
   Eq, Ne, Lt, Le, Gt, Ge, And, Or,
   Neg, Exp, Log, Sqrt, Sin, Cos, Tanh, Abs, Sign, LGamma, Digamma, Not, Trunc,
   Select,
-  LoadElem, Gather, UpdAcc, StoreOut,
+  LoadElem, LoadIdx, Gather, UpdAcc, StoreOut,
   // superinstructions (fused adjacent pairs; flags bit 0 = swapped operand
   // order of the second op, preserving IEEE NaN-propagation order)
   MulAdd,     // d = (a*b) + c     [flag: d = c + (a*b)]
@@ -79,6 +79,8 @@ struct VInstr {
 struct VLoop {
   uint32_t body_begin = 0, body_end = 0;  // VInstr range (generic/fallback)
   int32_t trip = -1, ivar = -1, acc = -1, neutral = -1;
+  // Multi-result folds: accumulators 1..k-1, seeded on entry like acc.
+  std::vector<int32_t> accs2, neutrals2;
   // DotLoop: acc folds A[baseA(l)+t] * B[baseB(l)+t] over t in [0, trip).
   // a_/b_idx hold the leading (loop-invariant) gather index offsets; the
   // trailing index is the loop variable, stride 1 by full-indexing.
@@ -105,6 +107,7 @@ struct VInit {
   Kind kind = Kind::Imm;
   int32_t src = -1;  // free-scalar index / free-array slot
   double imm = 0.0;
+  int32_t dim = 0;   // ArrayLen: shape dimension to read (stream lengths)
 };
 
 // One lowered program at a fixed lane width W (operand offsets are baked

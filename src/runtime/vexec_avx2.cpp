@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "runtime/vexec.hpp"
+#include "support/error.hpp"
 
 namespace npad::rt::vexec::avx2 {
 #define NPAD_VEXEC_NAME "avx2"

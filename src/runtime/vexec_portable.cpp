@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "runtime/vexec.hpp"
+#include "support/error.hpp"
 
 namespace npad::rt::vexec::portable {
 #define NPAD_VEXEC_NAME "portable"

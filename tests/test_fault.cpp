@@ -509,7 +509,99 @@ TEST(FaultSweep, PlannedLoop) {
       });
   Prog p = pb.finish({Atom(outs[0])});
   npad::support::Rng rng(28);
-  sweep_case("planned_loop", prog_runner(std::move(p), {Value(0.5), rand_f64(rng, {4096})}));
+  InterpOptions opts;
+  opts.use_plans = true;  // pinned: swept on the NPAD_USE_PLANS=0 CI leg too
+  sweep_case("planned_loop", prog_runner(std::move(p), {Value(0.5), rand_f64(rng, {4096})}, opts));
+}
+
+TEST(FaultSweep, PlannedBranchesAndLambdas) {
+  // The plan layer's branch/lambda/arena control flow: a planned for-loop
+  // whose body is an OpIf with kernelizable arms (plan.if_arm inside
+  // plan.loop_iter), a general-path outer map whose lambda body carries its
+  // own tabled plan (plan.apply_body), and launch arenas recycling
+  // sole-owner intermediates (plan.arena_acquire). Plans pinned on so these
+  // sites sweep on every CI leg.
+  ProgBuilder pb("pb");
+  Var x = pb.param("x", f64());
+  Var xs = pb.param("xs", arr_f64(1));
+  Var xss = pb.param("xss", arr_f64(2));
+  Builder& b = pb.body();
+  auto outs = b.loop_for(
+      {Atom(xs)}, ci64(6),
+      [](Builder& lb, Var i, const std::vector<Var>& st) {
+        Var even = lb.eq(Atom(lb.mod(i, ci64(2))), ci64(0));
+        std::vector<Var> picked = lb.if_(
+            Atom(even),
+            [&](Builder& tb) {
+              Var nx = tb.map1(tb.lam({f64()},
+                                      [](Builder& cc, const std::vector<Var>& p) {
+                                        return std::vector<Atom>{Atom(cc.mul(p[0], cf64(1.01)))};
+                                      }),
+                               {st[0]});
+              return std::vector<Atom>{Atom(nx)};
+            },
+            [&](Builder& eb) {
+              Var nx = eb.map1(eb.lam({f64()},
+                                      [](Builder& cc, const std::vector<Var>& p) {
+                                        return std::vector<Atom>{Atom(cc.add(p[0], cf64(0.01)))};
+                                      }),
+                               {st[0]});
+              return std::vector<Atom>{Atom(nx)};
+            });
+        return std::vector<Atom>{Atom(picked[0])};
+      });
+  // Top-level OpIf with kernelizable arms: compiles to an If plan step.
+  Var cnd = b.gt(x, cf64(0.0));
+  std::vector<Var> branched = b.if_(
+      Atom(cnd),
+      [&](Builder& tb) {
+        Var m = tb.map1(tb.lam({f64()},
+                               [](Builder& cc, const std::vector<Var>& p) {
+                                 return std::vector<Atom>{Atom(cc.mul(p[0], cf64(2.0)))};
+                               }),
+                        {xs});
+        return std::vector<Atom>{Atom(m)};
+      },
+      [&](Builder& eb) {
+        Var m = eb.map1(eb.lam({f64()},
+                               [](Builder& cc, const std::vector<Var>& p) {
+                                 return std::vector<Atom>{Atom(cc.add(p[0], cf64(2.0)))};
+                               }),
+                        {xs});
+        return std::vector<Atom>{Atom(m)};
+      });
+  Var sums = b.map1(
+      b.lam({arr_f64(1)},
+            [](Builder& c, const std::vector<Var>& row) {
+              Var scaled = c.map1(c.lam({f64()},
+                                        [](Builder& cc, const std::vector<Var>& p) {
+                                          Var t = cc.mul(p[0], cf64(0.5));
+                                          return std::vector<Atom>{Atom(cc.add(t, cf64(1.0)))};
+                                        }),
+                                  {row[0]});
+              Var s = c.reduce1(c.add_op(), cf64(0.0), {scaled});
+              // The OpIf keeps this body off the kernel tier (row streams
+              // would otherwise compile the whole lambda), so the map stays
+              // general and every element crosses plan.apply_body.
+              std::vector<Var> clamped = c.if_(
+                  Atom(c.gt(s, cf64(1e300))),
+                  [&](Builder& tb) { return std::vector<Atom>{Atom(tb.mul(s, cf64(0.5)))}; },
+                  [&](Builder& eb) { return std::vector<Atom>{Atom(eb.add(s, cf64(0.0)))}; });
+              return std::vector<Atom>{Atom(clamped[0])};
+            }),
+      {xss});
+  Var t = b.reduce1(b.add_op(), cf64(0.0), {sums});
+  Var u = b.reduce1(b.add_op(), cf64(0.0), {outs[0]});
+  Var w = b.reduce1(b.add_op(), cf64(0.0), {branched[0]});
+  Var y = b.mul(t, x);
+  Var z = b.add(y, Atom(b.add(u, w)));
+  Prog p = pb.finish({Atom(z)});
+  npad::support::Rng rng(29);
+  InterpOptions opts;
+  opts.use_plans = true;
+  sweep_case("planned_branches",
+             prog_runner(std::move(p),
+                         {Value(0.8), rand_f64(rng, {512}), rand_f64(rng, {4096, 8})}, opts));
 }
 
 TEST(FaultSweep, GmmObjectiveAndGradient) {
@@ -546,11 +638,16 @@ TEST(FaultSweep, AtLeastTwentyDistinctSitesExercised) {
   EXPECT_TRUE(sites.count("pool.acquire")) << all;
   EXPECT_TRUE(sites.count("threadpool.chunk")) << all;
   EXPECT_TRUE(sites.count("loop.iter")) << all;
-  // The execution-plan layer: cache acquisition, step execution, and the
-  // per-iteration site inside planned loops.
+  // The execution-plan layer: cache acquisition, step execution, the
+  // per-iteration site inside planned loops, planned lambda bodies and OpIf
+  // arms, and arena buffer handout. The PlannedLoop / PlannedBranchesAndLambdas
+  // sweeps pin use_plans on, so these hold on the NPAD_USE_PLANS=0 CI leg too.
   EXPECT_TRUE(sites.count("plan.compile")) << all;
   EXPECT_TRUE(sites.count("plan.step")) << all;
   EXPECT_TRUE(sites.count("plan.loop_iter")) << all;
+  EXPECT_TRUE(sites.count("plan.apply_body")) << all;
+  EXPECT_TRUE(sites.count("plan.if_arm")) << all;
+  EXPECT_TRUE(sites.count("plan.arena_acquire")) << all;
   // The vectorized execution tier: when vexec is on (the default; the
   // NPAD_VEXEC=0 CI leg disables it), the sweeps above dispatch through the
   // gate in front of the SIMD schedules, so that site must have been crossed

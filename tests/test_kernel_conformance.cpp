@@ -1273,6 +1273,9 @@ TEST_P(VexecConformance, BitExactAgainstRegisterMachine) {
   }
 
   rt::InterpOptions base{.parallel = false, .use_kernels = true, .kernel_lanes = 8};
+  // Pinned on: the ScalarBlock rows dispatch vexec through plan steps, so
+  // this grid must not depend on the NPAD_USE_PLANS environment default.
+  base.use_plans = true;
   base.use_vexec = false;
   rt::Interp off{base};
   const auto ref = flatten_outputs(off.run(p, args));

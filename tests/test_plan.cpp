@@ -38,6 +38,14 @@ namespace {
 using namespace npad::ir;
 using namespace npad::rt;
 
+// Plans pinned on regardless of NPAD_USE_PLANS (the CI plan-disabled leg
+// must not turn these tests into no-ops).
+InterpOptions plans_on() {
+  InterpOptions o;
+  o.use_plans = true;
+  return o;
+}
+
 uint64_t bits_of(double d) {
   uint64_t u;
   std::memcpy(&u, &d, sizeof(u));
@@ -73,7 +81,8 @@ std::vector<uint64_t> fingerprint(const std::vector<Value>& vals) {
 // Returns the planned result for further checks.
 std::vector<Value> expect_plan_conformant(const Prog& p, const std::vector<Value>& args,
                                           const char* what) {
-  InterpOptions planned;  // use_plans defaults to true
+  InterpOptions planned;
+  planned.use_plans = true;  // pinned: tests must not depend on NPAD_USE_PLANS
   InterpOptions general;
   general.use_plans = false;
   auto a = run_prog(p, args, planned);
@@ -169,7 +178,7 @@ TEST(PlanCounters, EveryStepKindFires) {
   npad::support::Rng rng(34);
   std::vector<Value> args = {0.7,
                              make_f64_array(rng.uniform_vec(4096, -1.0, 1.0), {4096})};
-  Interp in;  // plans on by default
+  Interp in{plans_on()};
   auto r = in.run(p, args);
   ASSERT_EQ(r.size(), 1u);
   const auto& st = in.stats();
@@ -205,7 +214,7 @@ TEST(PlanFallback, DataDependentExtentLoop) {
   Prog p = pb.finish({Atom(outs[0])});
   typecheck(p);
 
-  Interp in;
+  Interp in{plans_on()};
   auto r = in.run(p, {});
   EXPECT_EQ(std::get<int64_t>(r[0]), 7);  // 1 -> 2 -> 3 -> ... -> 7
   // The loop was not planned: no buffers were hoisted.
@@ -279,7 +288,7 @@ TEST(PlanAcceptance, LstmLaunchCountStaysLow) {
   auto gargs = args;
   gargs.emplace_back(1.0);
 
-  Interp in;
+  Interp in{plans_on()};
   in.run(obj, args);
   in.run(grad, gargs);
   // Before this PR one objective+gradient evaluation at this shape issued
@@ -305,7 +314,7 @@ TEST(PlanSteadyState, ExtraIterationsAddNoPoolTraffic) {
   auto traffic = [&](int64_t iters) {
     Prog p = all_steps_prog(iters);
     typecheck(p);
-    Interp in;
+    Interp in{plans_on()};
     in.run(p, args);
     return in.stats().pool_hits.load() + in.stats().pool_misses.load();
   };
@@ -313,6 +322,143 @@ TEST(PlanSteadyState, ExtraIterationsAddNoPoolTraffic) {
   const uint64_t t40 = traffic(40);
   EXPECT_LE(t40, t10 + 2) << "planned loop iterations still round-trip the pool: "
                           << t10 << " @10 iters vs " << t40 << " @40 iters";
+}
+
+// ----------------------------------------- applied lambdas and OpIf arms ---
+
+// A general-path rows map whose lambda body carries its own tabled plan: the
+// inner map + reduce are launches, and the OpIf keeps the body off the
+// kernel tier (row-stream params would otherwise compile the whole lambda),
+// so every row crosses the planned apply() path and the If plan step.
+Prog rows_sum_prog() {
+  ProgBuilder pb("rows");
+  Var xss = pb.param("xss", arr_f64(2));
+  Builder& b = pb.body();
+  Var sums = b.map1(
+      b.lam({arr_f64(1)},
+            [](Builder& c, const std::vector<Var>& row) {
+              Var scaled = c.map1(c.lam({f64()},
+                                        [](Builder& cc, const std::vector<Var>& p) {
+                                          Var t = cc.mul(p[0], cf64(0.5));
+                                          return std::vector<Atom>{Atom(cc.add(t, cf64(1.0)))};
+                                        }),
+                                  {row[0]});
+              Var s = c.reduce1(c.add_op(), cf64(0.0), {scaled});
+              // Arms with their own launches: the If compiles to a plan
+              // step (trivial scalar arms would stay general).
+              std::vector<Var> picked = c.if_(
+                  Atom(c.gt(s, cf64(0.0))),
+                  [&](Builder& tb) {
+                    Var m = tb.map1(tb.lam({f64()},
+                                           [](Builder& cc, const std::vector<Var>& p) {
+                                             return std::vector<Atom>{
+                                                 Atom(cc.mul(p[0], cf64(0.5)))};
+                                           }),
+                                    {scaled});
+                    return std::vector<Atom>{Atom(tb.reduce1(tb.add_op(), cf64(0.0), {m}))};
+                  },
+                  [&](Builder& eb) {
+                    Var m = eb.map1(eb.lam({f64()},
+                                           [](Builder& cc, const std::vector<Var>& p) {
+                                             return std::vector<Atom>{
+                                                 Atom(cc.add(p[0], cf64(-1.0)))};
+                                           }),
+                                    {scaled});
+                    return std::vector<Atom>{Atom(eb.reduce1(eb.add_op(), cf64(0.0), {m}))};
+                  });
+              return std::vector<Atom>{Atom(picked[0])};
+            }),
+      {xss});
+  Var t = b.reduce1(b.add_op(), cf64(0.0), {sums});
+  return pb.finish({Atom(t)});
+}
+
+TEST(PlanCounters, AppliedLambdaBodiesAndIfArms) {
+  Prog p = rows_sum_prog();
+  typecheck(p);
+  npad::support::Rng rng(40);
+  // Mixed-sign rows: both OpIf arms execute across the map, so the
+  // conformance check covers both planned arm bodies.
+  std::vector<Value> args = {make_f64_array(rng.uniform_vec(32 * 16, -3.0, 1.0), {32, 16})};
+  Interp in{plans_on()};
+  auto r = in.run(p, args);
+  ASSERT_EQ(r.size(), 1u);
+  const auto& st = in.stats();
+  // Every row applies its lambda through the tabled body plan...
+  EXPECT_GE(st.plan_lambda_bodies.load(), 32u);
+  // ...and runs the body's OpIf as an If plan step.
+  EXPECT_GE(st.plan_if_arms.load(), 32u);
+  // The inner map's per-row launch buffers recycle through the launch arena.
+  EXPECT_GT(st.arena_reuses.load(), 0u);
+  expect_plan_conformant(p, args, "general rows map with planned lambda body");
+}
+
+// Both arms of a top-level OpIf, each a planned arm body, stay bit-exact
+// against the plan-disabled path.
+TEST(PlanConformance, IfBothArmsBitExact) {
+  ProgBuilder pb("toplevel_if");
+  Var x = pb.param("x", f64());
+  Var xs = pb.param("xs", arr_f64(1));
+  Builder& b = pb.body();
+  Var pos = b.gt(x, cf64(0.0));
+  // Arms carry their own map launches so the If compiles to a plan step.
+  std::vector<Var> picked = b.if_(
+      Atom(pos),
+      [&](Builder& tb) {
+        Var m = tb.map1(tb.lam({f64()},
+                               [](Builder& cc, const std::vector<Var>& p) {
+                                 return std::vector<Atom>{Atom(cc.mul(p[0], cf64(2.0)))};
+                               }),
+                        {xs});
+        return std::vector<Atom>{Atom(m)};
+      },
+      [&](Builder& eb) {
+        Var m = eb.map1(eb.lam({f64()},
+                               [](Builder& cc, const std::vector<Var>& p) {
+                                 return std::vector<Atom>{Atom(cc.add(p[0], cf64(2.0)))};
+                               }),
+                        {xs});
+        return std::vector<Atom>{Atom(m)};
+      });
+  Var s = b.reduce1(b.add_op(), cf64(0.0), {picked[0]});
+  Prog p = pb.finish({Atom(s)});
+  typecheck(p);
+  npad::support::Rng rng(42);
+  auto xs_val = make_f64_array(rng.uniform_vec(256, -1.0, 1.0), {256});
+  for (double x0 : {0.7, -0.7}) {
+    std::vector<Value> args = {Value(x0), xs_val};
+    Interp in{plans_on()};
+    in.run(p, args);
+    EXPECT_GE(in.stats().plan_if_arms.load(), 1u) << "x=" << x0;
+    expect_plan_conformant(p, args, x0 > 0 ? "if true arm" : "if false arm");
+  }
+}
+
+// Launch arenas absorb per-row buffer churn: once the per-thread ring is
+// warm, extra rows of the general map must not add pool round-trips — the
+// inner map's launch buffers are recycled in place of pool traffic.
+TEST(PlanSteadyState, ArenaAbsorbsPerRowPoolTraffic) {
+  Prog p = rows_sum_prog();
+  typecheck(p);
+  auto traffic = [&](int64_t rows, uint64_t* reuses) {
+    npad::support::Rng rng(41);
+    std::vector<Value> args = {
+        make_f64_array(rng.uniform_vec(rows * 16, -1.0, 1.0), {rows, 16})};
+    Interp in{plans_on()};
+    in.run(p, args);
+    *reuses = in.stats().arena_reuses.load();
+    return in.stats().pool_hits.load() + in.stats().pool_misses.load();
+  };
+  uint64_t reuse_small = 0, reuse_big = 0;
+  const uint64_t t_small = traffic(8, &reuse_small);
+  const uint64_t t_big = traffic(64, &reuse_big);
+  // 56 extra rows: pool traffic stays flat up to per-thread warm-up slack
+  // (each worker's arena primes its own ring)...
+  EXPECT_LE(t_big, t_small + 32)
+      << "per-row buffers still round-trip the pool: " << t_small << " @8 rows vs " << t_big
+      << " @64 rows";
+  // ...because the extra rows were fed from the arena instead.
+  EXPECT_GT(reuse_big, reuse_small);
 }
 
 // Plan cache behavior: repeated runs of the same resolved program compile
@@ -323,11 +469,11 @@ TEST(PlanCache, CompilesOncePerProgram) {
   npad::support::Rng rng(38);
   std::vector<Value> args = {0.5,
                              make_f64_array(rng.uniform_vec(128, -1.0, 1.0), {128})};
-  Interp first;
+  Interp first{plans_on()};
   first.run(p, args);
   const uint64_t compiled_first = first.stats().plans_compiled.load();
   EXPECT_GE(compiled_first, 2u);  // top-level + loop body
-  Interp second;
+  Interp second{plans_on()};
   second.run(p, args);
   EXPECT_EQ(second.stats().plans_compiled.load(), 0u)
       << "second run recompiled a cached plan";
